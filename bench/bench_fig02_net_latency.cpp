@@ -1,0 +1,45 @@
+/// \file bench_fig02_net_latency.cpp
+/// Figure 2: HPCC network latency (PPmin/PPavg/PPmax, natural ring,
+/// random ring) on XT3, XT4-SN and XT4-VN.
+
+#include <iostream>
+
+#include "core/report.hpp"
+#include "core/units.hpp"
+#include "hpcc/hpcc.hpp"
+#include "machine/presets.hpp"
+
+int main(int argc, char** argv) {
+  using namespace xts;
+  using machine::ExecMode;
+  const auto opt =
+      BenchOptions::parse(argc, argv, "Figure 2: HPCC network latency (us)");
+  const int n = opt.quick ? 16 : (opt.full ? 256 : 64);
+
+  struct Row {
+    const char* name;
+    machine::MachineConfig m;
+    ExecMode mode;
+    int ranks;
+  };
+  const Row rows[] = {
+      {"XT3", machine::xt3_single_core(), ExecMode::kSN, n},
+      {"XT4-SN", machine::xt4(), ExecMode::kSN, n},
+      {"XT4-VN", machine::xt4(), ExecMode::kVN, 2 * n},
+  };
+
+  Table t("Figure 2: Network latency (microseconds)",
+          {"system", "PPmin", "PPavg", "PPmax", "Nat.Ring", "Rand.Ring"});
+  for (const auto& r : rows) {
+    const auto res = hpcc::net_latency(r.m, r.mode, r.ranks);
+    t.add_row({r.name, Table::num(res.pp_min / units::us, 2),
+               Table::num(res.pp_avg / units::us, 2),
+               Table::num(res.pp_max / units::us, 2),
+               Table::num(res.natural_ring / units::us, 2),
+               Table::num(res.random_ring / units::us, 2)});
+  }
+  emit(t, opt);
+  std::cout << "paper: XT3 ~6us best case; XT4-SN ~4.5us; XT4-VN up to "
+               "~18us worst case\n";
+  return 0;
+}

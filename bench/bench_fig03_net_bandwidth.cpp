@@ -1,0 +1,45 @@
+/// \file bench_fig03_net_bandwidth.cpp
+/// Figure 3: HPCC network bandwidth (ping-pong + rings) on XT3,
+/// XT4-SN and XT4-VN.
+
+#include <iostream>
+
+#include "core/report.hpp"
+#include "core/units.hpp"
+#include "hpcc/hpcc.hpp"
+#include "machine/presets.hpp"
+
+int main(int argc, char** argv) {
+  using namespace xts;
+  using machine::ExecMode;
+  const auto opt = BenchOptions::parse(
+      argc, argv, "Figure 3: HPCC network bandwidth (GB/s)");
+  const int n = opt.quick ? 16 : (opt.full ? 256 : 64);
+
+  struct Row {
+    const char* name;
+    machine::MachineConfig m;
+    ExecMode mode;
+    int ranks;
+  };
+  const Row rows[] = {
+      {"XT3", machine::xt3_single_core(), ExecMode::kSN, n},
+      {"XT4-SN", machine::xt4(), ExecMode::kSN, n},
+      {"XT4-VN", machine::xt4(), ExecMode::kVN, 2 * n},
+  };
+
+  Table t("Figure 3: Network bandwidth (GB/s)",
+          {"system", "PPmin", "PPavg", "PPmax", "Nat.Ring", "Rand.Ring"});
+  for (const auto& r : rows) {
+    const auto res = hpcc::net_bandwidth(r.m, r.mode, r.ranks);
+    t.add_row({r.name, Table::num(res.pp_min / units::GB_per_s, 2),
+               Table::num(res.pp_avg / units::GB_per_s, 2),
+               Table::num(res.pp_max / units::GB_per_s, 2),
+               Table::num(res.natural_ring / units::GB_per_s, 2),
+               Table::num(res.random_ring / units::GB_per_s, 2)});
+  }
+  emit(t, opt);
+  std::cout << "paper: XT4 ping-pong just over 2 GB/s vs XT3 1.15 GB/s;\n"
+               "VN per-core ring bandwidth slightly below XT3\n";
+  return 0;
+}

@@ -1,0 +1,73 @@
+/// \file bench_fig08_11_global.cpp
+/// Figures 8-11: the global HPCC benchmarks — HPL, MPI-FFT, PTRANS and
+/// MPI RandomAccess — swept over core/socket counts on XT3, XT4-SN and
+/// XT4-VN (plotted per cores for SN, per cores AND sockets for VN,
+/// exactly as in the paper).
+
+#include <functional>
+#include <iostream>
+#include <vector>
+
+#include "core/report.hpp"
+#include "hpcc/hpcc.hpp"
+#include "machine/presets.hpp"
+
+namespace {
+
+using xts::Table;
+using xts::machine::ExecMode;
+using xts::machine::MachineConfig;
+
+using GlobalBench =
+    std::function<double(const MachineConfig&, ExecMode, int)>;
+
+void figure(const std::string& title, const GlobalBench& bench,
+            const std::vector<int>& counts, const xts::BenchOptions& opt,
+            int digits) {
+  Table t(title,
+          {"cores/sockets", "XT3", "XT4-SN", "XT4-VN(cores)",
+           "XT4-VN(sockets)"});
+  const auto xt3 = xts::machine::xt3_single_core();
+  const auto xt4 = xts::machine::xt4();
+  for (const int n : counts) {
+    // VN(cores): n ranks on n/2 nodes.  VN(sockets): 2n ranks on n
+    // nodes — the "same socket count" comparison of Figs 8-11.
+    const double v_xt3 = bench(xt3, ExecMode::kSN, n);
+    const double v_sn = bench(xt4, ExecMode::kSN, n);
+    const double v_vn_cores = bench(xt4, ExecMode::kVN, n);
+    const double v_vn_sockets = bench(xt4, ExecMode::kVN, 2 * n);
+    t.add_row({Table::num(static_cast<long long>(n)),
+               Table::num(v_xt3, digits), Table::num(v_sn, digits),
+               Table::num(v_vn_cores, digits),
+               Table::num(v_vn_sockets, digits)});
+  }
+  emit(t, opt);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace xts;
+  const auto opt = BenchOptions::parse(
+      argc, argv,
+      "Figures 8-11: global HPL (TFLOPS), MPI-FFT (GFLOPS), PTRANS (GB/s), "
+      "MPI RandomAccess (GUPS)");
+
+  const std::vector<int> counts =
+      opt.quick ? std::vector<int>{16, 32}
+                : (opt.full ? std::vector<int>{64, 128, 256, 512, 1024}
+                            : std::vector<int>{32, 64, 128, 256});
+
+  figure("Figure 8: Global HPL (TFLOPS)", hpcc::hpl_tflops, counts, opt, 3);
+  figure("Figure 9: Global MPI-FFT (GFLOPS)", hpcc::mpifft_gflops, counts,
+         opt, 1);
+  figure("Figure 10: Global PTRANS (GB/s)", hpcc::ptrans_gbs, counts, opt,
+         1);
+  figure("Figure 11: Global MPI RandomAccess (GUPS)", hpcc::mpira_gups,
+         counts, opt, 4);
+  std::cout
+      << "paper: HPL nearly clock-proportional per core; MPI-FFT VN\n"
+         "per-core suffers from the NIC bottleneck; PTRANS per-socket\n"
+         "unchanged XT3->XT4; MPI-RA VN slower than XT3 and XT4-SN\n";
+  return 0;
+}

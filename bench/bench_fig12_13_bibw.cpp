@@ -1,0 +1,66 @@
+/// \file bench_fig12_13_bibw.cpp
+/// Figures 12-13: bidirectional MPI bandwidth vs message size, for a
+/// single pair across nodes ("0-1 internode") and for two simultaneous
+/// pairs ("i-(i+2), i=0,1 (VN)"), on single-core XT3, dual-core XT3 and
+/// XT4.
+
+#include <iostream>
+#include <vector>
+
+#include "core/report.hpp"
+#include "core/units.hpp"
+#include "hpcc/hpcc.hpp"
+#include "machine/presets.hpp"
+
+int main(int argc, char** argv) {
+  using namespace xts;
+  using machine::ExecMode;
+  using namespace xts::units;
+  const auto opt = BenchOptions::parse(
+      argc, argv,
+      "Figures 12-13: bidirectional MPI bandwidth vs message size");
+
+  std::vector<double> sizes;
+  for (double b = 8.0; b <= (opt.quick ? 1.0 * MB : 16.0 * MB); b *= 4.0)
+    sizes.push_back(b);
+
+  Table t("Figures 12-13: Bidirectional MPI bandwidth (GB/s per pair)",
+          {"bytes", "XT3-SC 1pair", "XT3-DC 1pair", "XT4 1pair",
+           "XT3-DC 2pair", "XT4 2pair"});
+  const auto xt3sc = machine::xt3_single_core();
+  const auto xt3dc = machine::xt3_dual_core();
+  const auto xt4 = machine::xt4();
+  for (const double b : sizes) {
+    const auto sc1 = hpcc::bidirectional_bandwidth(xt3sc, ExecMode::kSN, 1, b);
+    const auto dc1 = hpcc::bidirectional_bandwidth(xt3dc, ExecMode::kVN, 1, b);
+    const auto x41 = hpcc::bidirectional_bandwidth(xt4, ExecMode::kVN, 1, b);
+    const auto dc2 = hpcc::bidirectional_bandwidth(xt3dc, ExecMode::kVN, 2, b);
+    const auto x42 = hpcc::bidirectional_bandwidth(xt4, ExecMode::kVN, 2, b);
+    t.add_row({Table::num(static_cast<long long>(b)),
+               Table::num(sc1.per_pair_bw / GB_per_s, 3),
+               Table::num(dc1.per_pair_bw / GB_per_s, 3),
+               Table::num(x41.per_pair_bw / GB_per_s, 3),
+               Table::num(dc2.per_pair_bw / GB_per_s, 3),
+               Table::num(x42.per_pair_bw / GB_per_s, 3)});
+  }
+  emit(t, opt);
+
+  Table lat("Figures 12-13 companion: small-message one-way time (us)",
+            {"config", "time"});
+  lat.add_row({"XT4 1pair",
+               Table::num(hpcc::bidirectional_bandwidth(xt4, ExecMode::kVN, 1,
+                                                        8.0)
+                                  .one_way_time /
+                              us,
+                          2)});
+  lat.add_row({"XT4 2pair",
+               Table::num(hpcc::bidirectional_bandwidth(xt4, ExecMode::kVN, 2,
+                                                        8.0)
+                                  .one_way_time /
+                              us,
+                          2)});
+  emit(lat, opt);
+  std::cout << "paper: XT4 >= 1.8x dual-core XT3 above 100 KB; two pairs\n"
+               "get exactly half each; 2-pair latency over 2x 1-pair\n";
+  return 0;
+}

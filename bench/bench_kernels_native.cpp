@@ -1,0 +1,107 @@
+/// \file bench_kernels_native.cpp
+/// google-benchmark microbenchmarks of the REAL kernels on the build
+/// host (not the simulated machine): these are the unit-tested
+/// implementations whose operation counts feed the work descriptors.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/rng.hpp"
+#include "kernels/cg.hpp"
+#include "kernels/dgemm.hpp"
+#include "kernels/fft.hpp"
+#include "kernels/random_access.hpp"
+#include "kernels/stream.hpp"
+#include "kernels/transpose.hpp"
+
+namespace {
+
+using namespace xts;
+
+void BM_Dgemm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<double> a(n * n), b(n * n), c(n * n, 0.0);
+  for (auto& x : a) x = rng.uniform(-1, 1);
+  for (auto& x : b) x = rng.uniform(-1, 1);
+  for (auto _ : state) {
+    kernels::dgemm(n, n, n, 1.0, a, b, 0.0, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2 * n *
+                          n * n);
+}
+BENCHMARK(BM_Dgemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Fft(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(1) << state.range(0);
+  Rng rng(2);
+  std::vector<kernels::Complex> x(n);
+  for (auto& v : x) v = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  for (auto _ : state) {
+    kernels::fft(x);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_Fft)->Arg(10)->Arg(14)->Arg(18);
+
+void BM_StreamTriad(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> a(n, 0.0), b(n, 1.0), c(n, 2.0);
+  for (auto _ : state) {
+    kernels::stream_triad(a, b, c, 3.0);
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kernels::triad_bytes(
+                              static_cast<double>(n))));
+}
+BENCHMARK(BM_StreamTriad)->Arg(1 << 16)->Arg(1 << 22);
+
+void BM_RandomAccess(benchmark::State& state) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint64_t> table(static_cast<std::size_t>(1) << bits);
+  kernels::random_access_init(table);
+  const std::uint64_t updates = table.size();
+  std::int64_t start = 0;
+  for (auto _ : state) {
+    kernels::random_access_update(table, updates, start);
+    start += static_cast<std::int64_t>(updates);
+    benchmark::DoNotOptimize(table.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(updates));
+}
+BENCHMARK(BM_RandomAccess)->Arg(16)->Arg(22);
+
+void BM_CgSolve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  std::vector<double> b(n * n);
+  for (auto& v : b) v = rng.uniform(-1, 1);
+  for (auto _ : state) {
+    std::vector<double> x(n * n, 0.0);
+    const auto r = kernels::cg_solve(n, n, b, x, 1e-6, 2000);
+    benchmark::DoNotOptimize(r.iterations);
+  }
+}
+BENCHMARK(BM_CgSolve)->Arg(32)->Arg(64);
+
+void BM_Transpose(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> in(n * n, 1.0), out(n * n);
+  for (auto _ : state) {
+    kernels::transpose(n, n, in, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(16 * n * n));
+}
+BENCHMARK(BM_Transpose)->Arg(256)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

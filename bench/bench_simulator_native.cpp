@@ -1,0 +1,72 @@
+/// \file bench_simulator_native.cpp
+/// google-benchmark of the simulator substrate itself: event-loop
+/// throughput, flow-network updates, and end-to-end vmpi message rate.
+
+#include <benchmark/benchmark.h>
+
+#include "core/engine.hpp"
+#include "core/task.hpp"
+#include "machine/presets.hpp"
+#include "network/flow_network.hpp"
+#include "vmpi/comm.hpp"
+#include "vmpi/world.hpp"
+
+namespace {
+
+using namespace xts;
+
+void BM_EngineEvents(benchmark::State& state) {
+  for (auto _ : state) {
+    Engine e;
+    const int n = static_cast<int>(state.range(0));
+    int fired = 0;
+    for (int i = 0; i < n; ++i)
+      e.schedule_at(static_cast<double>(i), [&fired] { ++fired; });
+    e.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EngineEvents)->Arg(10000)->Arg(100000);
+
+void BM_FlowNetworkTransfers(benchmark::State& state) {
+  for (auto _ : state) {
+    Engine e;
+    net::FlowNetwork net(e, net::Torus3D({8, 8, 8}),
+                         {3.0e9, 2.0e9, 0.0, 50e-9});
+    const int n = static_cast<int>(state.range(0));
+    for (int i = 0; i < n; ++i) {
+      const auto src = static_cast<net::NodeId>(i % 512);
+      const auto dst = static_cast<net::NodeId>((i * 37 + 11) % 512);
+      if (src == dst) continue;
+      spawn(e, [](net::FlowNetwork& fn, net::NodeId s, net::NodeId d)
+                   -> Task<void> {
+        (void)co_await fn.transfer(s, d, 65536.0);
+      }(net, src, dst));
+    }
+    e.run();
+    benchmark::DoNotOptimize(net.total_delivered());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FlowNetworkTransfers)->Arg(1000)->Arg(5000);
+
+void BM_VmpiAllreduce(benchmark::State& state) {
+  for (auto _ : state) {
+    vmpi::WorldConfig cfg;
+    cfg.machine = machine::xt4();
+    cfg.nranks = static_cast<int>(state.range(0));
+    vmpi::World w(std::move(cfg));
+    w.run([](vmpi::Comm& c) -> Task<void> {
+      std::vector<double> v(8, 1.0);
+      for (int i = 0; i < 4; ++i) v = co_await c.allreduce_sum(std::move(v));
+    });
+    benchmark::DoNotOptimize(w.messages_delivered());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 4);
+}
+BENCHMARK(BM_VmpiAllreduce)->Arg(64)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+/// \file bench_table1.cpp
+/// Regenerates Table 1 of the paper: configuration comparison of the
+/// XT3, dual-core XT3 and XT4 systems at ORNL.
+
+#include <iostream>
+
+#include "core/report.hpp"
+#include "core/units.hpp"
+#include "machine/presets.hpp"
+
+int main(int argc, char** argv) {
+  using namespace xts;
+  using namespace xts::units;
+  const auto opt = BenchOptions::parse(
+      argc, argv, "Table 1: XT3 / XT3 dual-core / XT4 system comparison");
+
+  const auto systems = {machine::xt3_single_core(), machine::xt3_dual_core(),
+                        machine::xt4()};
+  // Socket counts from §3 (system description): 56 XT3 cabinets with
+  // 5,212 sockets; 68 XT4 cabinets add 6,296 sockets.
+  const int sockets[] = {5212, 5212, 6296};
+
+  Table t("Table 1: Comparison of XT3, XT3 dual core, and XT4 systems",
+          {"property", "XT3", "XT3-DC", "XT4"});
+  std::vector<std::vector<std::string>> cols;
+  int i = 0;
+  std::vector<std::string> clock{"Processor clock (GHz)"},
+      cores{"Cores per socket"}, nsock{"Processor sockets"},
+      ncore{"Processor cores"}, mem{"Memory bandwidth (GB/s)"},
+      cap{"Memory capacity (GB/core)"}, inj{"Network injection (GB/s bidir)"},
+      link{"Interconnect"};
+  for (const auto& m : systems) {
+    clock.push_back(Table::num(m.core.clock_hz / GHz, 1));
+    cores.push_back(Table::num(static_cast<long long>(m.cores_per_node)));
+    nsock.push_back(Table::num(static_cast<long long>(sockets[i])));
+    ncore.push_back(
+        Table::num(static_cast<long long>(sockets[i] * m.cores_per_node)));
+    mem.push_back(Table::num(m.memory.peak_bw / GB_per_s, 1));
+    cap.push_back(Table::num(static_cast<double>(m.bytes_per_core) / GiB, 0));
+    inj.push_back(Table::num(2.0 * m.nic.injection_bw / GB_per_s, 1));
+    link.push_back(i < 2 ? "Cray SeaStar" : "Cray SeaStar2");
+    ++i;
+  }
+  for (auto& row : {clock, cores, nsock, ncore, mem, cap, inj, link})
+    t.add_row(row);
+  emit(t, opt);
+  return 0;
+}

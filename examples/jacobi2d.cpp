@@ -1,0 +1,132 @@
+/// \file jacobi2d.cpp
+/// Writing your own mini-app against the xtsim public API: a 2D Jacobi
+/// relaxation with REAL data moving through the simulated network —
+/// halo cells travel in message payloads, convergence is checked with a
+/// payload-carrying allreduce, and the same binary reports how the
+/// solver would perform on the XT3 vs the XT4 in SN vs VN mode.
+///
+/// Build & run:  ./examples/jacobi2d
+
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "core/units.hpp"
+#include "machine/presets.hpp"
+#include "vmpi/comm.hpp"
+#include "vmpi/world.hpp"
+
+namespace {
+
+using namespace xts;
+
+struct JacobiOutcome {
+  SimTime sim_seconds = 0.0;
+  int iterations = 0;
+  double residual = 0.0;
+};
+
+/// Solve u = 0.25*(N+S+E+W) on an n x n grid, 1D row decomposition.
+JacobiOutcome run_jacobi(const machine::MachineConfig& m,
+                         machine::ExecMode mode, int nranks, int n) {
+  vmpi::WorldConfig cfg;
+  cfg.machine = m;
+  cfg.mode = mode;
+  cfg.nranks = nranks;
+  vmpi::World world(std::move(cfg));
+
+  JacobiOutcome out;
+  out.sim_seconds = world.run([&](vmpi::Comm& c) -> Task<void> {
+    const int rows = n / c.size();
+    const int lda = n + 2;
+    // Local rows with one halo row above and below; boundary = 1.
+    std::vector<double> u((rows + 2) * lda, 0.0), next(u);
+    if (c.rank() == 0)
+      for (int j = 0; j < lda; ++j) u[j] = 1.0;  // hot top edge
+
+    double diff = 1.0;
+    int it = 0;
+    for (; it < 400 && diff > 1e-4; ++it) {
+      // Halo exchange with payloads.
+      std::vector<SimFutureV> pending;
+      if (c.rank() > 0) {
+        std::vector<double> top(u.begin() + lda, u.begin() + 2 * lda);
+        auto f = co_await c.send(c.rank() - 1, 2 * it, std::move(top));
+        pending.push_back(std::move(f));
+      }
+      if (c.rank() + 1 < c.size()) {
+        std::vector<double> bottom(u.begin() + rows * lda,
+                                   u.begin() + (rows + 1) * lda);
+        auto f = co_await c.send(c.rank() + 1, 2 * it + 1, std::move(bottom));
+        pending.push_back(std::move(f));
+      }
+      if (c.rank() > 0) {
+        auto msg = co_await c.recv(c.rank() - 1, 2 * it + 1);
+        std::copy(msg.data.begin(), msg.data.end(), u.begin());
+      }
+      if (c.rank() + 1 < c.size()) {
+        auto msg = co_await c.recv(c.rank() + 1, 2 * it);
+        std::copy(msg.data.begin(), msg.data.end(),
+                  u.begin() + (rows + 1) * lda);
+      }
+      for (auto& f : pending) (void)co_await std::move(f);
+
+      // Sweep (real arithmetic) and charge the machine for it.
+      double local_diff = 0.0;
+      for (int r = 1; r <= rows; ++r) {
+        for (int j = 1; j < n + 1; ++j) {
+          const double v = 0.25 * (u[(r - 1) * lda + j] +
+                                   u[(r + 1) * lda + j] +
+                                   u[r * lda + j - 1] + u[r * lda + j + 1]);
+          next[r * lda + j] = v;
+          local_diff = std::max(local_diff, std::abs(v - u[r * lda + j]));
+        }
+      }
+      std::swap(u, next);
+      machine::Work sweep;
+      sweep.flops = 4.0 * rows * n;
+      sweep.flop_efficiency = 0.25;
+      sweep.stream_bytes = 16.0 * rows * n;
+      co_await c.compute(sweep);
+
+      // Global convergence check (max via sum of one-hot... use sum of
+      // local maxima as a conservative bound carried by allreduce).
+      std::vector<double> d(1, local_diff);
+      const auto g = co_await c.allreduce_sum(std::move(d));
+      diff = g[0] / c.size();
+    }
+    if (c.rank() == 0) {
+      out.iterations = it;
+      out.residual = diff;
+    }
+  });
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const int n = 256, ranks = 16;
+  std::cout << "2D Jacobi " << n << "x" << n << " on " << ranks
+            << " ranks (real payload halos over the simulated torus)\n\n";
+  struct Config {
+    const char* name;
+    machine::MachineConfig m;
+    machine::ExecMode mode;
+  };
+  const Config configs[] = {
+      {"XT3 single-core (SN)", machine::xt3_single_core(),
+       machine::ExecMode::kSN},
+      {"XT4 (SN)", machine::xt4(), machine::ExecMode::kSN},
+      {"XT4 (VN)", machine::xt4(), machine::ExecMode::kVN},
+  };
+  for (const auto& cfg : configs) {
+    const auto r = run_jacobi(cfg.m, cfg.mode, ranks, n);
+    std::cout << cfg.name << ": " << r.sim_seconds * 1e3
+              << " ms simulated, " << r.iterations
+              << " iterations, residual " << r.residual << "\n";
+  }
+  std::cout << "\nSame numerics on every machine — only the simulated "
+               "time differs.\n";
+  return 0;
+}

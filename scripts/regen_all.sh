@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Regenerate every table and figure of the paper into results/.
+# Usage: scripts/regen_all.sh [--quick|--full] [build-dir]
+set -euo pipefail
+mode="${1:---default}"
+build="${2:-build}"
+flag=""
+case "$mode" in
+  --quick) flag="--quick" ;;
+  --full)  flag="--full" ;;
+esac
+mkdir -p results
+for b in "$build"/bench/bench_*; do
+  [ -x "$b" ] || continue
+  name=$(basename "$b")
+  case "$name" in
+    *_native) continue ;;  # google-benchmark micro-benches: run directly
+  esac
+  echo "== $name $flag"
+  "$b" $flag --csv | tee "results/$name.txt"
+done
+echo "Wrote results/*.txt"

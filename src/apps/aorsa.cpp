@@ -1,0 +1,100 @@
+#include "apps/aorsa.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+#include "kernels/dgemm.hpp"
+#include "kernels/fft.hpp"
+#include "vmpi/comm.hpp"
+
+namespace xts::apps {
+
+using machine::ExecMode;
+using machine::MachineConfig;
+using machine::Work;
+using vmpi::Comm;
+using vmpi::World;
+using vmpi::WorldConfig;
+
+AorsaResult run_aorsa(const MachineConfig& m, ExecMode mode, int nranks,
+                      const AorsaConfig& cfg) {
+  if (nranks < 1) throw UsageError("run_aorsa: need at least one task");
+  // Unknowns: two field components per mesh point (350^2 mesh ->
+  // N ~ 245k, matching the paper's ~3.5e16-flop solves at 4k cores).
+  const double n = 2.0 * cfg.mesh * cfg.mesh;
+  const int steps = cfg.lu_steps;
+  const double nb = n / steps;
+
+  int pr = static_cast<int>(std::sqrt(static_cast<double>(nranks)));
+  while (nranks % pr != 0) --pr;
+  const int pc = nranks / pr;
+
+  WorldConfig wcfg;
+  wcfg.machine = m;
+  wcfg.mode = mode;
+  wcfg.nranks = nranks;
+  World world(std::move(wcfg));
+
+  SimTime axb_end = 0.0;
+  const SimTime total = world.run([&](Comm& c) -> Task<void> {
+    const int myrow = c.rank() / pc;
+    const int mycol = c.rank() % pc;
+    std::vector<int> row_members, col_members;
+    for (int j = 0; j < pc; ++j) row_members.push_back(myrow * pc + j);
+    for (int i = 0; i < pr; ++i) col_members.push_back(i * pc + mycol);
+    auto row_comm = c.subgroup(std::move(row_members));
+    auto col_comm = c.subgroup(std::move(col_members));
+
+    // ---- Ax=b: block-cyclic complex LU ----
+    for (int k = 0; k < steps; ++k) {
+      const double remaining = n - k * nb;
+      const int owner_col = k % pc;
+      const int owner_row = k % pr;
+      if (mycol == owner_col) {
+        // Aggregated cost of the real nb=128 panels inside this
+        // coarsened block: flops = 8 (complex) x rows x nb x 128.
+        Work panel;
+        panel.flops = 8.0 * (remaining / pr) * nb * 128.0;
+        panel.flop_efficiency = 0.5;
+        panel.stream_bytes = 16.0 * (remaining / pr) * nb;
+        co_await c.compute(panel);
+        std::vector<double> piv(static_cast<std::size_t>(8), 1.0);
+        (void)co_await col_comm->allreduce_sum(std::move(piv));
+      }
+      co_await row_comm->bcast_bytes(owner_col,
+                                     16.0 * (remaining / pr) * nb);
+      co_await col_comm->bcast_bytes(owner_row,
+                                     16.0 * (remaining / pc) * nb);
+      co_await c.compute(kernels::gemm_update_work(
+          remaining / pr, remaining / pc, nb, true));
+    }
+    co_await c.barrier();
+    if (c.rank() == 0) axb_end = c.now();
+
+    // ---- QL operator: FFT-heavy, embarrassingly parallel with a
+    // gather of velocity-space moments at the end.  Total cost
+    // calibrated to Fig 23's ~20-minute QL bars at the 350-mesh / 4k
+    // cores point; scaled with mesh^6 (like the LU flops) so reduced
+    // default sweeps keep the paper's Ax=b : QL proportions ----
+    const double mesh_ratio = cfg.mesh / 350.0;
+    const double ql_total_flops =
+        5.0e15 * std::pow(mesh_ratio, 6.0);
+    Work ql;
+    ql.flops = ql_total_flops / c.size();
+    ql.flop_efficiency = 0.14;  // FFT-class efficiency
+    ql.stream_bytes = 2.0 * ql.flops;
+    co_await c.compute(ql);
+    std::vector<double> moments(16, 1.0);
+    (void)co_await c.allreduce_sum(std::move(moments));
+  });
+
+  AorsaResult res;
+  res.axb_minutes = axb_end / 60.0;
+  res.ql_minutes = (total - axb_end) / 60.0;
+  res.total_minutes = total / 60.0;
+  const double lu_flops = (8.0 / 3.0) * n * n * n;
+  res.solver_tflops = lu_flops / axb_end / 1e12;
+  return res;
+}
+
+}  // namespace xts::apps

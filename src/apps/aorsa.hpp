@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file aorsa.hpp
+/// AORSA fusion full-wave solver proxy (paper §6.5, Fig 23).
+///
+/// AORSA assembles a dense complex linear system from its all-orders
+/// spectral formulation and solves it with a ScaLAPACK/HPL-class
+/// block-cyclic LU ("Ax=b"), then evaluates the quasi-linear ("QL")
+/// diffusion operator, an FFT-heavy mostly-local post-processing phase.
+/// Fig 23 shows strong-scaling grind times (minutes) for Ax=b, QL and
+/// total at 4k (XT3), and 4k/8k/16k/22.5k (XT4) cores.
+
+#include "machine/config.hpp"
+
+namespace xts::apps {
+
+struct AorsaConfig {
+  int mesh = 350;       ///< spatial mesh edge (350x350 benchmark)
+  int lu_steps = 40;    ///< simulated panel steps (coarsened block count)
+};
+
+struct AorsaResult {
+  double axb_minutes = 0.0;       ///< dense complex LU solve
+  double ql_minutes = 0.0;        ///< quasi-linear operator evaluation
+  double total_minutes = 0.0;
+  double solver_tflops = 0.0;     ///< achieved TFLOPS in Ax=b
+};
+
+AorsaResult run_aorsa(const machine::MachineConfig& m,
+                      machine::ExecMode mode, int nranks,
+                      const AorsaConfig& cfg = {});
+
+}  // namespace xts::apps

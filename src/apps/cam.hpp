@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file cam.hpp
+/// Community Atmosphere Model proxy (paper §6.1, Figs 14-16).
+///
+/// CAM alternates a finite-volume "dynamics" phase with a column
+/// "physics" phase each timestep.  The FV dycore supports a 1D latitude
+/// decomposition (<= 120 tasks on the D-grid: at least 3 latitudes per
+/// task) and a 2D decomposition that is lat-lon during one part of the
+/// dynamics and lat-vertical during another, requiring two remaps
+/// (alltoallv) per step (<= 960 tasks: >= 3 latitudes and >= 3 levels
+/// per task).  The physics load-balances columns with an alltoallv and
+/// communicates with the embedded land model the same way — the
+/// MPI_Alltoallv cost is exactly where the paper localizes the SN/VN
+/// gap (Fig 16).
+
+#include "machine/config.hpp"
+
+namespace xts::apps {
+
+struct CamConfig {
+  int nlat = 361;   ///< D-grid (paper §6.1)
+  int nlon = 576;
+  int nlev = 26;
+  int steps_per_day = 96;  ///< FV D-grid dynamics steps per model day
+  int sample_steps = 2;    ///< timesteps actually simulated
+};
+
+struct CamResult {
+  double dynamics_seconds_per_day = 0.0;
+  double physics_seconds_per_day = 0.0;
+  [[nodiscard]] double seconds_per_day() const noexcept {
+    return dynamics_seconds_per_day + physics_seconds_per_day;
+  }
+  /// Fig 14/15 metric.
+  [[nodiscard]] double simulated_years_per_day() const noexcept {
+    return 86400.0 / (seconds_per_day() * 365.0);
+  }
+  bool used_2d_decomposition = false;
+};
+
+/// Largest valid task count for the 1D (latitude) decomposition.
+[[nodiscard]] int cam_max_tasks_1d(const CamConfig& cfg = {});
+/// Largest valid task count for the 2D decomposition.
+[[nodiscard]] int cam_max_tasks_2d(const CamConfig& cfg = {});
+
+/// Run the CAM proxy.  Decomposition is chosen like the paper's runs:
+/// 1D when it fits (faster at small counts), 2D above 120 tasks.
+/// Throws UsageError if `nranks` exceeds the 2D limit.
+CamResult run_cam(const machine::MachineConfig& m, machine::ExecMode mode,
+                  int nranks, const CamConfig& cfg = {});
+
+}  // namespace xts::apps

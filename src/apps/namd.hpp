@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file namd.hpp
+/// NAMD biomolecular molecular-dynamics proxy (paper §6.3, Figs 20-21).
+///
+/// NAMD spatially decomposes atoms into patches (Charm++ objects) and
+/// computes short-range forces between neighbouring patches, plus
+/// long-range electrostatics by particle-mesh Ewald (PME): charge
+/// spreading onto a 3D FFT grid, distributed FFT (transpose alltoalls
+/// over the grid-plane ranks), and force interpolation back.  The
+/// paper's observations this proxy reproduces:
+///  - 1M-atom scaling stalls near 8k cores, limited by the PME FFT
+///    grid; 3M atoms scale to 12k cores (~12 ms/step);
+///  - SN vs VN differs by ~10% until communication dominates at large
+///    task counts.
+
+#include "machine/config.hpp"
+
+namespace xts::apps {
+
+struct NamdConfig {
+  double atoms = 1.0e6;
+  int pme_grid = 128;      ///< PME FFT grid edge (1M atoms); ~192 for 3M
+  int sample_steps = 2;    ///< MD steps actually simulated
+};
+
+/// Convenience presets for the paper's two benchmark systems.
+[[nodiscard]] NamdConfig namd_1m_atoms();
+[[nodiscard]] NamdConfig namd_3m_atoms();
+
+struct NamdResult {
+  double seconds_per_step = 0.0;  ///< Fig 20/21 metric
+};
+
+NamdResult run_namd(const machine::MachineConfig& m, machine::ExecMode mode,
+                    int nranks, const NamdConfig& cfg = namd_1m_atoms());
+
+}  // namespace xts::apps

@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file error.hpp
+/// Exception types thrown by the simulator.  Misuse of the simulation API
+/// (invalid ranks, mismatched collectives, negative sizes, ...) throws
+/// rather than corrupting the event queue or deadlocking silently.
+
+#include <stdexcept>
+#include <string>
+
+namespace xts {
+
+/// Base class for all xtsim errors.
+class SimError : public std::runtime_error {
+ public:
+  explicit SimError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Logic errors in how the simulation API is used (caller bugs).
+class UsageError : public SimError {
+ public:
+  explicit UsageError(const std::string& what) : SimError(what) {}
+};
+
+/// The simulation reached an internally inconsistent state (simulator bug).
+class InternalError : public SimError {
+ public:
+  explicit InternalError(const std::string& what) : SimError(what) {}
+};
+
+}  // namespace xts

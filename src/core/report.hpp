@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file report.hpp
+/// Figure/table reporting used by every bench binary.
+///
+/// Each bench prints (a) a human-readable aligned table and (b) an
+/// optional CSV block (`--csv`) so the paper's figures can be replotted
+/// directly from bench output.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace xts {
+
+/// A titled table with a fixed header row; numeric cells are formatted by
+/// the caller via Table::num().
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> headers);
+
+  Table& add_row(std::vector<std::string> cells);
+
+  /// Format a double with `digits` significant decimal places.
+  static std::string num(double v, int digits = 3);
+  /// Format an integer-valued count.
+  static std::string num(long long v);
+
+  void print(std::ostream& os) const;
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Shared CLI handling for bench binaries: recognizes --csv, --quick,
+/// --full and --help.  Anything unrecognized raises UsageError.
+struct BenchOptions {
+  bool csv = false;    ///< also emit CSV blocks
+  bool quick = false;  ///< reduced sweep for CI
+  bool full = false;   ///< paper-scale sweep (slow)
+
+  static BenchOptions parse(int argc, char** argv, const std::string& blurb);
+};
+
+/// Print a table honouring \p opt (stdout).
+void emit(const Table& table, const BenchOptions& opt);
+
+}  // namespace xts

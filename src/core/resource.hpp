@@ -1,0 +1,100 @@
+#pragma once
+
+/// \file resource.hpp
+/// Shared simulated resources.
+///
+/// `SharedServer` models a capacity that concurrent jobs share equally
+/// (processor-sharing queue): with N active jobs each progresses at
+/// capacity/N.  It is the building block for memory controllers and NIC
+/// injection engines, where the paper's key dual-core effects (halved
+/// per-core STREAM bandwidth, halved per-core injection bandwidth in VN
+/// mode) arise structurally from two jobs sharing one server.
+///
+/// `FifoResource` is a strict mutual-exclusion resource with FIFO
+/// granting, used for serialized NIC access in VN mode.
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/future.hpp"
+
+namespace xts {
+
+/// Processor-sharing server: jobs of `amount` units complete after being
+/// served at an equal share of `capacity` units/second.
+class SharedServer {
+ public:
+  /// \param capacity   aggregate units/second
+  /// \param per_job_cap  maximum rate a single job can sustain (defaults
+  ///        to `capacity`); models e.g. one core being unable to extract
+  ///        the socket's full dual-core memory bandwidth.
+  SharedServer(Engine& engine, double capacity, std::string name = {},
+               double per_job_cap = 0.0);
+
+  SharedServer(const SharedServer&) = delete;
+  SharedServer& operator=(const SharedServer&) = delete;
+
+  /// Begin consuming `amount` units; the returned future completes when
+  /// the job has been fully served.  `amount == 0` completes immediately.
+  [[nodiscard]] SimFutureV consume(double amount);
+
+  [[nodiscard]] double capacity() const noexcept { return capacity_; }
+  [[nodiscard]] double per_job_cap() const noexcept { return per_job_cap_; }
+  /// Current per-job service rate.
+  [[nodiscard]] double rate() const noexcept;
+  [[nodiscard]] std::size_t active_jobs() const noexcept {
+    return jobs_.size();
+  }
+  /// Total units served since construction (for conservation tests).
+  [[nodiscard]] double total_served() const noexcept { return total_served_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+ private:
+  struct Job {
+    double remaining;
+    SimPromiseV promise;
+  };
+
+  void settle();            // advance all jobs to engine_.now()
+  void schedule_next();     // (re)schedule the earliest completion event
+  void on_completion(std::uint64_t epoch);
+
+  Engine& engine_;
+  double capacity_;
+  double per_job_cap_;
+  std::string name_;
+  std::vector<Job> jobs_;
+  SimTime last_settle_ = 0.0;
+  std::uint64_t epoch_ = 0;  // invalidates stale completion events
+  double total_served_ = 0.0;
+};
+
+/// FIFO mutual-exclusion resource.
+class FifoResource {
+ public:
+  explicit FifoResource(Engine& engine) : engine_(engine) {}
+
+  FifoResource(const FifoResource&) = delete;
+  FifoResource& operator=(const FifoResource&) = delete;
+
+  /// Completes when the caller holds the resource.
+  [[nodiscard]] SimFutureV acquire();
+
+  /// Release; grants to the next waiter if any.
+  void release();
+
+  [[nodiscard]] bool busy() const noexcept { return busy_; }
+  [[nodiscard]] std::size_t waiters() const noexcept {
+    return waiters_.size();
+  }
+
+ private:
+  Engine& engine_;
+  bool busy_ = false;
+  std::deque<SimPromiseV> waiters_;
+};
+
+}  // namespace xts

@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file units.hpp
+/// Common unit aliases and conversion helpers used throughout xtsim.
+///
+/// Simulated time is a double in seconds.  Rates are bytes/second or
+/// flop/second.  The helpers below keep literal constants readable and
+/// self-documenting at call sites (e.g. `4.0 * units::GiB_per_s`).
+
+#include <cstdint>
+
+namespace xts {
+
+/// Simulated time in seconds.
+using SimTime = double;
+
+namespace units {
+
+inline constexpr double ns = 1e-9;  ///< nanoseconds -> seconds
+inline constexpr double us = 1e-6;  ///< microseconds -> seconds
+inline constexpr double ms = 1e-3;  ///< milliseconds -> seconds
+
+inline constexpr double KiB = 1024.0;
+inline constexpr double MiB = 1024.0 * 1024.0;
+inline constexpr double GiB = 1024.0 * 1024.0 * 1024.0;
+
+/// Marketing units (the paper quotes GB/s as 1e9 bytes/s).
+inline constexpr double KB = 1e3;
+inline constexpr double MB = 1e6;
+inline constexpr double GB = 1e9;
+
+inline constexpr double GB_per_s = 1e9;   ///< bytes per second
+inline constexpr double MB_per_s = 1e6;   ///< bytes per second
+
+inline constexpr double MFLOPS = 1e6;  ///< flop per second
+inline constexpr double GFLOPS = 1e9;  ///< flop per second
+inline constexpr double TFLOPS = 1e12; ///< flop per second
+
+inline constexpr double GHz = 1e9;  ///< cycles per second
+
+}  // namespace units
+
+}  // namespace xts

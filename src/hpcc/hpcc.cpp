@@ -1,0 +1,402 @@
+#include "hpcc/hpcc.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "core/stats.hpp"
+#include "core/units.hpp"
+#include "kernels/dgemm.hpp"
+#include "kernels/fft.hpp"
+#include "kernels/random_access.hpp"
+#include "kernels/stream.hpp"
+#include "kernels/transpose.hpp"
+#include "vmpi/comm.hpp"
+#include "vmpi/world.hpp"
+
+namespace xts::hpcc {
+
+using machine::ExecMode;
+using machine::MachineConfig;
+using machine::Work;
+using vmpi::Comm;
+using vmpi::Message;
+using vmpi::World;
+using vmpi::WorldConfig;
+using namespace xts::units;
+
+namespace {
+
+WorldConfig world_cfg(const MachineConfig& m, ExecMode mode, int nranks) {
+  WorldConfig cfg;
+  cfg.machine = m;
+  cfg.mode = mode;
+  cfg.nranks = nranks;
+  return cfg;
+}
+
+/// Time the same Work on `nranks` concurrent ranks; returns seconds.
+SimTime timed_compute(const MachineConfig& m, ExecMode mode, int nranks,
+                      const Work& w) {
+  World world(world_cfg(m, mode, nranks));
+  return world.run([&](Comm& c) -> Task<void> { co_await c.compute(w); });
+}
+
+SpEp run_local(const MachineConfig& m, const Work& w, double metric_per_rank) {
+  SpEp r;
+  r.sp = metric_per_rank / timed_compute(m, ExecMode::kSN, 1, w);
+  const int cores = m.cores_per_node;
+  r.ep = metric_per_rank /
+         timed_compute(m, ExecMode::kVN, std::max(1, cores), w);
+  return r;
+}
+
+int floor_pow2(int n) {
+  return 1 << (std::bit_width(static_cast<unsigned>(std::max(1, n))) - 1);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Node-local benchmarks
+// ---------------------------------------------------------------------------
+
+SpEp fft_gflops(const MachineConfig& m) {
+  const double n = double(1 << 20);  // 1M-point complex FFT
+  const Work w = kernels::fft_work(n);
+  return run_local(m, w, w.flops / 1e9);
+}
+
+SpEp dgemm_gflops(const MachineConfig& m) {
+  const double n = 4000.0;
+  const Work w = kernels::dgemm_work(n);
+  return run_local(m, w, w.flops / 1e9);
+}
+
+SpEp stream_triad_gbs(const MachineConfig& m) {
+  const double n = 20.0e6;  // 480 MB of traffic per pass
+  const Work w = kernels::triad_work(n);
+  return run_local(m, w, kernels::triad_bytes(n) / 1e9);
+}
+
+SpEp random_access_gups(const MachineConfig& m) {
+  const double updates = 64.0e6;
+  const Work w = kernels::random_access_work(updates);
+  return run_local(m, w, updates / 1e9);
+}
+
+// ---------------------------------------------------------------------------
+// Network latency / bandwidth
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// One-way time for a single message between comm ranks a -> b.
+SimTime one_way_time(const MachineConfig& m, ExecMode mode, int nranks,
+                     int a, int b, double bytes) {
+  World w(world_cfg(m, mode, nranks));
+  SimTime arrival = -1.0;
+  w.run([&](Comm& c) -> Task<void> {
+    if (c.rank() == a) {
+      (void)co_await c.send(b, 0, bytes);
+    } else if (c.rank() == b) {
+      (void)co_await c.recv(a, 0);
+      arrival = c.now();
+    }
+    co_return;
+  });
+  return arrival;
+}
+
+/// Ring benchmark: every rank exchanges `bytes` with both neighbours in
+/// `order` for `iters` iterations; returns seconds per iteration.
+SimTime ring_time(const MachineConfig& m, ExecMode mode, int nranks,
+                  const std::vector<int>& order, double bytes, int iters) {
+  World w(world_cfg(m, mode, nranks));
+  // position of each rank in the ring
+  std::vector<int> pos(static_cast<size_t>(nranks));
+  for (int i = 0; i < nranks; ++i) pos[static_cast<size_t>(order[static_cast<size_t>(i)])] = i;
+  const SimTime total = w.run([&](Comm& c) -> Task<void> {
+    const int p = c.size();
+    const int me = pos[static_cast<size_t>(c.rank())];
+    const int right = order[static_cast<size_t>((me + 1) % p)];
+    const int left = order[static_cast<size_t>((me - 1 + p) % p)];
+    for (int it = 0; it < iters; ++it) {
+      auto s1 = co_await c.send(right, 2 * it, bytes);
+      auto s2 = co_await c.send(left, 2 * it + 1, bytes);
+      (void)co_await c.recv(left, 2 * it);
+      (void)co_await c.recv(right, 2 * it + 1);
+      (void)co_await std::move(s1);
+      (void)co_await std::move(s2);
+    }
+  });
+  return total / iters;
+}
+
+std::vector<int> natural_order(int n) {
+  std::vector<int> v(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) v[static_cast<size_t>(i)] = i;
+  return v;
+}
+
+std::vector<int> random_order(int n, std::uint64_t seed) {
+  auto v = natural_order(n);
+  Rng rng(seed);
+  for (std::size_t i = v.size(); i > 1; --i)
+    std::swap(v[i - 1], v[rng.below(i)]);
+  return v;
+}
+
+NetResult net_suite(const MachineConfig& m, ExecMode mode, int nranks,
+                    double bytes, bool bandwidth) {
+  NetResult r;
+  // Ping-pong over sampled pairs (HPCC samples too).
+  Rng rng(42);
+  RunningStats pp;
+  const int samples = std::min(12, nranks - 1);
+  for (int s = 0; s < samples; ++s) {
+    const int a = static_cast<int>(rng.below(static_cast<std::uint64_t>(nranks)));
+    int b = static_cast<int>(rng.below(static_cast<std::uint64_t>(nranks)));
+    if (b == a) b = (b + 1) % nranks;
+    const SimTime t = one_way_time(m, mode, nranks, a, b, bytes);
+    pp.add(bandwidth ? bytes / t : t);
+  }
+  r.pp_min = pp.min();
+  r.pp_avg = pp.mean();
+  r.pp_max = pp.max();
+
+  const int iters = 4;
+  const SimTime nat =
+      ring_time(m, mode, nranks, natural_order(nranks), bytes, iters);
+  const SimTime rnd =
+      ring_time(m, mode, nranks, random_order(nranks, 7), bytes, iters);
+  if (bandwidth) {
+    // Per-rank outgoing traffic per iteration: 2 messages.
+    r.natural_ring = 2.0 * bytes / nat;
+    r.random_ring = 2.0 * bytes / rnd;
+  } else {
+    // HPCC reports ring latency as time per iteration / 2 (two
+    // exchanges overlap).
+    r.natural_ring = nat / 2.0;
+    r.random_ring = rnd / 2.0;
+  }
+  return r;
+}
+
+}  // namespace
+
+NetResult net_latency(const MachineConfig& m, ExecMode mode, int nranks) {
+  return net_suite(m, mode, nranks, 8.0, false);
+}
+
+NetResult net_bandwidth(const MachineConfig& m, ExecMode mode, int nranks) {
+  return net_suite(m, mode, nranks, 2.0 * MB, true);
+}
+
+// ---------------------------------------------------------------------------
+// Global HPL
+// ---------------------------------------------------------------------------
+
+double hpl_tflops(const MachineConfig& m, ExecMode mode, int nranks) {
+  // Memory-proportional problem: a fraction of aggregate memory, capped
+  // so simulation cost stays bounded; efficiency shape is set by the
+  // comm/compute ratio, which is preserved.
+  const double mem_per_rank =
+      static_cast<double>(m.bytes_per_core) *
+      (mode == ExecMode::kSN ? m.cores_per_node : 1);
+  const double n_mem = std::sqrt(0.05 * mem_per_rank * nranks / 8.0);
+  const double n = std::min(n_mem, 20000.0 * std::sqrt(double(nranks)));
+  const int steps = 48;
+  const double nb = n / steps;
+
+  // 2D process grid: pr x pc (near-square).
+  int pr = static_cast<int>(std::sqrt(double(nranks)));
+  while (nranks % pr != 0) --pr;
+  const int pc = nranks / pr;
+
+  World world(world_cfg(m, mode, nranks));
+  const SimTime t = world.run([&](Comm& c) -> Task<void> {
+    const int myrow = c.rank() / pc;
+    const int mycol = c.rank() % pc;
+    // Row communicator: ranks with the same myrow.
+    std::vector<int> row_members, col_members;
+    for (int j = 0; j < pc; ++j) row_members.push_back(myrow * pc + j);
+    for (int i = 0; i < pr; ++i) col_members.push_back(i * pc + mycol);
+    auto row_comm = c.subgroup(std::move(row_members));
+    auto col_comm = c.subgroup(std::move(col_members));
+
+    for (int k = 0; k < steps; ++k) {
+      const double remaining = n - k * nb;
+      const int owner_col = k % pc;
+      const int owner_row = k % pr;
+      // Panel factorization: distributed down the owning column.  The
+      // coarsened step stands for nb/128 real panels, whose total cost
+      // is 2 x rows x nb x 128 flops (not 2 x rows x nb^2).
+      if (mycol == owner_col) {
+        Work panel;
+        panel.flops = 2.0 * (remaining / pr) * nb * 128.0;
+        panel.flop_efficiency = 0.5;  // level-2-ish panel kernels
+        panel.stream_bytes = 8.0 * (remaining / pr) * nb;
+        co_await c.compute(panel);
+        // Column-wise pivot exchange (allreduce of nb pivot rows).
+        (void)co_await col_comm->allreduce_sum(
+            std::vector<double>(static_cast<size_t>(std::max(1.0, nb / 8)),
+                                1.0));
+      }
+      // Broadcast the panel along rows.
+      co_await row_comm->bcast_bytes(owner_col, 8.0 * (remaining / pr) * nb);
+      // Broadcast U along columns.
+      co_await col_comm->bcast_bytes(owner_row, 8.0 * (remaining / pc) * nb);
+      // Trailing update: local chunk of the remaining matrix.
+      co_await c.compute(kernels::gemm_update_work(
+          remaining / pr, remaining / pc, nb));
+    }
+  });
+  return (2.0 / 3.0) * n * n * n / t / 1e12;
+}
+
+// ---------------------------------------------------------------------------
+// MPI-FFT: transpose-based distributed 1D FFT
+// ---------------------------------------------------------------------------
+
+double mpifft_gflops(const MachineConfig& m, ExecMode mode, int nranks) {
+  // Total size scales with ranks (fixed per-rank memory).
+  const double local = double(1 << 21);  // complex points per rank
+  const double total = local * nranks;
+
+  World world(world_cfg(m, mode, nranks));
+  const SimTime t = world.run([&](Comm& c) -> Task<void> {
+    const int p = c.size();
+    // Phase 1: local FFTs over rows.
+    co_await c.compute(kernels::fft_work(local));
+    // Transpose: alltoall, each pair exchanges local/p complex points.
+    std::vector<double> bytes(static_cast<size_t>(p), 16.0 * local / p);
+    co_await c.alltoallv_bytes(bytes);
+    // Twiddle multiply + phase 2 local FFTs.
+    co_await c.compute(kernels::fft_work(local));
+    // Transpose back to natural order.
+    co_await c.alltoallv_bytes(std::move(bytes));
+  });
+  return 5.0 * total * std::log2(total) / t / 1e9;
+}
+
+// ---------------------------------------------------------------------------
+// PTRANS: block-distributed matrix transpose
+// ---------------------------------------------------------------------------
+
+double ptrans_gbs(const MachineConfig& m, ExecMode mode, int nranks) {
+  // Per-rank share fixed: total elements = nranks * 2^24.
+  const double elems_per_rank = double(1 << 24);
+  const double total_elems = elems_per_rank * nranks;
+
+  World world(world_cfg(m, mode, nranks));
+  const SimTime t = world.run([&](Comm& c) -> Task<void> {
+    const int p = c.size();
+    // Exchange off-diagonal blocks pairwise, then transpose locally.
+    std::vector<double> bytes(static_cast<size_t>(p),
+                              8.0 * elems_per_rank / p);
+    bytes[static_cast<size_t>(c.rank())] = 0.0;  // diagonal stays local
+    co_await c.alltoallv_bytes(std::move(bytes));
+    co_await c.compute(kernels::transpose_work(elems_per_rank));
+  });
+  return 8.0 * total_elems / t / 1e9;
+}
+
+// ---------------------------------------------------------------------------
+// MPI RandomAccess: hypercube-routed updates
+// ---------------------------------------------------------------------------
+
+double mpira_gups(const MachineConfig& m, ExecMode mode, int nranks) {
+  const int p = floor_pow2(nranks);  // algorithm wants a power of two
+  const int batches = 6;
+  const double batch_updates = 1024.0;  // HPCC look-ahead limit
+
+  World world(world_cfg(m, mode, p));
+  const SimTime t = world.run([&](Comm& c) -> Task<void> {
+    const int np = c.size();
+    const int rounds = std::bit_width(static_cast<unsigned>(np)) - 1;
+    for (int b = 0; b < batches; ++b) {
+      // Local generation + table updates for the batch.
+      co_await c.compute(kernels::random_access_work(batch_updates));
+      // Hypercube routing: each round sends ~half the in-flight
+      // updates to the dimension partner.
+      for (int r = 0; r < rounds; ++r) {
+        const int partner = c.rank() ^ (1 << r);
+        const double bytes = 8.0 * batch_updates / 2.0;
+        auto sent = co_await c.send(partner, b * 64 + r, bytes);
+        (void)co_await c.recv(partner, b * 64 + r);
+        (void)co_await std::move(sent);
+      }
+    }
+  });
+  return batches * batch_updates * p / t / 1e9;
+}
+
+// ---------------------------------------------------------------------------
+// Bidirectional bandwidth (Figs 12/13)
+// ---------------------------------------------------------------------------
+
+BiBw bidirectional_bandwidth(const MachineConfig& m, ExecMode mode, int pairs,
+                             double message_bytes) {
+  if (pairs < 1 || pairs > 2)
+    throw UsageError("bidirectional_bandwidth: pairs must be 1 or 2");
+  if (pairs == 2 && mode == ExecMode::kSN)
+    throw UsageError("bidirectional_bandwidth: 2 pairs requires VN mode");
+  // VN: ranks {0,1} on node 0, {2,3} on node 1.  SN: ranks 0,1 on
+  // separate nodes.
+  const int nranks = mode == ExecMode::kSN ? 2 : 4;
+  const int iters = 4;
+
+  const int half = mode == ExecMode::kSN ? 1 : 2;
+
+  // Phase A (bandwidth): simultaneous bidirectional exchange, all
+  // active pairs at once — the paper's "i-(i+2), i=0,1" experiment.
+  World world(world_cfg(m, mode, nranks));
+  const SimTime total = world.run([&](Comm& c) -> Task<void> {
+    const bool left_node = c.rank() < half;
+    const int lane = c.rank() % half;
+    if (lane >= pairs) co_return;
+    const int partner = left_node ? c.rank() + half : c.rank() - half;
+    for (int it = 0; it < iters; ++it) {
+      auto sent = co_await c.send(partner, it, message_bytes);
+      (void)co_await c.recv(partner, it);
+      (void)co_await std::move(sent);
+    }
+  });
+
+  // Phase B (latency): true ping-pong on every active pair
+  // simultaneously; report the worst pair's round-trip / 2.
+  World lat_world(world_cfg(m, mode, nranks));
+  std::vector<SimTime> rtt(static_cast<std::size_t>(pairs), 0.0);
+  lat_world.run([&](Comm& c) -> Task<void> {
+    const bool left_node = c.rank() < half;
+    const int lane = c.rank() % half;
+    if (lane >= pairs) co_return;
+    const int partner = left_node ? c.rank() + half : c.rank() - half;
+    const int pp_iters = 4;
+    if (left_node) {
+      const SimTime start = c.now();
+      for (int it = 0; it < pp_iters; ++it) {
+        (void)co_await c.send(partner, 2 * it, message_bytes);
+        (void)co_await c.recv(partner, 2 * it + 1);
+      }
+      rtt[static_cast<std::size_t>(lane)] =
+          (c.now() - start) / pp_iters;
+    } else {
+      for (int it = 0; it < pp_iters; ++it) {
+        (void)co_await c.recv(partner, 2 * it);
+        (void)co_await c.send(partner, 2 * it + 1, message_bytes);
+      }
+    }
+  });
+
+  BiBw r;
+  // Each pair moves 2 x message per iteration (both directions).
+  r.per_pair_bw = 2.0 * message_bytes * iters / total;
+  r.one_way_time = *std::max_element(rtt.begin(), rtt.end()) / 2.0;
+  return r;
+}
+
+}  // namespace xts::hpcc

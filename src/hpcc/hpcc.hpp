@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file hpcc.hpp
+/// The HPC Challenge suite (paper §5.1) on the simulated machine.
+///
+/// Node-local benchmarks run in SP (one rank on one node) and EP (one
+/// rank per core on every core of a node) modes; global benchmarks run
+/// real distributed algorithms over vmpi:
+///
+///   HPL       2D block-cyclic right-looking LU (panel factor, row
+///             broadcast, trailing DGEMM update)
+///   MPI-FFT   transpose-based distributed 1D FFT
+///   PTRANS    block-distributed matrix transpose (pairwise exchange)
+///   MPI-RA    hypercube-routed random updates (1024-update batches,
+///             per the HPCC look-ahead rule)
+///
+/// Network latency/bandwidth follow the HPCC categories: ping-pong
+/// (min/avg/max over sampled pairs), naturally ordered ring, and
+/// randomly ordered ring.
+
+#include "machine/config.hpp"
+
+namespace xts::hpcc {
+
+/// Per-core result of a node-local benchmark.
+struct SpEp {
+  double sp = 0.0;  ///< single process, rest of node idle
+  double ep = 0.0;  ///< embarrassingly parallel, per-core value
+};
+
+/// Node-local benchmarks (value units in the name).
+SpEp fft_gflops(const machine::MachineConfig& m);
+SpEp dgemm_gflops(const machine::MachineConfig& m);
+SpEp stream_triad_gbs(const machine::MachineConfig& m);
+SpEp random_access_gups(const machine::MachineConfig& m);
+
+/// HPCC network categories (latency in seconds or bandwidth in B/s).
+struct NetResult {
+  double pp_min = 0.0;
+  double pp_avg = 0.0;
+  double pp_max = 0.0;
+  double natural_ring = 0.0;
+  double random_ring = 0.0;
+};
+
+/// 8-byte one-way latencies.
+NetResult net_latency(const machine::MachineConfig& m, machine::ExecMode mode,
+                      int nranks);
+/// ~2 MB messages; ring values are per-rank outgoing bandwidth.
+NetResult net_bandwidth(const machine::MachineConfig& m,
+                        machine::ExecMode mode, int nranks);
+
+/// Global benchmarks.  `nranks` is the MPI task count; problem sizes
+/// scale with nranks (memory-proportional, capped for simulation cost).
+double hpl_tflops(const machine::MachineConfig& m, machine::ExecMode mode,
+                  int nranks);
+double mpifft_gflops(const machine::MachineConfig& m, machine::ExecMode mode,
+                     int nranks);
+double ptrans_gbs(const machine::MachineConfig& m, machine::ExecMode mode,
+                  int nranks);
+double mpira_gups(const machine::MachineConfig& m, machine::ExecMode mode,
+                  int nranks);
+
+/// Fig 12/13: bidirectional bandwidth between two nodes vs message
+/// size.  `pairs` = 1 (ranks 0-1 across nodes) or 2 (both cores of each
+/// node, VN only).  Returns per-pair bidirectional bandwidth (B/s) and
+/// the small-message one-way time (s).
+struct BiBw {
+  double per_pair_bw = 0.0;
+  double one_way_time = 0.0;
+};
+BiBw bidirectional_bandwidth(const machine::MachineConfig& m,
+                             machine::ExecMode mode, int pairs,
+                             double message_bytes);
+
+}  // namespace xts::hpcc

@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file cg.hpp
+/// Conjugate-gradient solvers for the 5-point Laplacian — the numerical
+/// heart of POP's barotropic phase (Figs 18/19).  Two variants:
+///
+///  - `cg_solve`:  textbook CG — two inner products per iteration, i.e.
+///    two MPI_Allreduce calls when distributed.
+///  - `cg_solve_chronopoulos_gear`: the s-step rearrangement backported
+///    into POP (paper §6.2, [28]) — mathematically equivalent recurrence
+///    that fuses the inner products so only ONE allreduce per iteration
+///    is needed.
+///
+/// Serial versions here are the unit-tested reference; the distributed
+/// versions in src/apps/pop run the same recurrences over vmpi.
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "machine/work.hpp"
+
+namespace xts::kernels {
+
+/// Result of a CG solve.
+struct CgResult {
+  int iterations = 0;
+  double final_residual = 0.0;   ///< ||b - A x|| / ||b||
+  bool converged = false;
+  std::vector<double> residual_history;  ///< relative residual per iter
+};
+
+/// 5-point Laplacian operator on an nx x ny grid with Dirichlet
+/// boundaries: y = A x,  A = 4 I - shifts.
+void apply_laplacian_5pt(std::size_t nx, std::size_t ny,
+                         std::span<const double> x, std::span<double> y);
+
+/// Solve A x = b with plain CG.  `x` holds the initial guess on entry.
+CgResult cg_solve(std::size_t nx, std::size_t ny, std::span<const double> b,
+                  std::span<double> x, double tol = 1e-8,
+                  int max_iter = 10000);
+
+/// Solve with the Chronopoulos–Gear single-reduction variant.
+CgResult cg_solve_chronopoulos_gear(std::size_t nx, std::size_t ny,
+                                    std::span<const double> b,
+                                    std::span<double> x, double tol = 1e-8,
+                                    int max_iter = 10000);
+
+/// Work descriptor for one CG iteration over `points` local grid points
+/// (SpMV + 3 AXPYs + dot products; memory-bandwidth bound).
+[[nodiscard]] machine::Work cg_iteration_work(double points);
+
+}  // namespace xts::kernels

@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file dgemm.hpp
+/// Dense double-precision matrix multiply: the high-temporal-locality
+/// corner of the HPCC locality quadrant (Fig 5), and the compute core of
+/// HPL (Fig 8) and the AORSA solver (Fig 23).
+///
+/// `dgemm` is a real cache-blocked implementation (unit-tested against a
+/// naive reference); `dgemm_work` is the calibrated work descriptor the
+/// machine model prices.
+
+#include <cstddef>
+#include <span>
+
+#include "machine/work.hpp"
+
+namespace xts::kernels {
+
+/// C := alpha * A(m x k) * B(k x n) + beta * C(m x n); row-major, tight.
+void dgemm(std::size_t m, std::size_t n, std::size_t k, double alpha,
+           std::span<const double> a, std::span<const double> b, double beta,
+           std::span<double> c);
+
+/// Naive triple loop (reference for tests).
+void dgemm_naive(std::size_t m, std::size_t n, std::size_t k, double alpha,
+                 std::span<const double> a, std::span<const double> b,
+                 double beta, std::span<double> c);
+
+/// Work descriptor for an n x n x n DGEMM.
+/// flops = 2 n^3 at ~88% of peak (ACML/Goto-class efficiency, Fig 5);
+/// streaming traffic is the blocked algorithm's O(n^2) matrix passes.
+[[nodiscard]] machine::Work dgemm_work(double n);
+
+/// Work descriptor for a general m x n x k update (HPL/LU trailing
+/// updates).  `complex_arith` quadruples the flops (ZGEMM for AORSA).
+[[nodiscard]] machine::Work gemm_update_work(double m, double n, double k,
+                                             bool complex_arith = false);
+
+}  // namespace xts::kernels

@@ -1,0 +1,80 @@
+#include "kernels/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "core/error.hpp"
+
+namespace xts::kernels {
+
+bool is_pow2(std::size_t n) noexcept { return n >= 1 && (n & (n - 1)) == 0; }
+
+namespace {
+
+void bit_reverse_permute(std::span<Complex> a) {
+  const std::size_t n = a.size();
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+}
+
+void fft_impl(std::span<Complex> a, bool inverse) {
+  const std::size_t n = a.size();
+  if (!is_pow2(n)) throw UsageError("fft: size must be a power of two");
+  bit_reverse_permute(a);
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle =
+        (inverse ? 2.0 : -2.0) * std::numbers::pi / static_cast<double>(len);
+    const Complex wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t j = 0; j < len / 2; ++j) {
+        const Complex u = a[i + j];
+        const Complex v = a[i + j + len / 2] * w;
+        a[i + j] = u + v;
+        a[i + j + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (auto& x : a) x *= inv_n;
+  }
+}
+
+}  // namespace
+
+void fft(std::span<Complex> data) { fft_impl(data, false); }
+void ifft(std::span<Complex> data) { fft_impl(data, true); }
+
+std::vector<Complex> dft_reference(std::span<const Complex> x) {
+  const std::size_t n = x.size();
+  std::vector<Complex> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    Complex acc(0.0, 0.0);
+    for (std::size_t t = 0; t < n; ++t) {
+      const double angle = -2.0 * std::numbers::pi *
+                           static_cast<double>(k * t) /
+                           static_cast<double>(n);
+      acc += x[t] * Complex(std::cos(angle), std::sin(angle));
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+machine::Work fft_work(double n) {
+  machine::Work w;
+  w.flops = 5.0 * n * std::log2(std::max(2.0, n));
+  // Calibration (DESIGN.md §6): e=0.14, 2 bytes/flop of streaming traffic
+  // reproduce Fig 4's levels and its mild EP degradation.
+  w.flop_efficiency = 0.14;
+  w.stream_bytes = 2.0 * w.flops;
+  return w;
+}
+
+}  // namespace xts::kernels

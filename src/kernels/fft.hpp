@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file fft.hpp
+/// Iterative radix-2 complex FFT: the high-temporal / low-spatial
+/// locality quadrant (Fig 4), the local stage of MPI-FFT (Fig 9), the
+/// PME grid in the NAMD proxy and the spectral stage of AORSA.
+
+#include <complex>
+#include <span>
+#include <vector>
+
+#include "machine/work.hpp"
+
+namespace xts::kernels {
+
+using Complex = std::complex<double>;
+
+/// In-place forward FFT; `data.size()` must be a power of two.
+void fft(std::span<Complex> data);
+
+/// In-place inverse FFT (normalized by 1/N).
+void ifft(std::span<Complex> data);
+
+/// O(N^2) reference DFT for tests.
+[[nodiscard]] std::vector<Complex> dft_reference(std::span<const Complex> x);
+
+/// True if n is a power of two (n >= 1).
+[[nodiscard]] bool is_pow2(std::size_t n) noexcept;
+
+/// Work descriptor for a length-n complex FFT.
+/// flops = 5 n log2 n; efficiency and bytes/flop calibrated so the
+/// additive machine model reproduces Fig 4 (XT3 ~0.5, XT4-SN ~0.6
+/// GFLOPS, EP mildly below SP).
+[[nodiscard]] machine::Work fft_work(double n);
+
+}  // namespace xts::kernels

@@ -1,0 +1,109 @@
+#include "kernels/lu.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+#include "kernels/dgemm.hpp"
+
+namespace xts::kernels {
+
+namespace {
+
+/// Unblocked panel factorization of the m x nb panel starting at
+/// column k (within the full n-wide matrix), with row pivoting applied
+/// across the full width.
+bool factor_panel(std::size_t n, std::span<double> a, std::span<int> piv,
+                  std::size_t k, std::size_t nb) {
+  for (std::size_t j = k; j < k + nb; ++j) {
+    // Pivot search in column j below the diagonal.
+    std::size_t p = j;
+    double best = std::abs(a[j * n + j]);
+    for (std::size_t i = j + 1; i < n; ++i) {
+      const double v = std::abs(a[i * n + j]);
+      if (v > best) {
+        best = v;
+        p = i;
+      }
+    }
+    if (best == 0.0) return false;
+    piv[j] = static_cast<int>(p);
+    if (p != j) {
+      for (std::size_t c = 0; c < n; ++c)
+        std::swap(a[j * n + c], a[p * n + c]);
+    }
+    // Scale multipliers and update the rest of the panel.
+    const double inv = 1.0 / a[j * n + j];
+    for (std::size_t i = j + 1; i < n; ++i) a[i * n + j] *= inv;
+    const std::size_t jmax = k + nb;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      const double lij = a[i * n + j];
+      for (std::size_t c = j + 1; c < jmax; ++c)
+        a[i * n + c] -= lij * a[j * n + c];
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool lu_factor(std::size_t n, std::span<double> a, std::span<int> piv,
+               std::size_t block) {
+  if (a.size() < n * n || piv.size() < n)
+    throw UsageError("lu_factor: spans too small");
+  if (block == 0) throw UsageError("lu_factor: block must be positive");
+  for (std::size_t k = 0; k < n; k += block) {
+    const std::size_t nb = std::min(block, n - k);
+    if (!factor_panel(n, a, piv, k, nb)) return false;
+    const std::size_t rest = n - (k + nb);
+    if (rest == 0) continue;
+    // U block row: solve L11 * U12 = A12 (unit lower triangular).
+    for (std::size_t j = k; j < k + nb; ++j) {
+      for (std::size_t i = k; i < j; ++i) {
+        const double lji = a[j * n + i];
+        for (std::size_t c = k + nb; c < n; ++c)
+          a[j * n + c] -= lji * a[i * n + c];
+      }
+    }
+    // Trailing update: A22 -= L21 * U12 (the DGEMM that dominates).
+    for (std::size_t i = k + nb; i < n; ++i) {
+      for (std::size_t j = k; j < k + nb; ++j) {
+        const double lij = a[i * n + j];
+        if (lij == 0.0) continue;
+        const double* urow = &a[j * n + k + nb];
+        double* arow = &a[i * n + k + nb];
+        for (std::size_t c = 0; c < rest; ++c) arow[c] -= lij * urow[c];
+      }
+    }
+  }
+  return true;
+}
+
+void lu_solve(std::size_t n, std::span<const double> a,
+              std::span<const int> piv, std::span<double> b) {
+  if (a.size() < n * n || piv.size() < n || b.size() < n)
+    throw UsageError("lu_solve: spans too small");
+  // Apply row permutation.
+  for (std::size_t k = 0; k < n; ++k) {
+    const auto p = static_cast<std::size_t>(piv[k]);
+    if (p != k) std::swap(b[k], b[p]);
+  }
+  // Forward substitution (unit lower).
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < i; ++j) b[i] -= a[i * n + j] * b[j];
+  // Back substitution.
+  for (std::size_t i = n; i-- > 0;) {
+    for (std::size_t j = i + 1; j < n; ++j) b[i] -= a[i * n + j] * b[j];
+    b[i] /= a[i * n + i];
+  }
+}
+
+machine::Work lu_work(double n) {
+  machine::Work w;
+  w.flops = (2.0 / 3.0) * n * n * n;
+  w.flop_efficiency = 0.80;  // slightly under straight DGEMM
+  w.stream_bytes = 8.0 * 3.0 * n * n;
+  return w;
+}
+
+}  // namespace xts::kernels

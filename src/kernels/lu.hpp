@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file lu.hpp
+/// Dense LU factorization with partial pivoting — the numerical core of
+/// HPL (Fig 8) and of AORSA's Ax=b solve (Fig 23).  The blocked
+/// right-looking algorithm here has exactly the panel / trailing-update
+/// structure the simulated distributed solvers model, with unit-tested
+/// numerics.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "machine/work.hpp"
+
+namespace xts::kernels {
+
+/// In-place LU with partial pivoting: A -> L\U (unit lower diagonal
+/// implicit), `piv[k]` = row swapped into position k at step k.
+/// Returns false if the matrix is numerically singular.
+bool lu_factor(std::size_t n, std::span<double> a, std::span<int> piv,
+               std::size_t block = 32);
+
+/// Solve A x = b given the factorization produced by lu_factor
+/// (b is overwritten with x).
+void lu_solve(std::size_t n, std::span<const double> a,
+              std::span<const int> piv, std::span<double> b);
+
+/// Work descriptor for factoring an n x n matrix (2/3 n^3 flops at
+/// DGEMM-class efficiency once blocked).
+[[nodiscard]] machine::Work lu_work(double n);
+
+}  // namespace xts::kernels

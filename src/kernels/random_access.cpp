@@ -1,0 +1,82 @@
+#include "kernels/random_access.hpp"
+
+#include "core/error.hpp"
+
+namespace xts::kernels {
+
+namespace {
+constexpr std::uint64_t kPoly = 0x0000000000000007ULL;
+constexpr std::uint64_t kPeriod = 1317624576693539401ULL;
+
+/// HPCC_starts: value of the LFSR after `n` steps (n may be huge), via
+/// 64x64 GF(2) matrix-squaring on the step matrix.
+std::uint64_t starts(std::int64_t n) {
+  while (n < 0) n += static_cast<std::int64_t>(kPeriod);
+  if (n == 0) return 1;
+
+  std::uint64_t m2[64];
+  std::uint64_t temp = 1;
+  for (int i = 0; i < 64; ++i) {
+    m2[i] = temp;
+    temp = (temp << 1) ^ ((static_cast<std::int64_t>(temp) < 0) ? kPoly : 0);
+    temp = (temp << 1) ^ ((static_cast<std::int64_t>(temp) < 0) ? kPoly : 0);
+  }
+
+  int i = 62;
+  while (i >= 0 && !((n >> i) & 1)) --i;
+
+  std::uint64_t ran = 2;
+  while (i > 0) {
+    temp = 0;
+    for (int j = 0; j < 64; ++j)
+      if ((ran >> j) & 1) temp ^= m2[j];
+    ran = temp;
+    --i;
+    if ((n >> i) & 1)
+      ran = (ran << 1) ^ ((static_cast<std::int64_t>(ran) < 0) ? kPoly : 0);
+  }
+  return ran;
+}
+}  // namespace
+
+RaStream::RaStream(std::int64_t start) : value_(starts(start)) {}
+
+std::uint64_t RaStream::next() noexcept {
+  value_ = (value_ << 1) ^
+           ((static_cast<std::int64_t>(value_) < 0) ? kPoly : 0);
+  return value_;
+}
+
+void random_access_init(std::span<std::uint64_t> table) {
+  for (std::size_t i = 0; i < table.size(); ++i) table[i] = i;
+}
+
+void random_access_update(std::span<std::uint64_t> table,
+                          std::uint64_t updates, std::int64_t start) {
+  const std::size_t n = table.size();
+  if (n == 0 || (n & (n - 1)) != 0)
+    throw UsageError("random_access: table size must be a power of two");
+  RaStream stream(start);
+  const std::uint64_t mask = n - 1;
+  for (std::uint64_t u = 0; u < updates; ++u) {
+    const std::uint64_t r = stream.next();
+    table[r & mask] ^= r;
+  }
+}
+
+std::uint64_t random_access_errors(std::span<const std::uint64_t> table) {
+  std::uint64_t errors = 0;
+  for (std::size_t i = 0; i < table.size(); ++i)
+    if (table[i] != i) ++errors;
+  return errors;
+}
+
+machine::Work random_access_work(double updates) {
+  machine::Work w;
+  w.flops = 2.0 * updates;  // shift/xor pair, essentially free
+  w.flop_efficiency = 1.0;
+  w.random_accesses = updates;
+  return w;
+}
+
+}  // namespace xts::kernels

@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file random_access.hpp
+/// HPCC RandomAccess (GUPS): the low-temporal / low-spatial locality
+/// quadrant (Fig 6).  Follows the HPCC specification: a stream of
+/// pseudo-random 64-bit values a_i (LFSR over the primitive polynomial
+/// POLY), each XORed into table[a_i mod size].  XOR updates are
+/// self-inverse, so applying the stream twice restores the table — the
+/// verification mode HPCC itself uses.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "machine/work.hpp"
+
+namespace xts::kernels {
+
+/// HPCC random-stream generator.
+class RaStream {
+ public:
+  /// Stream positioned at update index `start` (HPCC_starts).
+  explicit RaStream(std::int64_t start = 0);
+
+  std::uint64_t next() noexcept;
+
+ private:
+  std::uint64_t value_;
+};
+
+/// Apply `updates` RandomAccess updates to `table` (size a power of 2),
+/// starting from stream position `start`.
+void random_access_update(std::span<std::uint64_t> table,
+                          std::uint64_t updates, std::int64_t start = 0);
+
+/// Initialize table[i] = i (HPCC convention).
+void random_access_init(std::span<std::uint64_t> table);
+
+/// Count entries differing from the initialized state (0 after a
+/// double application = verification success).
+[[nodiscard]] std::uint64_t random_access_errors(
+    std::span<const std::uint64_t> table);
+
+/// Work descriptor: `updates` dependent memory accesses (priced at
+/// contended latency by the machine model) plus trivial ALU work.
+[[nodiscard]] machine::Work random_access_work(double updates);
+
+}  // namespace xts::kernels

@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file stream.hpp
+/// STREAM kernels: the high-spatial / low-temporal locality quadrant
+/// (Fig 7).  A single core can nearly saturate the socket, so the second
+/// core adds little — the paper's central dual-core caveat.
+
+#include <span>
+
+#include "machine/work.hpp"
+
+namespace xts::kernels {
+
+/// a[i] = b[i] + scalar * c[i]  (STREAM Triad)
+void stream_triad(std::span<double> a, std::span<const double> b,
+                  std::span<const double> c, double scalar);
+
+/// a[i] = b[i]                  (STREAM Copy)
+void stream_copy(std::span<double> a, std::span<const double> b);
+
+/// a[i] = scalar * b[i]         (STREAM Scale)
+void stream_scale(std::span<double> a, std::span<const double> b,
+                  double scalar);
+
+/// a[i] = b[i] + c[i]           (STREAM Add)
+void stream_add(std::span<double> a, std::span<const double> b,
+                std::span<const double> c);
+
+/// Work for one triad pass over n elements: 24 B/element of traffic
+/// (two loads + one store, STREAM counting convention), 2 flops/element.
+[[nodiscard]] machine::Work triad_work(double n);
+
+/// Bytes moved by one triad pass (STREAM convention), for GB/s math.
+[[nodiscard]] double triad_bytes(double n);
+
+}  // namespace xts::kernels

@@ -1,0 +1,112 @@
+#pragma once
+
+/// \file lustre.hpp
+/// Lustre filesystem model (paper §2, Fig 1) and an IOR-style workload.
+///
+/// The paper describes the XT3/XT4 I/O stack: an object-based parallel
+/// filesystem with one Metadata Server (MDS — a serialization point for
+/// opens/creates at scale), Object Storage Servers (OSS) each fronting
+/// several Object Storage Targets (OST), and compute-node access via
+/// the statically linked liblustre client.  "File striping" spreads a
+/// file's objects over `stripe_count` OSTs in stripe_size chunks.
+///
+/// This model reproduces those mechanisms: a FIFO MDS with a per-op
+/// service time, per-OSS network links and per-OST disk bandwidths as
+/// fair-shared servers, and striped reads/writes that fan out across
+/// the file's OSTs.  bench_ior sweeps clients x stripe counts the way
+/// IOR (a paper keyword) is run.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/resource.hpp"
+#include "core/task.hpp"
+#include "core/units.hpp"
+
+namespace xts::lustre {
+
+struct LustreConfig {
+  int n_oss = 18;                ///< service & I/O nodes running OSSes
+  int osts_per_oss = 4;
+  double ost_bw = 250.0 * units::MB_per_s;    ///< per-OST disk bandwidth
+  double oss_link_bw = 1.1 * units::GB_per_s; ///< OSS network link
+  double mds_op_time = 60.0 * units::us;      ///< metadata op service time
+  double rpc_overhead = 30.0 * units::us;     ///< client RPC overhead
+  double stripe_size = 1.0 * units::MiB;
+};
+
+/// A created file: which OSTs hold its objects.
+struct FileLayout {
+  std::uint64_t id = 0;
+  int stripe_count = 1;
+  std::vector<int> osts;  ///< global OST indices, round-robin start
+};
+
+class Filesystem {
+ public:
+  Filesystem(Engine& engine, LustreConfig cfg);
+
+  Filesystem(const Filesystem&) = delete;
+  Filesystem& operator=(const Filesystem&) = delete;
+
+  [[nodiscard]] const LustreConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] int total_osts() const noexcept {
+    return cfg_.n_oss * cfg_.osts_per_oss;
+  }
+
+  /// Create a file striped over `stripe_count` OSTs (serialized through
+  /// the single MDS, as in Lustre at the time of the paper).
+  [[nodiscard]] Task<FileLayout> create(int stripe_count);
+
+  /// Write `bytes` at `offset`: chunks fan out to the file's OSTs by
+  /// stripe; completes when the last chunk is on disk.
+  [[nodiscard]] Task<void> write(const FileLayout& file, double offset,
+                                 double bytes);
+  /// Read is symmetric in this model.
+  [[nodiscard]] Task<void> read(const FileLayout& file, double offset,
+                                double bytes);
+
+  [[nodiscard]] std::uint64_t mds_ops() const noexcept { return mds_ops_; }
+  [[nodiscard]] double bytes_written() const noexcept {
+    return bytes_written_;
+  }
+
+ private:
+  [[nodiscard]] Task<void> transfer(const FileLayout& file, double offset,
+                                    double bytes);
+  [[nodiscard]] Task<FileLayout> create_impl(int stripe_count);
+  [[nodiscard]] Task<void> transfer_impl(const FileLayout& file,
+                                         double offset, double bytes);
+
+  Engine& engine_;
+  LustreConfig cfg_;
+  FifoResource mds_;
+  std::vector<std::unique_ptr<SharedServer>> oss_links_;
+  std::vector<std::unique_ptr<SharedServer>> ost_disks_;
+  std::uint64_t next_file_id_ = 0;
+  std::uint64_t mds_ops_ = 0;
+  double bytes_written_ = 0.0;
+};
+
+/// IOR-style sweep: `clients` writers each writing `block_bytes` in
+/// `xfer_bytes` requests, file-per-process or single-shared-file.
+struct IorConfig {
+  int clients = 64;
+  double block_bytes = 64.0 * units::MiB;
+  double xfer_bytes = 4.0 * units::MiB;
+  int stripe_count = 4;
+  bool file_per_process = true;
+};
+
+struct IorResult {
+  double create_seconds = 0.0;  ///< metadata phase (MDS-serialized)
+  double write_gbs = 0.0;       ///< aggregate write bandwidth
+  double read_gbs = 0.0;
+};
+
+IorResult run_ior(const LustreConfig& fs_cfg, const IorConfig& cfg);
+
+}  // namespace xts::lustre

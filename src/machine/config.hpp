@@ -1,0 +1,105 @@
+#pragma once
+
+/// \file config.hpp
+/// Machine configuration: every architectural parameter the SC'07 paper's
+/// results depend on, made explicit.  Presets for the three Cray systems
+/// of Table 1 live in presets.hpp; comparator platforms for the
+/// cross-platform figures live in platforms.hpp.
+
+#include <cstddef>
+#include <string>
+
+#include "core/units.hpp"
+
+namespace xts::machine {
+
+/// Execution mode of a Catamount compute node (paper §2).
+///  - kSN: "single/serial node" — one core used, full memory + NIC access.
+///  - kVN: "virtual node" — both cores run ranks; memory split evenly; one
+///    core owns the NIC and forwards the other core's messages.
+enum class ExecMode { kSN, kVN };
+
+[[nodiscard]] constexpr const char* to_string(ExecMode m) noexcept {
+  return m == ExecMode::kSN ? "SN" : "VN";
+}
+
+/// Processor core parameters.
+struct CoreConfig {
+  double clock_hz = 0.0;
+  double flops_per_cycle = 2.0;  ///< 64-bit SSE2 on Opteron
+};
+
+/// Socket memory subsystem.
+struct MemoryConfig {
+  double peak_bw = 0.0;        ///< marketing peak (Table 1), bytes/s
+  double socket_stream_bw = 0.0;  ///< sustainable aggregate STREAM triad
+  double core_stream_bw = 0.0;    ///< what a single core can extract
+  double latency = 0.0;        ///< uncontended random-access latency (s)
+  double ra_cost_factor = 1.0; ///< effective cost per random access as a
+                               ///< multiple of latency (captures MLP/TLB)
+  double ra_contention = 1.0;  ///< fractional latency growth per extra
+                               ///< concurrently random-accessing core
+};
+
+/// SeaStar / SeaStar2 network interface parameters.
+struct NicConfig {
+  double injection_bw = 0.0;   ///< sustained unidirectional, bytes/s
+  double link_bw = 0.0;        ///< per torus link, unidirectional bytes/s
+  double tx_overhead = 0.0;    ///< per-message sender sw+hw overhead (s)
+  double rx_overhead = 0.0;    ///< per-message receiver overhead (s)
+  double per_hop_latency = 0.0;  ///< SeaStar router hop (s)
+  double vn_forward_delay = 0.0; ///< extra per message when the non-owner
+                                 ///< core communicates in VN mode (s)
+};
+
+/// MPI software-stack parameters.
+struct MpiConfig {
+  double eager_threshold = 64.0 * units::KiB;  ///< bytes
+  /// Rendezvous adds one extra control round-trip before the payload.
+  double rendezvous_ctrl_bytes = 64.0;
+};
+
+/// Operating-system noise ("OS jitter", §2).  Catamount was designed to
+/// eliminate it; a full Linux kernel interrupts compute at random.
+/// period == 0 disables noise (the Catamount default).
+struct NoiseConfig {
+  double period = 0.0;    ///< mean seconds between interruptions per core
+  double duration = 0.0;  ///< seconds stolen per interruption
+};
+
+/// Vector-architecture behaviour (comparator platforms only).
+struct VectorConfig {
+  bool is_vector = false;
+  /// Vector length at which efficiency reaches 50% (efficiency model:
+  /// vlen / (vlen + half_length)).  The paper notes CAM performance on
+  /// the X1E/ES collapses once vector lengths fall below 128.
+  double half_length = 0.0;
+};
+
+/// Full machine description.
+struct MachineConfig {
+  std::string name;
+  CoreConfig core;
+  int cores_per_node = 1;
+  MemoryConfig memory;
+  NicConfig nic;
+  MpiConfig mpi;
+  NoiseConfig noise;
+  VectorConfig vector;
+  double memcpy_bw = 0.0;           ///< intra-node copy bandwidth, bytes/s
+  std::size_t bytes_per_core = 0;   ///< memory capacity per core
+
+  [[nodiscard]] double peak_flops_per_core() const noexcept {
+    return core.clock_hz * core.flops_per_cycle;
+  }
+
+  /// Efficiency multiplier for a loop with inner vector length \p vlen.
+  /// Scalar machines return 1.0.
+  [[nodiscard]] double vector_efficiency(double vlen) const noexcept {
+    if (!vector.is_vector) return 1.0;
+    if (vlen <= 0.0) return 0.0;
+    return vlen / (vlen + vector.half_length);
+  }
+};
+
+}  // namespace xts::machine

@@ -1,0 +1,125 @@
+#include "machine/platforms.hpp"
+
+#include "core/units.hpp"
+
+namespace xts::machine {
+
+using namespace xts::units;
+
+MachineConfig cray_x1e() {
+  MachineConfig m;
+  m.name = "X1E";
+  // §6.1: each MSP delivers 18 GFlop/s for 64-bit ops.  Modelled as one
+  // "core" per MSP at 4.5 GHz x 4 flops/cycle.
+  m.core = {4.5 * GHz, 4.0};
+  m.cores_per_node = 4;  // MSPs per node board
+  m.memory.peak_bw = 34.0 * GB_per_s;
+  m.memory.socket_stream_bw = 26.0 * GB_per_s;
+  m.memory.core_stream_bw = 24.0 * GB_per_s;
+  m.memory.latency = 120.0 * ns;
+  m.memory.ra_cost_factor = 0.35;  // vector gather hardware
+  m.memory.ra_contention = 0.5;
+  m.nic.injection_bw = 6.0 * GB_per_s;
+  m.nic.link_bw = 6.0 * GB_per_s;  // 2D torus between 32-MSP subsets
+  m.nic.tx_overhead = 2.5 * us;
+  m.nic.rx_overhead = 2.5 * us;
+  m.nic.per_hop_latency = 100.0 * ns;
+  m.memcpy_bw = 20.0 * GB_per_s;
+  m.bytes_per_core = static_cast<std::size_t>(4.0 * GiB);
+  // Half-efficiency vector length: with CAM's ~100-200-point inner
+  // vectors at 960 tasks this halves MSP throughput (Fig 15 note).
+  m.vector = {true, 130.0};
+  return m;
+}
+
+MachineConfig earth_simulator() {
+  MachineConfig m;
+  m.name = "EarthSimulator";
+  // §6.1: 8 GFlop/s vector processors, 8 per node, 640x640 crossbar.
+  m.core = {1.0 * GHz, 8.0};
+  m.cores_per_node = 8;
+  m.memory.peak_bw = 256.0 * GB_per_s;  // per node
+  m.memory.socket_stream_bw = 200.0 * GB_per_s;
+  m.memory.core_stream_bw = 28.0 * GB_per_s;
+  m.memory.latency = 100.0 * ns;
+  m.memory.ra_cost_factor = 0.35;
+  m.memory.ra_contention = 0.2;
+  m.nic.injection_bw = 12.3 * GB_per_s;  // crossbar port per node
+  m.nic.link_bw = 12.3 * GB_per_s;
+  m.nic.tx_overhead = 3.0 * us;
+  m.nic.rx_overhead = 3.0 * us;
+  m.nic.per_hop_latency = 200.0 * ns;  // single-stage crossbar: one hop
+  m.memcpy_bw = 60.0 * GB_per_s;
+  m.bytes_per_core = static_cast<std::size_t>(2.0 * GiB);
+  m.vector = {true, 130.0};
+  return m;
+}
+
+MachineConfig ibm_p690() {
+  MachineConfig m;
+  m.name = "p690";
+  // §6.1: 1.3 GHz POWER4, 5.2 GFlop/s (4 flops/cycle), 32-way SMP, HPS
+  // with two 2-port adapters per node.
+  m.core = {1.3 * GHz, 4.0};
+  m.cores_per_node = 32;
+  m.memory.peak_bw = 44.0 * GB_per_s;  // per node aggregate
+  m.memory.socket_stream_bw = 24.0 * GB_per_s;
+  m.memory.core_stream_bw = 1.8 * GB_per_s;
+  m.memory.latency = 220.0 * ns;
+  m.memory.ra_cost_factor = 1.1;
+  m.memory.ra_contention = 0.3;
+  m.nic.injection_bw = 2.0 * GB_per_s;  // 4 HPS ports aggregated
+  m.nic.link_bw = 2.0 * GB_per_s;
+  m.nic.tx_overhead = 8.0 * us;  // HPS/LAPI era latency ~18 us
+  m.nic.rx_overhead = 9.0 * us;
+  m.nic.per_hop_latency = 300.0 * ns;
+  m.memcpy_bw = 6.0 * GB_per_s;
+  m.bytes_per_core = static_cast<std::size_t>(1.0 * GiB);
+  return m;
+}
+
+MachineConfig ibm_p575() {
+  MachineConfig m;
+  m.name = "p575";
+  // §6.1: 1.9 GHz POWER5, 7.6 GFlop/s, 8-way SMP, one 2-link HPS adapter.
+  m.core = {1.9 * GHz, 4.0};
+  m.cores_per_node = 8;
+  m.memory.peak_bw = 100.0 * GB_per_s;
+  m.memory.socket_stream_bw = 40.0 * GB_per_s;
+  m.memory.core_stream_bw = 5.5 * GB_per_s;
+  m.memory.latency = 130.0 * ns;
+  m.memory.ra_cost_factor = 1.0;
+  m.memory.ra_contention = 0.25;
+  m.nic.injection_bw = 2.0 * GB_per_s;
+  m.nic.link_bw = 2.0 * GB_per_s;
+  m.nic.tx_overhead = 2.5 * us;  // federation HPS ~5-6 us MPI latency
+  m.nic.rx_overhead = 2.8 * us;
+  m.nic.per_hop_latency = 250.0 * ns;
+  m.memcpy_bw = 10.0 * GB_per_s;
+  m.bytes_per_core = static_cast<std::size_t>(2.0 * GiB);
+  return m;
+}
+
+MachineConfig ibm_sp() {
+  MachineConfig m;
+  m.name = "IBM-SP";
+  // §6.1: 375 MHz POWER3-II, 1.5 GFlop/s, 16-way Nighthawk II, SP Switch2.
+  m.core = {0.375 * GHz, 4.0};
+  m.cores_per_node = 16;
+  m.memory.peak_bw = 16.0 * GB_per_s;
+  m.memory.socket_stream_bw = 8.0 * GB_per_s;
+  m.memory.core_stream_bw = 0.7 * GB_per_s;
+  m.memory.latency = 300.0 * ns;
+  m.memory.ra_cost_factor = 1.2;
+  m.memory.ra_contention = 0.3;
+  m.nic.injection_bw = 0.5 * GB_per_s;
+  m.nic.link_bw = 0.5 * GB_per_s;
+  m.nic.tx_overhead = 9.0 * us;  // ~18-20 us MPI latency
+  m.nic.rx_overhead = 9.5 * us;
+  m.nic.per_hop_latency = 300.0 * ns;
+  m.memcpy_bw = 2.0 * GB_per_s;
+  m.bytes_per_core = static_cast<std::size_t>(1.0 * GiB);
+  return m;
+}
+
+}  // namespace xts::machine

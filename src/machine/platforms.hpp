@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file platforms.hpp
+/// Coarse comparator-platform presets used only by the cross-platform
+/// application figures (Figs 15 and 18).  Parameters come from the
+/// platform descriptions in §6.1 of the paper (per-processor peak flops,
+/// SMP width, interconnect class); memory and network constants are
+/// representative literature values for each machine.  See DESIGN.md §2
+/// for why this coarse model suffices for those figures.
+
+#include "machine/config.hpp"
+
+namespace xts::machine {
+
+/// Cray X1E at ORNL: 1024 MSPs, 18 GFlop/s each, vector.
+[[nodiscard]] MachineConfig cray_x1e();
+
+/// Earth Simulator: 640 8-way vector SMP nodes, 8 GFlop/s per processor,
+/// single-stage crossbar.
+[[nodiscard]] MachineConfig earth_simulator();
+
+/// IBM p690 cluster at ORNL: 32-way POWER4 1.3 GHz nodes, HPS.
+[[nodiscard]] MachineConfig ibm_p690();
+
+/// IBM p575 cluster at NERSC: 8-way POWER5 1.9 GHz nodes, HPS.
+[[nodiscard]] MachineConfig ibm_p575();
+
+/// IBM SP at NERSC: 16-way POWER3-II 375 MHz Nighthawk II nodes.
+[[nodiscard]] MachineConfig ibm_sp();
+
+}  // namespace xts::machine

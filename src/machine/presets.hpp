@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file presets.hpp
+/// Calibrated machine configurations for the three Cray systems compared
+/// throughout the paper (Table 1), plus the upgrade-path variants used by
+/// the ablation benchmarks.  Every constant cites its source in
+/// presets.cpp.
+
+#include "machine/config.hpp"
+
+namespace xts::machine {
+
+/// Original ORNL XT3: 2.4 GHz single-core Opteron, DDR-400, SeaStar.
+[[nodiscard]] MachineConfig xt3_single_core();
+
+/// 2006 upgrade: 2.6 GHz dual-core Opteron, DDR-400, SeaStar.
+[[nodiscard]] MachineConfig xt3_dual_core();
+
+/// XT4: 2.6 GHz dual-core Rev-F Opteron, DDR2-667, SeaStar2.
+[[nodiscard]] MachineConfig xt4();
+
+/// Ablation: XT4 with DDR2-800 (the faster memory option §2 mentions).
+[[nodiscard]] MachineConfig xt4_ddr2_800();
+
+/// Ablation: the paper's stated upgrade path — quad-core socket on the
+/// XT4 memory system.
+[[nodiscard]] MachineConfig xt4_quad_core();
+
+/// Ablation: the same hardware running a full-OS kernel instead of
+/// Catamount — adds the "OS jitter" the light-weight kernel was built
+/// to eliminate (§2).  `period`/`duration` default to daemon-class
+/// noise (an interruption every ~1 ms costing ~25 us).
+[[nodiscard]] MachineConfig with_os_noise(MachineConfig m,
+                                          double period = 1.0e-3,
+                                          double duration = 25.0e-6);
+
+}  // namespace xts::machine

@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file work.hpp
+/// Work descriptors: the currency between numeric kernels and the machine
+/// model.  A kernel (real, unit-tested code in src/kernels) also knows its
+/// exact operation counts; `Work` carries those counts plus the locality
+/// character that determines how the memory system prices them.
+///
+/// The cost model (see Node::execute) is additive:
+///   time = flops / (efficiency * peak)                (core-private)
+///        + stream_bytes through the shared memory server (bandwidth)
+///        + random_accesses * contended effective latency (latency)
+/// which reproduces the paper's locality quadrants: DGEMM/HPL (temporal)
+/// scale with cores, STREAM/PTRANS (spatial) saturate the socket, and
+/// RandomAccess (neither) degrades under dual-core contention.
+
+namespace xts::machine {
+
+struct Work {
+  double flops = 0.0;
+  /// Fraction of peak the kernel's inner loops achieve when not
+  /// memory-bound (DGEMM ~0.88, FFT ~0.14, stencil ~0.25, ...).
+  double flop_efficiency = 1.0;
+  /// Bytes of main-memory streaming traffic (beyond cache reuse).
+  double stream_bytes = 0.0;
+  /// Cache/TLB-missing dependent accesses priced at memory latency.
+  double random_accesses = 0.0;
+
+  [[nodiscard]] Work scaled(double f) const noexcept {
+    return Work{flops * f, flop_efficiency, stream_bytes * f,
+                random_accesses * f};
+  }
+
+  Work& operator+=(const Work& o) noexcept {
+    // Combining kernels with different efficiencies: keep the
+    // flop-weighted harmonic blend so total flop time is preserved.
+    if (o.flops > 0.0) {
+      const double t_self =
+          flop_efficiency > 0.0 ? flops / flop_efficiency : 0.0;
+      const double t_other = o.flops / o.flop_efficiency;
+      flops += o.flops;
+      flop_efficiency = (t_self + t_other) > 0.0
+                            ? flops / (t_self + t_other)
+                            : flop_efficiency;
+    }
+    stream_bytes += o.stream_bytes;
+    random_accesses += o.random_accesses;
+    return *this;
+  }
+
+  friend Work operator+(Work a, const Work& b) noexcept { return a += b; }
+};
+
+}  // namespace xts::machine

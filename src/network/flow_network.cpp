@@ -1,0 +1,195 @@
+#include "network/flow_network.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace xts::net {
+
+namespace {
+// A flow is complete once its residue would be served in under
+// max(kTimeEps, 4 ulp(now)) seconds at its current rate: both the
+// settle() rounding residue and — late in long simulations — the
+// clock's own resolution would otherwise livelock the event loop (see
+// core/resource.cpp).
+constexpr double kTimeEps = 1e-12;
+
+double completion_time_eps(double now) {
+  const double ulp =
+      std::nextafter(now, std::numeric_limits<double>::infinity()) - now;
+  return std::max(kTimeEps, 4.0 * ulp);
+}
+}
+
+FlowNetwork::FlowNetwork(Engine& engine, Torus3D topo, NetConfig cfg)
+    : engine_(engine), topo_(std::move(topo)), cfg_(cfg) {
+  if (cfg_.link_bw <= 0.0 || cfg_.injection_bw <= 0.0)
+    throw UsageError("FlowNetwork: link and injection bandwidth required");
+  if (cfg_.ejection_bw <= 0.0) cfg_.ejection_bw = cfg_.injection_bw;
+  link_load_.assign(static_cast<std::size_t>(topo_.total_link_count()), 0);
+  last_settle_ = engine_.now();
+}
+
+double FlowNetwork::link_capacity(LinkId link) const noexcept {
+  if (topo_.is_torus_link(link)) return cfg_.link_bw;
+  const int n = topo_.node_count();
+  return (link < topo_.torus_link_count() + n) ? cfg_.injection_bw
+                                               : cfg_.ejection_bw;
+}
+
+double FlowNetwork::compute_rate(const Flow& f) const noexcept {
+  double rate = std::numeric_limits<double>::max();
+  for (const LinkId l : f.links) {
+    const auto load = static_cast<double>(link_load_[static_cast<size_t>(l)]);
+    rate = std::min(rate, link_capacity(l) / load);
+  }
+  return rate;
+}
+
+SimTime FlowNetwork::route_latency(NodeId src, NodeId dst) const {
+  return static_cast<double>(topo_.hop_count(src, dst)) *
+         cfg_.per_hop_latency;
+}
+
+SimFutureV FlowNetwork::transfer(NodeId src, NodeId dst, double bytes) {
+  if (bytes < 0.0) throw UsageError("FlowNetwork::transfer: negative size");
+  SimPromiseV promise(engine_);
+  auto future = promise.future();
+  if (bytes == 0.0) {
+    promise.set_value(Done{});
+    return future;
+  }
+  settle();
+  Flow flow{bytes, 0.0, topo_.route(src, dst), std::move(promise)};
+  for (const LinkId l : flow.links) ++link_load_[static_cast<size_t>(l)];
+  flows_.emplace(next_flow_id_++, std::move(flow));
+  peak_flows_ = std::max(peak_flows_, flows_.size());
+  mark_dirty();
+  return future;
+}
+
+void FlowNetwork::settle() {
+  const SimTime now = engine_.now();
+  const SimTime dt = now - last_settle_;
+  last_settle_ = now;
+  if (dt <= 0.0 || flows_.empty()) return;
+  for (auto& [id, f] : flows_) {
+    const double served = std::min(f.remaining, f.rate * dt);
+    f.remaining -= served;
+    total_delivered_ += served;
+  }
+}
+
+void FlowNetwork::mark_dirty() {
+  if (recompute_pending_) return;
+  recompute_pending_ = true;
+  ++epoch_;  // invalidate any scheduled completion event
+  const std::uint64_t epoch = epoch_;
+  engine_.schedule_after(0.0, [this, epoch] {
+    if (epoch != epoch_) return;
+    recompute_pending_ = false;
+    settle();
+    recompute();
+  });
+}
+
+void FlowNetwork::recompute() {
+  // Complete flows that have drained (several can share an instant).
+  const double teps = completion_time_eps(engine_.now());
+  std::vector<SimPromiseV> done;
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    if (it->second.remaining <= it->second.rate * teps) {
+      total_delivered_ += it->second.remaining;
+      for (const LinkId l : it->second.links)
+        --link_load_[static_cast<size_t>(l)];
+      done.push_back(std::move(it->second.promise));
+      it = flows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  ++epoch_;
+  if (!flows_.empty()) {
+    if (cfg_.fairness == Fairness::kMaxMin) {
+      assign_rates_max_min();
+    } else {
+      assign_rates_min_share();
+    }
+    SimTime earliest = std::numeric_limits<double>::max();
+    for (auto& [id, f] : flows_)
+      earliest = std::min(earliest, f.remaining / f.rate);
+    const std::uint64_t epoch = epoch_;
+    engine_.schedule_after(earliest, [this, epoch] { on_event(epoch); });
+  }
+
+  for (auto& p : done) p.set_value(Done{});
+}
+
+void FlowNetwork::assign_rates_min_share() {
+  for (auto& [id, f] : flows_) f.rate = compute_rate(f);
+}
+
+void FlowNetwork::assign_rates_max_min() {
+  // Progressive filling: repeatedly find the tightest link, freeze its
+  // flows at the equal share of its residual capacity, subtract their
+  // rates everywhere, and continue with the rest.
+  std::vector<double> residual(link_load_.size());
+  std::vector<int> active(link_load_.size(), 0);
+  for (std::size_t l = 0; l < residual.size(); ++l)
+    residual[l] = link_capacity(static_cast<LinkId>(l));
+  std::vector<Flow*> unfrozen;
+  unfrozen.reserve(flows_.size());
+  for (auto& [id, f] : flows_) {
+    unfrozen.push_back(&f);
+    for (const LinkId l : f.links) ++active[static_cast<std::size_t>(l)];
+  }
+
+  while (!unfrozen.empty()) {
+    double bottleneck = std::numeric_limits<double>::max();
+    for (std::size_t l = 0; l < residual.size(); ++l) {
+      if (active[l] > 0)
+        bottleneck = std::min(bottleneck, residual[l] / active[l]);
+    }
+    // Freeze every flow whose path includes a bottleneck link.
+    std::vector<Flow*> still;
+    still.reserve(unfrozen.size());
+    for (Flow* f : unfrozen) {
+      bool frozen = false;
+      for (const LinkId l : f->links) {
+        const auto li = static_cast<std::size_t>(l);
+        if (residual[li] / active[li] <= bottleneck * (1.0 + 1e-12)) {
+          frozen = true;
+          break;
+        }
+      }
+      if (frozen) {
+        f->rate = bottleneck;
+        for (const LinkId l : f->links) {
+          const auto li = static_cast<std::size_t>(l);
+          residual[li] -= bottleneck;
+          --active[li];
+        }
+      } else {
+        still.push_back(f);
+      }
+    }
+    if (still.size() == unfrozen.size())
+      throw InternalError("max-min filling made no progress");
+    unfrozen.swap(still);
+  }
+}
+
+void FlowNetwork::on_event(std::uint64_t epoch) {
+  if (epoch != epoch_) return;
+  settle();
+  recompute();
+}
+
+int FlowNetwork::link_load(LinkId link) const {
+  if (link < 0 || link >= topo_.total_link_count())
+    throw UsageError("FlowNetwork::link_load: bad link id");
+  return link_load_[static_cast<size_t>(link)];
+}
+
+}  // namespace xts::net

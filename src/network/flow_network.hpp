@@ -1,0 +1,108 @@
+#pragma once
+
+/// \file flow_network.hpp
+/// Flow-level network simulation over the torus.
+///
+/// Each in-flight message is a *flow* holding one unit of load on every
+/// link of its route (injection link, torus links, ejection link).  A
+/// flow's instantaneous rate is
+///     min over links l in path of  capacity(l) / load(l)
+/// — the standard fast approximation of max-min fair sharing (each
+/// link's capacity is never exceeded; a flow bottlenecked elsewhere may
+/// leave some residual capacity unused, which real wormhole routing
+/// wastes too).
+///
+/// Rates for *all* flows are recomputed whenever the flow set changes.
+/// Changes at the same simulated instant are coalesced into a single
+/// recompute, so lock-step collective rounds (the common case in HPCC
+/// and the app proxies) cost one O(flows x path) pass per round rather
+/// than one per message.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/future.hpp"
+#include "network/torus.hpp"
+
+namespace xts::net {
+
+/// Rate-allocation policy.
+///  - kMinShare: rate = min over path of cap/load — fast approximation;
+///    never oversubscribes a link but can strand capacity behind a
+///    bottleneck (like wormhole head-of-line blocking does).
+///  - kMaxMin: exact max-min fairness by progressive filling — flows
+///    not limited by the bottleneck pick up the slack.
+enum class Fairness { kMinShare, kMaxMin };
+
+struct NetConfig {
+  double link_bw = 0.0;       ///< torus link capacity, unidirectional B/s
+  double injection_bw = 0.0;  ///< NIC injection capacity, B/s
+  double ejection_bw = 0.0;   ///< NIC ejection capacity, B/s (0 => =inj)
+  double per_hop_latency = 0.0;  ///< router hop latency, seconds
+  Fairness fairness = Fairness::kMinShare;
+};
+
+class FlowNetwork {
+ public:
+  FlowNetwork(Engine& engine, Torus3D topo, NetConfig cfg);
+
+  FlowNetwork(const FlowNetwork&) = delete;
+  FlowNetwork& operator=(const FlowNetwork&) = delete;
+
+  /// Begin moving `bytes` from node `src` to node `dst`; the returned
+  /// future completes when the last byte has been ejected.  The caller
+  /// (vmpi) accounts for first-byte latency separately.
+  [[nodiscard]] SimFutureV transfer(NodeId src, NodeId dst, double bytes);
+
+  /// First-byte latency of the minimal route (hop count x per-hop).
+  [[nodiscard]] SimTime route_latency(NodeId src, NodeId dst) const;
+
+  [[nodiscard]] const Torus3D& topology() const noexcept { return topo_; }
+  [[nodiscard]] const NetConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] std::size_t active_flows() const noexcept {
+    return flows_.size();
+  }
+  /// High-water mark of concurrent flows (capacity-planning stat).
+  [[nodiscard]] std::size_t peak_flows() const noexcept {
+    return peak_flows_;
+  }
+  /// Total bytes fully delivered (conservation checks).
+  [[nodiscard]] double total_delivered() const noexcept {
+    return total_delivered_;
+  }
+  /// Current load (flow count) on a link — exposed for tests.
+  [[nodiscard]] int link_load(LinkId link) const;
+
+ private:
+  struct Flow {
+    double remaining = 0.0;
+    double rate = 0.0;
+    std::vector<LinkId> links;
+    SimPromiseV promise;
+  };
+
+  [[nodiscard]] double link_capacity(LinkId link) const noexcept;
+  [[nodiscard]] double compute_rate(const Flow& f) const noexcept;
+  void assign_rates_min_share();
+  void assign_rates_max_min();
+  void settle();
+  void mark_dirty();
+  void recompute();  // settle happened; recompute rates + next event
+  void on_event(std::uint64_t epoch);
+
+  Engine& engine_;
+  Torus3D topo_;
+  NetConfig cfg_;
+  std::unordered_map<std::uint64_t, Flow> flows_;
+  std::vector<int> link_load_;
+  std::uint64_t next_flow_id_ = 0;
+  std::size_t peak_flows_ = 0;
+  std::uint64_t epoch_ = 0;
+  bool recompute_pending_ = false;
+  SimTime last_settle_ = 0.0;
+  double total_delivered_ = 0.0;
+};
+
+}  // namespace xts::net

@@ -1,0 +1,513 @@
+#include "vmpi/comm.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <numeric>
+#include <string>
+
+namespace xts::vmpi {
+
+namespace {
+
+/// FNV-1a over the member list: the shared part of a subgroup id.
+std::uint64_t hash_members(const std::vector<int>& members) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const int m : members) {
+    h ^= static_cast<std::uint64_t>(m) + 0x9e3779b97f4a7c15ULL;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+void sum_into(std::vector<double>& acc, const std::vector<double>& other) {
+  if (acc.size() != other.size())
+    throw UsageError("allreduce/reduce: contribution sizes differ");
+  for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += other[i];
+}
+
+int floor_pow2(int n) { return 1 << (std::bit_width(static_cast<unsigned>(n)) - 1); }
+
+}  // namespace
+
+Comm::Comm(World& world, int world_rank)
+    : world_(world), world_rank_(world_rank), my_index_(world_rank), gid_(0) {
+  auto members = std::make_shared<std::vector<int>>(
+      static_cast<std::size_t>(world.nranks()));
+  std::iota(members->begin(), members->end(), 0);
+  members_ = std::move(members);
+}
+
+Comm::Comm(World& world, int world_rank,
+           std::shared_ptr<const std::vector<int>> members, int my_index,
+           std::uint64_t gid)
+    : world_(world),
+      world_rank_(world_rank),
+      members_(std::move(members)),
+      my_index_(my_index),
+      gid_(gid) {}
+
+SimTime Comm::now() const noexcept { return world_.engine().now(); }
+
+std::unique_ptr<Comm> Comm::subgroup(std::vector<int> world_ranks) const {
+  if (world_ranks.empty()) throw UsageError("subgroup: empty member list");
+  const auto it =
+      std::find(world_ranks.begin(), world_ranks.end(), world_rank_);
+  const std::uint64_t h = hash_members(world_ranks);
+  if (it == world_ranks.end()) return nullptr;
+  const int index = static_cast<int>(it - world_ranks.begin());
+  // Per-rank creation counter for this membership: ranks creating the
+  // same sequence of identical groups agree on the id (MPI requires
+  // communicator creation to be ordered identically on all members).
+  auto& counter =
+      world_.group_counters_[static_cast<std::size_t>(world_rank_)][h];
+  const std::uint64_t gid = (h ^ (static_cast<std::uint64_t>(counter) *
+                                  0x2545F4914F6CDD1DULL)) |
+                            1ULL;  // never collide with world gid 0
+  ++counter;
+  return std::unique_ptr<Comm>(new Comm(
+      world_, world_rank_,
+      std::make_shared<const std::vector<int>>(std::move(world_ranks)),
+      index, gid));
+}
+
+int Comm::to_world(int comm_rank) const {
+  check_rank(comm_rank, "rank");
+  return (*members_)[static_cast<std::size_t>(comm_rank)];
+}
+
+void Comm::check_rank(int r, const char* what) const {
+  if (r < 0 || r >= size())
+    throw UsageError(std::string("Comm: bad ") + what + " " +
+                     std::to_string(r) + " (size " + std::to_string(size()) +
+                     ")");
+}
+
+Tag Comm::next_collective_tag(std::uint64_t round) const {
+  return tags::internal(gid_ & 0xFFFFFF, collective_seq_, round);
+}
+
+Task<void> Comm::compute(machine::Work w) {
+  return world_.node(world_rank_).execute(w);
+}
+
+Delay Comm::delay(SimTime dt) { return Delay(world_.engine(), dt); }
+
+Task<SimFutureV> Comm::send(int dst, Tag tag, double bytes) {
+  check_rank(dst, "destination");
+  if (tag < 0) throw UsageError("send: user tags must be non-negative");
+  return world_.post_send(world_rank_, to_world(dst), my_index_, gid_, tag,
+                          bytes, {});
+}
+
+Task<SimFutureV> Comm::send(int dst, Tag tag, std::vector<double> data) {
+  check_rank(dst, "destination");
+  if (tag < 0) throw UsageError("send: user tags must be non-negative");
+  const double bytes = 8.0 * static_cast<double>(data.size());
+  return world_.post_send(world_rank_, to_world(dst), my_index_, gid_, tag,
+                          bytes, std::move(data));
+}
+
+Task<void> Comm::send_wait(int dst, Tag tag, double bytes) {
+  auto fut = co_await send(dst, tag, bytes);
+  (void)co_await std::move(fut);
+}
+
+Task<Message> Comm::recv(int src, Tag tag) {
+  if (src != kAnySource) check_rank(src, "source");
+  return world_.match_recv(world_rank_, gid_, src, tag);
+}
+
+// -- collective building blocks ---------------------------------------------
+
+Task<Message> Comm::sendrecv(int partner, Tag tag, std::vector<double> data) {
+  auto sent = co_await world_.post_send(world_rank_, to_world(partner),
+                                        my_index_, gid_, tag,
+                                        8.0 * static_cast<double>(data.size()),
+                                        std::move(data));
+  Message m = co_await world_.match_recv(world_rank_, gid_, partner, tag);
+  (void)co_await std::move(sent);
+  co_return m;
+}
+
+Task<Message> Comm::sendrecv_bytes(int send_to, int recv_from, Tag tag,
+                                   double bytes) {
+  auto sent = co_await world_.post_send(world_rank_, to_world(send_to),
+                                        my_index_, gid_, tag, bytes, {});
+  Message m = co_await world_.match_recv(world_rank_, gid_, recv_from, tag);
+  (void)co_await std::move(sent);
+  co_return m;
+}
+
+// -- collectives --------------------------------------------------------------
+
+Task<void> Comm::barrier() {
+  const std::uint64_t seq = collective_seq_++;
+  const int p = size();
+  if (p == 1) co_return;
+  // Dissemination barrier: ceil(log2 p) rounds of 0-byte messages.
+  for (int k = 1, round = 0; k < p; k <<= 1, ++round) {
+    const int to = (my_index_ + k) % p;
+    const int from = (my_index_ - k % p + p) % p;
+    const Tag tag = tags::internal(gid_ & 0xFFFFFF, seq,
+                                   static_cast<std::uint64_t>(round));
+    (void)co_await sendrecv_bytes(to, from, tag, 0.0);
+  }
+}
+
+Task<std::vector<double>> Comm::bcast(int root, std::vector<double> data) {
+  check_rank(root, "root");
+  const std::uint64_t seq = collective_seq_++;
+  const int p = size();
+  if (p == 1) co_return data;
+  // Binomial tree on ranks relative to root.
+  const int vrank = (my_index_ - root + p) % p;
+  if (vrank != 0) {
+    // Receive from parent: clear the lowest set bit.
+    const int parent = ((vrank & (vrank - 1)) + root) % p;
+    Message m = co_await world_.match_recv(
+        world_rank_, gid_, (parent - 0 + p) % p,
+        tags::internal(gid_ & 0xFFFFFF, seq, 0));
+    data = std::move(m.data);
+  }
+  // Forward to children: vrank + 2^k for k above our lowest set bit.
+  const int low = vrank == 0 ? p : (vrank & -vrank);
+  std::vector<SimFutureV> pending;
+  for (int k = 1; k < low && vrank + k < p; k <<= 1) {
+    const int child = (vrank + k + root) % p;
+    auto fut = co_await world_.post_send(
+        world_rank_, to_world(child), my_index_, gid_,
+        tags::internal(gid_ & 0xFFFFFF, seq, 0),
+        8.0 * static_cast<double>(data.size()), data);
+    pending.push_back(std::move(fut));
+  }
+  for (auto& f : pending) (void)co_await std::move(f);
+  co_return data;
+}
+
+Task<void> Comm::bcast_bytes(int root, double bytes) {
+  check_rank(root, "root");
+  const std::uint64_t seq = collective_seq_++;
+  const int p = size();
+  if (p == 1) co_return;
+  const int vrank = (my_index_ - root + p) % p;
+  const Tag tag = tags::internal(gid_ & 0xFFFFFF, seq, 0);
+  if (vrank != 0) {
+    const int parent = ((vrank & (vrank - 1)) + root) % p;
+    (void)co_await world_.match_recv(world_rank_, gid_, parent, tag);
+  }
+  const int low = vrank == 0 ? p : (vrank & -vrank);
+  std::vector<SimFutureV> pending;
+  for (int k = 1; k < low && vrank + k < p; k <<= 1) {
+    const int child = (vrank + k + root) % p;
+    auto fut = co_await world_.post_send(world_rank_, to_world(child),
+                                         my_index_, gid_, tag, bytes, {});
+    pending.push_back(std::move(fut));
+  }
+  for (auto& f : pending) (void)co_await std::move(f);
+}
+
+Task<std::vector<double>> Comm::reduce_sum(int root,
+                                           std::vector<double> contrib) {
+  check_rank(root, "root");
+  const std::uint64_t seq = collective_seq_++;
+  const int p = size();
+  if (p == 1) co_return contrib;
+  // Binomial tree reduction (mirror of bcast).
+  const int vrank = (my_index_ - root + p) % p;
+  for (int k = 1; k < p; k <<= 1) {
+    const Tag tag = tags::internal(gid_ & 0xFFFFFF, seq,
+                                   static_cast<std::uint64_t>(k));
+    if (vrank & k) {
+      const int parent = ((vrank - k) + root) % p;
+      auto fut = co_await world_.post_send(
+          world_rank_, to_world(parent), my_index_, gid_, tag,
+          8.0 * static_cast<double>(contrib.size()), std::move(contrib));
+      (void)co_await std::move(fut);
+      contrib.clear();
+      break;
+    }
+    if (vrank + k < p) {
+      const int child = (vrank + k + root) % p;
+      Message m = co_await world_.match_recv(world_rank_, gid_, child, tag);
+      sum_into(contrib, m.data);
+    }
+  }
+  if (my_index_ != root) contrib.clear();
+  co_return contrib;
+}
+
+Task<std::vector<double>> Comm::allreduce_sum(std::vector<double> contrib,
+                                              AllreduceAlgo algo) {
+  const int p = size();
+  if (p == 1) co_return contrib;
+  if (algo == AllreduceAlgo::kReduceBcast) {
+    auto reduced = co_await reduce_sum(0, std::move(contrib));
+    co_return co_await bcast(0, std::move(reduced));
+  }
+  if (algo == AllreduceAlgo::kRabenseifner &&
+      contrib.size() % static_cast<std::size_t>(p) == 0) {
+    auto segment = co_await reduce_scatter_block(std::move(contrib));
+    co_return co_await allgather(std::move(segment));
+  }
+
+  const std::uint64_t seq = collective_seq_++;
+  // Recursive doubling with the standard non-power-of-two fold:
+  // the first `rem` even ranks fold into their odd neighbour, the core
+  // 2^k ranks run recursive doubling, then the fold is undone.
+  const int p2 = floor_pow2(p);
+  const int rem = p - p2;
+  auto tag = [&](std::uint64_t round) {
+    return tags::internal(gid_ & 0xFFFFFF, seq, round);
+  };
+
+  int vrank;  // rank within the power-of-two core, or -1 if folded out
+  if (my_index_ < 2 * rem) {
+    if (my_index_ % 2 == 0) {
+      auto fut = co_await world_.post_send(
+          world_rank_, to_world(my_index_ + 1), my_index_, gid_, tag(1000),
+          8.0 * static_cast<double>(contrib.size()), std::move(contrib));
+      (void)co_await std::move(fut);
+      vrank = -1;
+      contrib.clear();
+    } else {
+      Message m = co_await world_.match_recv(world_rank_, gid_,
+                                             my_index_ - 1, tag(1000));
+      sum_into(contrib, m.data);
+      vrank = my_index_ / 2;
+    }
+  } else {
+    vrank = my_index_ - rem;
+  }
+
+  if (vrank >= 0) {
+    for (int mask = 1, round = 0; mask < p2; mask <<= 1, ++round) {
+      const int vpartner = vrank ^ mask;
+      const int partner =
+          vpartner < rem ? 2 * vpartner + 1 : vpartner + rem;
+      Message m = co_await sendrecv(
+          partner, tag(static_cast<std::uint64_t>(round)), contrib);
+      sum_into(contrib, m.data);
+    }
+  }
+
+  if (my_index_ < 2 * rem) {
+    if (my_index_ % 2 == 0) {
+      Message m = co_await world_.match_recv(world_rank_, gid_,
+                                             my_index_ + 1, tag(2000));
+      contrib = std::move(m.data);
+    } else {
+      auto fut = co_await world_.post_send(
+          world_rank_, to_world(my_index_ - 1), my_index_, gid_, tag(2000),
+          8.0 * static_cast<double>(contrib.size()), contrib);
+      (void)co_await std::move(fut);
+    }
+  }
+  co_return contrib;
+}
+
+Task<std::vector<double>> Comm::allgather(std::vector<double> mine) {
+  const std::uint64_t seq = collective_seq_++;
+  const int p = size();
+  const std::size_t chunk = mine.size();
+  std::vector<double> result(chunk * static_cast<std::size_t>(p));
+  std::copy(mine.begin(), mine.end(),
+            result.begin() + static_cast<std::ptrdiff_t>(
+                                 chunk * static_cast<std::size_t>(my_index_)));
+  if (p == 1) co_return result;
+
+  // Ring: in round r, pass along the chunk originating at (me - r).
+  const int right = (my_index_ + 1) % p;
+  const int left = (my_index_ - 1 + p) % p;
+  std::vector<double> outgoing = std::move(mine);
+  for (int r = 0; r < p - 1; ++r) {
+    const Tag tag = tags::internal(gid_ & 0xFFFFFF, seq,
+                                   static_cast<std::uint64_t>(r));
+    auto sent = co_await world_.post_send(
+        world_rank_, to_world(right), my_index_, gid_, tag,
+        8.0 * static_cast<double>(outgoing.size()), std::move(outgoing));
+    Message m = co_await world_.match_recv(world_rank_, gid_, left, tag);
+    (void)co_await std::move(sent);
+    if (m.data.size() != chunk)
+      throw UsageError("allgather: contributions must be equal-sized");
+    const int origin = (my_index_ - 1 - r + 2 * p) % p;
+    std::copy(m.data.begin(), m.data.end(),
+              result.begin() + static_cast<std::ptrdiff_t>(
+                                   chunk * static_cast<std::size_t>(origin)));
+    outgoing = std::move(m.data);
+  }
+  co_return result;
+}
+
+Task<std::vector<std::vector<double>>> Comm::alltoall(
+    std::vector<std::vector<double>> chunks) {
+  const int p = size();
+  if (static_cast<int>(chunks.size()) != p)
+    throw UsageError("alltoall: need exactly size() chunks");
+  const std::uint64_t seq = collective_seq_++;
+  std::vector<std::vector<double>> received(static_cast<std::size_t>(p));
+  received[static_cast<std::size_t>(my_index_)] =
+      std::move(chunks[static_cast<std::size_t>(my_index_)]);
+  // Pairwise exchange: round r talks to (me + r) / (me - r).
+  for (int r = 1; r < p; ++r) {
+    const int to = (my_index_ + r) % p;
+    const int from = (my_index_ - r + p) % p;
+    const Tag tag = tags::internal(gid_ & 0xFFFFFF, seq,
+                                   static_cast<std::uint64_t>(r));
+    auto sent = co_await world_.post_send(
+        world_rank_, to_world(to), my_index_, gid_, tag,
+        8.0 * static_cast<double>(chunks[static_cast<std::size_t>(to)].size()),
+        std::move(chunks[static_cast<std::size_t>(to)]));
+    Message m = co_await world_.match_recv(world_rank_, gid_, from, tag);
+    (void)co_await std::move(sent);
+    received[static_cast<std::size_t>(from)] = std::move(m.data);
+  }
+  co_return received;
+}
+
+Task<std::vector<double>> Comm::gather(int root, std::vector<double> mine) {
+  check_rank(root, "root");
+  const std::uint64_t seq = collective_seq_++;
+  const int p = size();
+  const Tag tag = tags::internal(gid_ & 0xFFFFFF, seq, 0);
+  if (my_index_ != root) {
+    auto fut = co_await world_.post_send(
+        world_rank_, to_world(root), my_index_, gid_, tag,
+        8.0 * static_cast<double>(mine.size()), std::move(mine));
+    (void)co_await std::move(fut);
+    co_return std::vector<double>{};
+  }
+  std::vector<std::vector<double>> parts(static_cast<std::size_t>(p));
+  parts[static_cast<std::size_t>(root)] = std::move(mine);
+  for (int i = 1; i < p; ++i) {
+    Message m = co_await world_.match_recv(world_rank_, gid_, kAnySource,
+                                           tag);
+    parts[static_cast<std::size_t>(m.src)] = std::move(m.data);
+  }
+  std::vector<double> all;
+  for (auto& part : parts) all.insert(all.end(), part.begin(), part.end());
+  co_return all;
+}
+
+Task<std::vector<double>> Comm::scatter(int root, std::vector<double> data,
+                                        std::size_t chunk) {
+  check_rank(root, "root");
+  const std::uint64_t seq = collective_seq_++;
+  const int p = size();
+  const Tag tag = tags::internal(gid_ & 0xFFFFFF, seq, 0);
+  if (my_index_ == root) {
+    if (data.size() != chunk * static_cast<std::size_t>(p))
+      throw UsageError("scatter: data must be size() * chunk elements");
+    std::vector<SimFutureV> pending;
+    for (int d = 0; d < p; ++d) {
+      if (d == my_index_) continue;
+      std::vector<double> part(
+          data.begin() + static_cast<std::ptrdiff_t>(chunk * d),
+          data.begin() + static_cast<std::ptrdiff_t>(chunk * (d + 1)));
+      auto fut = co_await world_.post_send(
+          world_rank_, to_world(d), my_index_, gid_, tag,
+          8.0 * static_cast<double>(chunk), std::move(part));
+      pending.push_back(std::move(fut));
+    }
+    for (auto& f : pending) (void)co_await std::move(f);
+    std::vector<double> own(
+        data.begin() + static_cast<std::ptrdiff_t>(chunk * my_index_),
+        data.begin() + static_cast<std::ptrdiff_t>(chunk * (my_index_ + 1)));
+    co_return own;
+  }
+  Message m = co_await world_.match_recv(world_rank_, gid_, root, tag);
+  if (m.data.size() != chunk)
+    throw UsageError("scatter: received chunk size mismatch");
+  co_return std::move(m.data);
+}
+
+Task<std::vector<double>> Comm::reduce_scatter_block(
+    std::vector<double> contrib) {
+  const int p = size();
+  if (contrib.size() % static_cast<std::size_t>(p) != 0)
+    throw UsageError("reduce_scatter_block: size must divide by ranks");
+  const std::size_t k = contrib.size() / static_cast<std::size_t>(p);
+  const std::uint64_t seq = collective_seq_++;
+  // Pairwise exchange: send my contribution to segment `dst`, receive
+  // and accumulate everyone's contribution to segment `me`.
+  std::vector<double> acc(
+      contrib.begin() + static_cast<std::ptrdiff_t>(k * my_index_),
+      contrib.begin() + static_cast<std::ptrdiff_t>(k * (my_index_ + 1)));
+  for (int s = 1; s < p; ++s) {
+    const int dst = (my_index_ + s) % p;
+    const int src = (my_index_ - s + p) % p;
+    const Tag tag = tags::internal(gid_ & 0xFFFFFF, seq,
+                                   static_cast<std::uint64_t>(s));
+    std::vector<double> part(
+        contrib.begin() + static_cast<std::ptrdiff_t>(k * dst),
+        contrib.begin() + static_cast<std::ptrdiff_t>(k * (dst + 1)));
+    auto sent = co_await world_.post_send(
+        world_rank_, to_world(dst), my_index_, gid_, tag,
+        8.0 * static_cast<double>(k), std::move(part));
+    Message m = co_await world_.match_recv(world_rank_, gid_, src, tag);
+    (void)co_await std::move(sent);
+    sum_into(acc, m.data);
+  }
+  co_return acc;
+}
+
+Task<std::vector<double>> Comm::scan_sum(std::vector<double> contrib) {
+  const std::uint64_t seq = collective_seq_++;
+  const Tag tag = tags::internal(gid_ & 0xFFFFFF, seq, 0);
+  // Chain scan: receive prefix from the left, add, pass to the right.
+  if (my_index_ > 0) {
+    Message m =
+        co_await world_.match_recv(world_rank_, gid_, my_index_ - 1, tag);
+    sum_into(contrib, m.data);
+  }
+  if (my_index_ + 1 < size()) {
+    auto fut = co_await world_.post_send(
+        world_rank_, to_world(my_index_ + 1), my_index_, gid_, tag,
+        8.0 * static_cast<double>(contrib.size()), contrib);
+    (void)co_await std::move(fut);
+  }
+  co_return contrib;
+}
+
+Task<std::unique_ptr<Comm>> Comm::split(int color, int key) {
+  // Allgather (color, key) pairs — the way a real MPI implements it.
+  std::vector<double> mine(2);
+  mine[0] = static_cast<double>(color);
+  mine[1] = static_cast<double>(key);
+  auto all = co_await allgather(std::move(mine));
+  if (color < 0) co_return nullptr;  // MPI_UNDEFINED
+  struct Entry {
+    int color, key, rank;
+  };
+  std::vector<Entry> entries;
+  for (int r = 0; r < size(); ++r) {
+    const int c = static_cast<int>(all[static_cast<std::size_t>(2 * r)]);
+    const int k = static_cast<int>(all[static_cast<std::size_t>(2 * r + 1)]);
+    if (c == color) entries.push_back({c, k, r});
+  }
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const Entry& a, const Entry& b) {
+                     return a.key != b.key ? a.key < b.key : a.rank < b.rank;
+                   });
+  std::vector<int> members;
+  members.reserve(entries.size());
+  for (const auto& e : entries) members.push_back(to_world(e.rank));
+  co_return subgroup(std::move(members));
+}
+
+Task<void> Comm::alltoallv_bytes(std::vector<double> bytes_to) {
+  const int p = size();
+  if (static_cast<int>(bytes_to.size()) != p)
+    throw UsageError("alltoallv_bytes: need exactly size() entries");
+  const std::uint64_t seq = collective_seq_++;
+  for (int r = 1; r < p; ++r) {
+    const int to = (my_index_ + r) % p;
+    const int from = (my_index_ - r + p) % p;
+    const Tag tag = tags::internal(gid_ & 0xFFFFFF, seq,
+                                   static_cast<std::uint64_t>(r));
+    (void)co_await sendrecv_bytes(to, from, tag,
+                                  bytes_to[static_cast<std::size_t>(to)]);
+  }
+  co_return;
+}
+
+}  // namespace xts::vmpi

@@ -1,0 +1,150 @@
+#pragma once
+
+/// \file comm.hpp
+/// Communicator: a rank's handle onto a group of ranks, with
+/// point-to-point operations and real collective algorithms (the ones
+/// 2007-era Cray MPT used):
+///
+///   barrier     dissemination
+///   bcast       binomial tree
+///   reduce      binomial tree (sum)
+///   allreduce   recursive doubling (default) or reduce+bcast
+///   allgather   ring
+///   alltoall(v) pairwise exchange
+///
+/// All collectives carry and combine real payloads when given one, and
+/// must be called by every member of the group in the same order (as in
+/// MPI).
+
+#include <memory>
+#include <vector>
+
+#include "core/task.hpp"
+#include "machine/work.hpp"
+#include "vmpi/message.hpp"
+#include "vmpi/world.hpp"
+
+namespace xts::vmpi {
+
+enum class AllreduceAlgo {
+  kRecursiveDoubling,  ///< log P rounds, full vector each round
+  kReduceBcast,        ///< binomial reduce to 0, binomial bcast
+  kRabenseifner,       ///< reduce-scatter + allgather (large vectors)
+};
+
+class Comm {
+ public:
+  /// World communicator handle (constructed by World).
+  Comm(World& world, int world_rank);
+
+  Comm(const Comm&) = delete;
+  Comm& operator=(const Comm&) = delete;
+
+  [[nodiscard]] int rank() const noexcept { return my_index_; }
+  [[nodiscard]] int size() const noexcept {
+    return static_cast<int>(members_->size());
+  }
+  [[nodiscard]] int world_rank() const noexcept { return world_rank_; }
+  [[nodiscard]] World& world() noexcept { return world_; }
+  [[nodiscard]] Engine& engine() noexcept { return world_.engine(); }
+  [[nodiscard]] SimTime now() const noexcept;
+
+  /// Create this rank's handle for the subgroup `world_ranks` (every
+  /// member must call with the identical list, in the same program
+  /// order — mirrors MPI communicator-creation semantics).  Returns
+  /// nullptr if this rank is not a member.
+  [[nodiscard]] std::unique_ptr<Comm> subgroup(
+      std::vector<int> world_ranks) const;
+
+  // -- local work ---------------------------------------------------------
+
+  /// Execute a work descriptor on this rank's core.
+  [[nodiscard]] Task<void> compute(machine::Work w);
+  [[nodiscard]] Delay delay(SimTime dt);
+
+  // -- point-to-point (ranks are communicator-relative) -------------------
+
+  /// Post a send; awaiting the task models the blocking CPU/NIC part and
+  /// yields a future that completes on delivery.
+  [[nodiscard]] Task<SimFutureV> send(int dst, Tag tag, double bytes);
+  [[nodiscard]] Task<SimFutureV> send(int dst, Tag tag,
+                                      std::vector<double> data);
+  /// Post-and-forget convenience (send + wait for delivery).
+  [[nodiscard]] Task<void> send_wait(int dst, Tag tag, double bytes);
+
+  [[nodiscard]] Task<Message> recv(int src = kAnySource, Tag tag = kAnyTag);
+
+  // -- collectives ---------------------------------------------------------
+
+  [[nodiscard]] Task<void> barrier();
+  /// Root's `data` is broadcast; every rank receives a copy.
+  [[nodiscard]] Task<std::vector<double>> bcast(int root,
+                                                std::vector<double> data);
+  /// Timing-only broadcast of `bytes`.
+  [[nodiscard]] Task<void> bcast_bytes(int root, double bytes);
+  /// Element-wise sum at root (returns empty elsewhere).
+  [[nodiscard]] Task<std::vector<double>> reduce_sum(
+      int root, std::vector<double> contrib);
+  [[nodiscard]] Task<std::vector<double>> allreduce_sum(
+      std::vector<double> contrib,
+      AllreduceAlgo algo = AllreduceAlgo::kRecursiveDoubling);
+  /// Ring allgather: returns concatenation ordered by rank; every
+  /// rank's contribution must have the same length.
+  [[nodiscard]] Task<std::vector<double>> allgather(
+      std::vector<double> mine);
+  /// Pairwise-exchange alltoall with payloads: `chunks[d]` goes to rank
+  /// d; returns the chunks received, indexed by source.
+  [[nodiscard]] Task<std::vector<std::vector<double>>> alltoall(
+      std::vector<std::vector<double>> chunks);
+  /// Timing-only alltoallv: `bytes_to[d]` bytes to each rank d
+  /// (bytes_to.size() == size()).
+  [[nodiscard]] Task<void> alltoallv_bytes(std::vector<double> bytes_to);
+  /// Root collects every rank's contribution, ordered by rank
+  /// (returns empty elsewhere).
+  [[nodiscard]] Task<std::vector<double>> gather(int root,
+                                                 std::vector<double> mine);
+  /// Root's `data` (size() equal chunks) is distributed; rank d gets
+  /// chunk d.  `chunk` is the per-rank element count (needed on
+  /// non-root ranks).
+  [[nodiscard]] Task<std::vector<double>> scatter(int root,
+                                                  std::vector<double> data,
+                                                  std::size_t chunk);
+  /// Element-wise sum of all contributions, scattered: rank r returns
+  /// segment r of the sum.  `contrib.size()` must be size() * k.
+  [[nodiscard]] Task<std::vector<double>> reduce_scatter_block(
+      std::vector<double> contrib);
+  /// Inclusive prefix sum by rank: rank r returns sum of contributions
+  /// from ranks 0..r.
+  [[nodiscard]] Task<std::vector<double>> scan_sum(
+      std::vector<double> contrib);
+  /// MPI_Comm_split: ranks with the same `color` form a new
+  /// communicator, ordered by (key, rank).  Implemented with a real
+  /// allgather of (color, key).  Returns nullptr for color < 0
+  /// (MPI_UNDEFINED).  Collective: every member must call it.
+  [[nodiscard]] Task<std::unique_ptr<Comm>> split(int color, int key);
+
+ private:
+  Comm(World& world, int world_rank,
+       std::shared_ptr<const std::vector<int>> members, int my_index,
+       std::uint64_t gid);
+
+  [[nodiscard]] int to_world(int comm_rank) const;
+  [[nodiscard]] Tag next_collective_tag(std::uint64_t round) const;
+  void check_rank(int r, const char* what) const;
+
+  /// One step of a collective: exchange with `partner` (send ours, recv
+  /// theirs) — both sides must call symmetrically.
+  [[nodiscard]] Task<Message> sendrecv(int partner, Tag tag,
+                                       std::vector<double> data);
+  [[nodiscard]] Task<Message> sendrecv_bytes(int send_to, int recv_from,
+                                             Tag tag, double bytes);
+
+  World& world_;
+  int world_rank_;
+  std::shared_ptr<const std::vector<int>> members_;
+  int my_index_;
+  std::uint64_t gid_;
+  mutable std::uint64_t collective_seq_ = 0;
+};
+
+}  // namespace xts::vmpi

@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file message.hpp
+/// Message representation and tag encoding for the simulated MPI.
+///
+/// Messages carry a byte count (always) and optionally a real payload of
+/// doubles — application proxies that verify numerics (POP's CG, halo
+/// exchanges) move real data through the simulated network; pure timing
+/// studies send sizes only.
+
+#include <cstdint>
+#include <vector>
+
+namespace xts::vmpi {
+
+using Tag = std::int64_t;
+
+inline constexpr int kAnySource = -1;
+inline constexpr Tag kAnyTag = -1;
+
+struct Message {
+  int src = kAnySource;       ///< rank within the sending communicator
+  Tag tag = 0;
+  double bytes = 0.0;
+  std::vector<double> data;   ///< optional payload
+  std::uint64_t gid = 0;      ///< communicator group id (matching context)
+};
+
+namespace tags {
+
+/// Internal (collective) tags live above bit 62; user tags must be
+/// non-negative and below this.
+inline constexpr Tag kInternalBase = Tag{1} << 62;
+
+/// Compose an internal collective tag.
+///  gid:   communicator group id (24 bits)
+///  seq:   collective sequence number on that comm (16 bits, wraps)
+///  round: algorithm round within the collective (20 bits)
+[[nodiscard]] constexpr Tag internal(std::uint64_t gid, std::uint64_t seq,
+                                     std::uint64_t round) noexcept {
+  return kInternalBase | static_cast<Tag>((gid & 0xFFFFFF) << 36) |
+         static_cast<Tag>((seq & 0xFFFF) << 20) |
+         static_cast<Tag>(round & 0xFFFFF);
+}
+
+[[nodiscard]] constexpr bool is_internal(Tag t) noexcept {
+  return t >= kInternalBase;
+}
+
+}  // namespace tags
+
+}  // namespace xts::vmpi

@@ -1,0 +1,237 @@
+#include "vmpi/world.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <string>
+
+#include "vmpi/comm.hpp"
+
+namespace xts::vmpi {
+
+using machine::ExecMode;
+
+World::World(WorldConfig cfg) : cfg_(std::move(cfg)) {
+  if (cfg_.nranks < 1) throw UsageError("World: need at least one rank");
+  const int cores_active =
+      cfg_.mode == ExecMode::kSN ? 1 : cfg_.machine.cores_per_node;
+  const int nnodes = (cfg_.nranks + cores_active - 1) / cores_active;
+
+  net::TorusDims dims = cfg_.dims;
+  if (dims.count() < nnodes || dims.count() == 1) {
+    dims = net::Torus3D::choose_dims(std::max(2, nnodes));
+  }
+  net::NetConfig ncfg;
+  ncfg.link_bw = cfg_.machine.nic.link_bw;
+  ncfg.injection_bw = cfg_.machine.nic.injection_bw;
+  ncfg.per_hop_latency = cfg_.machine.nic.per_hop_latency;
+  ncfg.fairness = cfg_.fairness;
+  network_ =
+      std::make_unique<net::FlowNetwork>(engine_, net::Torus3D(dims), ncfg);
+
+  nodes_.reserve(static_cast<std::size_t>(nnodes));
+  for (int i = 0; i < nnodes; ++i)
+    nodes_.push_back(std::make_unique<machine::Node>(
+        engine_, cfg_.machine,
+        cfg_.seed + static_cast<std::uint64_t>(i)));
+
+  build_placement();
+  inboxes_.resize(static_cast<std::size_t>(cfg_.nranks));
+  group_counters_.resize(static_cast<std::size_t>(cfg_.nranks));
+  world_comms_.reserve(static_cast<std::size_t>(cfg_.nranks));
+  for (int r = 0; r < cfg_.nranks; ++r)
+    world_comms_.push_back(std::make_unique<Comm>(*this, r));
+}
+
+World::~World() = default;
+
+void World::build_placement() {
+  const int cores_active =
+      cfg_.mode == ExecMode::kSN ? 1 : cfg_.machine.cores_per_node;
+  const int nnodes = node_count();
+  rank_node_.resize(static_cast<std::size_t>(cfg_.nranks));
+  rank_core_.resize(static_cast<std::size_t>(cfg_.nranks));
+
+  std::vector<int> node_order(static_cast<std::size_t>(nnodes));
+  std::iota(node_order.begin(), node_order.end(), 0);
+  if (cfg_.placement == Placement::kRandom) {
+    Rng rng(cfg_.seed);
+    for (std::size_t i = node_order.size(); i > 1; --i)
+      std::swap(node_order[i - 1], node_order[rng.below(i)]);
+  }
+
+  for (int r = 0; r < cfg_.nranks; ++r) {
+    int slot;
+    if (cfg_.placement == Placement::kRoundRobin) {
+      // Spread consecutive ranks across nodes first.
+      slot = r;
+      rank_node_[static_cast<std::size_t>(r)] =
+          static_cast<net::NodeId>(slot % nnodes);
+      rank_core_[static_cast<std::size_t>(r)] = slot / nnodes;
+    } else {
+      slot = r / cores_active;
+      rank_node_[static_cast<std::size_t>(r)] =
+          static_cast<net::NodeId>(node_order[static_cast<std::size_t>(
+              slot % nnodes)]);
+      rank_core_[static_cast<std::size_t>(r)] = r % cores_active;
+    }
+  }
+}
+
+net::NodeId World::node_of(int rank) const {
+  if (rank < 0 || rank >= cfg_.nranks)
+    throw UsageError("World::node_of: bad rank " + std::to_string(rank));
+  return rank_node_[static_cast<std::size_t>(rank)];
+}
+
+int World::core_of(int rank) const {
+  if (rank < 0 || rank >= cfg_.nranks)
+    throw UsageError("World::core_of: bad rank " + std::to_string(rank));
+  return rank_core_[static_cast<std::size_t>(rank)];
+}
+
+machine::Node& World::node(int rank) {
+  return *nodes_[static_cast<std::size_t>(node_of(rank))];
+}
+
+Comm& World::world_comm(int rank) {
+  if (rank < 0 || rank >= cfg_.nranks)
+    throw UsageError("World::world_comm: bad rank");
+  return *world_comms_[static_cast<std::size_t>(rank)];
+}
+
+SimTime World::run(const RankProgram& program) {
+  ranks_finished_ = 0;
+  for (int r = 0; r < cfg_.nranks; ++r) {
+    spawn(engine_, [](World& w, const RankProgram& prog, int rank)
+                       -> Task<void> {
+      co_await prog(w.world_comm(rank));
+      ++w.ranks_finished_;
+    }(*this, program, r));
+  }
+  engine_.run();
+  if (ranks_finished_ != cfg_.nranks) {
+    throw SimError("World::run: deadlock — " +
+                   std::to_string(cfg_.nranks - ranks_finished_) + " of " +
+                   std::to_string(cfg_.nranks) +
+                   " ranks still blocked with no pending events");
+  }
+  return engine_.now();
+}
+
+bool World::matches(const PostedRecv& r, const Message& m) const {
+  return r.gid == m.gid &&
+         (r.src_filter == kAnySource || r.src_filter == m.src) &&
+         (r.tag_filter == kAnyTag || r.tag_filter == m.tag);
+}
+
+void World::deliver(int dst, Message msg) {
+  ++messages_delivered_;
+  if (cfg_.enable_trace) {
+    // comm-relative src is enough for the world comm; subgroup sources
+    // are recorded as-is and flagged internal when from a collective.
+    trace_.push_back(TraceRecord{msg.src, dst, msg.bytes, engine_.now(),
+                                 tags::is_internal(msg.tag)});
+  }
+  auto& inbox = inboxes_[static_cast<std::size_t>(dst)];
+  for (auto it = inbox.posted.begin(); it != inbox.posted.end(); ++it) {
+    if (matches(*it, msg)) {
+      auto promise = std::move(it->promise);
+      inbox.posted.erase(it);
+      promise.set_value(std::move(msg));
+      return;
+    }
+  }
+  inbox.unexpected.push_back(std::move(msg));
+}
+
+Task<Message> World::match_recv(int dst, std::uint64_t gid, int src_filter,
+                                Tag tag_filter) {
+  auto& inbox = inboxes_[static_cast<std::size_t>(dst)];
+  PostedRecv probe{gid, src_filter, tag_filter, SimPromise<Message>(engine_)};
+  for (auto it = inbox.unexpected.begin(); it != inbox.unexpected.end();
+       ++it) {
+    if (matches(probe, *it)) {
+      Message m = std::move(*it);
+      inbox.unexpected.erase(it);
+      co_return m;
+    }
+  }
+  auto future = probe.promise.future();
+  inbox.posted.push_back(std::move(probe));
+  co_return co_await std::move(future);
+}
+
+Task<SimFutureV> World::post_send(int src, int dst, int comm_src,
+                                  std::uint64_t gid, Tag tag, double bytes,
+                                  std::vector<double> data) {
+  if (src < 0 || src >= cfg_.nranks || dst < 0 || dst >= cfg_.nranks)
+    throw UsageError("post_send: rank out of range");
+  if (bytes < 0.0) throw UsageError("post_send: negative size");
+  bytes_sent_ += bytes;
+
+  const auto& nic = cfg_.machine.nic;
+  machine::Node& snode = node(src);
+
+  // Sender CPU overhead, serialized through the node's NIC doorbell.
+  // In VN mode a non-owner core's message is forwarded by the owner
+  // core (§2), costing vn_forward_delay extra inside the critical
+  // section — which is exactly why two communicating cores more than
+  // double small-message latency (Fig 2, Fig 12).
+  (void)co_await snode.nic_lock().acquire();
+  SimTime hold = nic.tx_overhead;
+  if (core_of(src) != 0) hold += nic.vn_forward_delay;
+  co_await Delay(engine_, hold);
+  snode.nic_lock().release();
+
+  SimPromiseV delivered(engine_);
+  auto fut = delivered.future();
+  spawn(engine_,
+        transport(src, dst, Message{comm_src, tag, bytes, std::move(data), gid},
+                  std::move(delivered)));
+  co_return fut;
+}
+
+Task<void> World::transport(int src, int dst, Message msg,
+                            SimPromiseV delivered) {
+  const auto& mcfg = cfg_.machine;
+  const double bytes = msg.bytes;
+  const net::NodeId snode = node_of(src);
+  const net::NodeId dnode = node_of(dst);
+
+  if (snode == dnode) {
+    // Intra-node: memory copy through the shared controller.  §2: "one
+    // core is responsible for all message passing" — a non-owner
+    // receiver still pays the owner-core forwarding interrupt.
+    (void)co_await node(src).memcpy_traffic(bytes);
+    SimTime rx = mcfg.nic.rx_overhead * 0.5;
+    if (core_of(dst) != 0) rx += mcfg.nic.vn_forward_delay;
+    co_await Delay(engine_, rx);
+  } else {
+    // Rendezvous handshake for large messages: one control round-trip
+    // before the payload moves.
+    const SimTime oneway = network_->route_latency(snode, dnode);
+    if (bytes > mcfg.mpi.eager_threshold) {
+      co_await Delay(engine_, 2.0 * oneway + mcfg.nic.tx_overhead +
+                                  mcfg.nic.rx_overhead);
+    }
+    co_await Delay(engine_, oneway);
+    (void)co_await network_->transfer(snode, dnode, std::max(bytes, 8.0));
+    // Receiver-side processing serializes through the destination
+    // node's NIC doorbell too: Portals processing runs on the host
+    // CPU, and in VN mode the owner core handles every arriving
+    // message (forwarding non-owner traffic with an extra delay).
+    // This is what drives VN-mode small-message performance below the
+    // XT3's, per-core AND per-socket (Fig 11).
+    machine::Node& dnode_ref = node(dst);
+    (void)co_await dnode_ref.nic_lock().acquire();
+    SimTime rx = mcfg.nic.rx_overhead;
+    if (core_of(dst) != 0) rx += mcfg.nic.vn_forward_delay;
+    co_await Delay(engine_, rx);
+    dnode_ref.nic_lock().release();
+  }
+
+  deliver(dst, std::move(msg));
+  delivered.set_value(Done{});
+}
+
+}  // namespace xts::vmpi

@@ -1,0 +1,159 @@
+#pragma once
+
+/// \file world.hpp
+/// The simulated parallel machine: engine + nodes + network + rank
+/// placement + the point-to-point message engine.
+///
+/// Timing model for one message (paper §5.1.1, §5.2):
+///
+///   sender CPU:   tx_overhead, serialized per node through the NIC
+///                 doorbell lock; a VN-mode non-owner core additionally
+///                 pays vn_forward_delay (its message is handled by the
+///                 owner core, §2).
+///   network:      first-byte latency (hops x per_hop) plus a flow in
+///                 the fair-sharing network (injection link -> torus
+///                 links -> ejection link).  Messages above the eager
+///                 threshold pay one extra control round-trip
+///                 (rendezvous).
+///   receiver:     rx_overhead (+ vn_forward_delay for a non-owner
+///                 destination core), then tag matching.
+///   intra-node:   bypasses the NIC: a memory copy through the shared
+///                 controller (§2: "messages between two cores on the
+///                 same socket are handled through a memory copy").
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/rng.hpp"
+#include "core/task.hpp"
+#include "machine/config.hpp"
+#include "machine/node.hpp"
+#include "network/flow_network.hpp"
+#include "vmpi/message.hpp"
+
+namespace xts::vmpi {
+
+class Comm;
+
+/// Rank-to-node placement policy.
+enum class Placement { kBlock, kRoundRobin, kRandom };
+
+struct WorldConfig {
+  machine::MachineConfig machine;
+  machine::ExecMode mode = machine::ExecMode::kVN;
+  int nranks = 1;
+  Placement placement = Placement::kBlock;
+  std::uint64_t seed = 0x5eed;
+  net::TorusDims dims{};  ///< all-zero => choose automatically
+  net::Fairness fairness = net::Fairness::kMinShare;
+  bool enable_trace = false;  ///< record every delivered message
+};
+
+/// One delivered message (trace mode).
+struct TraceRecord {
+  int src_world = 0;
+  int dst_world = 0;
+  double bytes = 0.0;
+  SimTime delivered_at = 0.0;
+  bool internal = false;  ///< collective-internal traffic
+};
+
+class World {
+ public:
+  explicit World(WorldConfig cfg);
+  ~World();
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  [[nodiscard]] Engine& engine() noexcept { return engine_; }
+  [[nodiscard]] int nranks() const noexcept { return cfg_.nranks; }
+  [[nodiscard]] const WorldConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] net::FlowNetwork& network() noexcept { return *network_; }
+
+  [[nodiscard]] net::NodeId node_of(int rank) const;
+  [[nodiscard]] int core_of(int rank) const;
+  [[nodiscard]] machine::Node& node(int rank);
+  [[nodiscard]] int node_count() const noexcept {
+    return static_cast<int>(nodes_.size());
+  }
+
+  /// Run the same program on every rank (SPMD); returns the simulated
+  /// time at which the last rank finished.  Throws SimError if ranks
+  /// deadlock (event queue drained with ranks still blocked).
+  using RankProgram = std::function<Task<void>(Comm&)>;
+  SimTime run(const RankProgram& program);
+
+  /// World communicator handle for `rank` (valid during run()).
+  [[nodiscard]] Comm& world_comm(int rank);
+
+  // -- point-to-point engine (used by Comm; world-rank numbering) --------
+
+  /// Blocking part of a send: sender CPU overhead + NIC serialization.
+  /// The returned future completes when the payload has been delivered
+  /// to the destination's matching engine.  `src`/`dst` are world
+  /// ranks; `comm_src`/`gid` are the communicator-relative source and
+  /// matching context recorded in the message.
+  Task<SimFutureV> post_send(int src, int dst, int comm_src,
+                             std::uint64_t gid, Tag tag, double bytes,
+                             std::vector<double> data);
+
+  /// Wait for a message addressed to world rank `dst` matching the
+  /// communicator context `gid` and the src/tag filters
+  /// (communicator-relative).
+  Task<Message> match_recv(int dst, std::uint64_t gid, int src_filter,
+                           Tag tag_filter);
+
+  /// Total messages fully delivered (tests / stats).
+  [[nodiscard]] std::uint64_t messages_delivered() const noexcept {
+    return messages_delivered_;
+  }
+  [[nodiscard]] double bytes_sent() const noexcept { return bytes_sent_; }
+  /// Message log (empty unless WorldConfig::enable_trace).
+  [[nodiscard]] const std::vector<TraceRecord>& trace() const noexcept {
+    return trace_;
+  }
+
+ private:
+  struct PostedRecv {
+    std::uint64_t gid;
+    int src_filter;
+    Tag tag_filter;
+    SimPromise<Message> promise;
+  };
+  struct RankInbox {
+    std::deque<Message> unexpected;
+    std::deque<PostedRecv> posted;
+  };
+
+  void build_placement();
+  void deliver(int dst, Message msg);
+  [[nodiscard]] bool matches(const PostedRecv& r, const Message& m) const;
+  Task<void> transport(int src, int dst, Message msg,
+                       SimPromiseV delivered);
+
+  WorldConfig cfg_;
+  Engine engine_;
+  std::vector<std::unique_ptr<machine::Node>> nodes_;
+  std::unique_ptr<net::FlowNetwork> network_;
+  std::vector<net::NodeId> rank_node_;
+  std::vector<int> rank_core_;
+  std::vector<RankInbox> inboxes_;
+  std::vector<std::unique_ptr<Comm>> world_comms_;
+  std::uint64_t messages_delivered_ = 0;
+  double bytes_sent_ = 0.0;
+  std::vector<TraceRecord> trace_;
+  int ranks_finished_ = 0;
+
+  friend class Comm;
+  // Per-(membership-hash, rank) creation counters for deterministic
+  // communicator group ids (see Comm::subgroup).
+  std::vector<std::unordered_map<std::uint64_t, std::uint32_t>>
+      group_counters_;
+};
+
+}  // namespace xts::vmpi

@@ -1,0 +1,94 @@
+#include "apps/cam.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+#include "machine/platforms.hpp"
+#include "machine/presets.hpp"
+
+namespace xts::apps {
+namespace {
+
+using machine::ExecMode;
+
+CamConfig quick_cfg() {
+  CamConfig cfg;
+  cfg.sample_steps = 1;
+  return cfg;
+}
+
+TEST(Cam, DecompositionLimitsMatchPaper) {
+  // §6.1: 1D limited to 120 tasks (>=3 latitudes of 361); 2D limited
+  // to 120 x 8 = 960 tasks (>=3 of 26 levels).
+  EXPECT_EQ(cam_max_tasks_1d(), 120);
+  EXPECT_EQ(cam_max_tasks_2d(), 960);
+  EXPECT_THROW(run_cam(machine::xt4(), ExecMode::kVN, 961, quick_cfg()),
+               UsageError);
+  EXPECT_THROW(run_cam(machine::xt4(), ExecMode::kVN, 0, quick_cfg()),
+               UsageError);
+}
+
+TEST(Cam, SwitchesTo2dAbove120Tasks) {
+  const auto small = run_cam(machine::xt4(), ExecMode::kVN, 64, quick_cfg());
+  const auto large = run_cam(machine::xt4(), ExecMode::kVN, 240, quick_cfg());
+  EXPECT_FALSE(small.used_2d_decomposition);
+  EXPECT_TRUE(large.used_2d_decomposition);
+}
+
+TEST(Cam, ThroughputScalesWithTasks) {
+  const auto p32 = run_cam(machine::xt4(), ExecMode::kVN, 32, quick_cfg());
+  const auto p120 = run_cam(machine::xt4(), ExecMode::kVN, 120, quick_cfg());
+  EXPECT_GT(p120.simulated_years_per_day(),
+            2.0 * p32.simulated_years_per_day());
+}
+
+TEST(Cam, DynamicsCostsRoughlyTwicePhysics) {
+  // Fig 16: "the dynamics is approximately twice the cost of the
+  // physics for this problem".
+  const auto r = run_cam(machine::xt4(), ExecMode::kVN, 64, quick_cfg());
+  const double ratio = r.dynamics_seconds_per_day / r.physics_seconds_per_day;
+  EXPECT_GT(ratio, 1.3);
+  EXPECT_LT(ratio, 3.0);
+}
+
+TEST(Cam, Xt4BeatsXt3AtSameTaskCount) {
+  // Fig 14.
+  const auto xt3 =
+      run_cam(machine::xt3_single_core(), ExecMode::kSN, 96, quick_cfg());
+  const auto xt4 = run_cam(machine::xt4(), ExecMode::kSN, 96, quick_cfg());
+  EXPECT_GT(xt4.simulated_years_per_day(), xt3.simulated_years_per_day());
+}
+
+TEST(Cam, SnBeatsVnPerTaskButVnWinsPerNode) {
+  // Fig 14: ~10% SN advantage per task; VN mode with twice the tasks on
+  // the same nodes delivers better throughput (paper: ~30% at 504/960).
+  const auto sn = run_cam(machine::xt4(), ExecMode::kSN, 160, quick_cfg());
+  const auto vn = run_cam(machine::xt4(), ExecMode::kVN, 160, quick_cfg());
+  const auto vn2x = run_cam(machine::xt4(), ExecMode::kVN, 320, quick_cfg());
+  EXPECT_LT(sn.seconds_per_day(), vn.seconds_per_day());
+  EXPECT_LT(vn2x.seconds_per_day(), sn.seconds_per_day());
+}
+
+TEST(Cam, VectorPlatformsDegradeAtShortVectorLengths) {
+  // Fig 15 note: at 960 tasks vector lengths drop below 128 and the
+  // vector systems fall off.  Compare X1E efficiency at small vs large
+  // task counts against the scalar XT4.
+  CamConfig cfg = quick_cfg();
+  const auto x1e_small = run_cam(machine::cray_x1e(), ExecMode::kSN, 32, cfg);
+  const auto xt4_small = run_cam(machine::xt4(), ExecMode::kSN, 32, cfg);
+  // X1E's 18 GF MSPs crush a 5.2 GF Opteron at small counts.
+  EXPECT_GT(x1e_small.simulated_years_per_day(),
+            1.5 * xt4_small.simulated_years_per_day());
+}
+
+TEST(Cam, PhysicsGapBetweenSnAndVnComesFromAlltoallv) {
+  // Fig 16: the SN/VN physics difference at high task counts is mostly
+  // the load-balancing MPI_Alltoallv.
+  const auto sn = run_cam(machine::xt4(), ExecMode::kSN, 240, quick_cfg());
+  const auto vn = run_cam(machine::xt4(), ExecMode::kVN, 240, quick_cfg());
+  EXPECT_GT(vn.physics_seconds_per_day, sn.physics_seconds_per_day);
+}
+
+}  // namespace
+}  // namespace xts::apps

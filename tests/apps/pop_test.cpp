@@ -1,0 +1,145 @@
+#include "apps/pop.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "kernels/cg.hpp"
+#include "machine/presets.hpp"
+#include "vmpi/world.hpp"
+
+namespace xts::apps {
+namespace {
+
+using machine::ExecMode;
+
+TEST(Decomp2D, NearSquareFactorizations) {
+  auto d = choose_decomp(12);
+  EXPECT_EQ(d.px * d.py, 12);
+  EXPECT_EQ(d.px, 3);
+  d = choose_decomp(16);
+  EXPECT_EQ(d.px, 4);
+  d = choose_decomp(7);  // prime: 1 x 7
+  EXPECT_EQ(d.px * d.py, 7);
+  EXPECT_THROW(choose_decomp(0), UsageError);
+}
+
+/// The heart of the POP reproduction: the DISTRIBUTED CG over the
+/// simulated network must match the serial solver bit-for-bit in
+/// structure (same operator, same recurrence) and numerically to
+/// rounding.
+class DistributedCgMatchesSerial
+    : public ::testing::TestWithParam<std::tuple<int, bool>> {};
+
+TEST_P(DistributedCgMatchesSerial, SolutionAgreesWithSerial) {
+  const auto [nranks, chrono] = GetParam();
+  const int nx = 24, ny = 18;
+  Rng rng(99);
+  std::vector<double> b(static_cast<size_t>(nx * ny));
+  for (auto& v : b) v = rng.uniform(-1.0, 1.0);
+
+  // Serial reference.
+  std::vector<double> x_serial(b.size(), 0.0);
+  const auto serial = chrono ? kernels::cg_solve_chronopoulos_gear(
+                                   nx, ny, b, x_serial, 1e-10, 5000)
+                             : kernels::cg_solve(nx, ny, b, x_serial, 1e-10,
+                                                 5000);
+  ASSERT_TRUE(serial.converged);
+
+  // Distributed run over the simulated XT4.
+  vmpi::WorldConfig cfg;
+  cfg.machine = machine::xt4();
+  cfg.nranks = nranks;
+  vmpi::World world(std::move(cfg));
+  DistributedCgResult result;
+  world.run([&](vmpi::Comm& c) -> Task<void> {
+    co_await distributed_cg(c, nx, ny, b, 1e-10, 5000, chrono, &result);
+  });
+
+  EXPECT_TRUE(result.final_residual < 1e-9);
+  ASSERT_EQ(result.x_at_root.size(), b.size());
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < b.size(); ++i)
+    max_err = std::max(max_err,
+                       std::abs(result.x_at_root[i] - x_serial[i]));
+  EXPECT_LT(max_err, 1e-6);
+  // Same algorithm => iteration counts agree closely.
+  EXPECT_NEAR(result.iterations, serial.iterations, 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RanksAndVariant, DistributedCgMatchesSerial,
+    ::testing::Combine(::testing::Values(1, 2, 4, 6, 9),
+                       ::testing::Bool()));
+
+TEST(Pop, ChronopoulosGearReducesBarotropicTime) {
+  // Fig 18/19: halving the allreduces speeds the latency-bound
+  // barotropic phase.
+  PopConfig cfg;
+  cfg.sample_steps = 1;
+  cfg.sample_cg_iters = 12;
+  cfg.nx = 720;  // reduced grid keeps the test quick; shape unchanged
+  cfg.ny = 480;
+  const auto plain = run_pop(machine::xt4(), ExecMode::kVN, 64, cfg);
+  cfg.chronopoulos_gear = true;
+  const auto cg = run_pop(machine::xt4(), ExecMode::kVN, 64, cfg);
+  EXPECT_LT(cg.barotropic_seconds_per_day,
+            0.85 * plain.barotropic_seconds_per_day);
+  // Baroclinic phase is unaffected by the solver variant.
+  EXPECT_NEAR(cg.baroclinic_seconds_per_day,
+              plain.baroclinic_seconds_per_day,
+              0.1 * plain.baroclinic_seconds_per_day);
+}
+
+TEST(Pop, BaroclinicScalesBarotropicDoesNot) {
+  // Fig 19: the 3D baroclinic phase scales; the latency-bound 2D
+  // barotropic phase goes flat once the allreduce latency dominates
+  // the shrinking local SpMV (here: beyond ~128 tasks on this grid).
+  PopConfig cfg;
+  cfg.sample_steps = 1;
+  cfg.sample_cg_iters = 12;
+  cfg.nx = 720;
+  cfg.ny = 480;
+  const auto p128 = run_pop(machine::xt4(), ExecMode::kVN, 128, cfg);
+  const auto p512 = run_pop(machine::xt4(), ExecMode::kVN, 512, cfg);
+  EXPECT_LT(p512.baroclinic_seconds_per_day,
+            0.5 * p128.baroclinic_seconds_per_day);
+  EXPECT_GT(p512.barotropic_seconds_per_day,
+            0.6 * p128.barotropic_seconds_per_day);
+}
+
+TEST(Pop, Xt4BeatsXt3) {
+  PopConfig cfg;
+  cfg.sample_steps = 1;
+  cfg.sample_cg_iters = 10;
+  cfg.nx = 720;
+  cfg.ny = 480;
+  const auto xt3 = run_pop(machine::xt3_single_core(), ExecMode::kSN, 64,
+                           cfg);
+  const auto xt4 = run_pop(machine::xt4(), ExecMode::kSN, 64, cfg);
+  EXPECT_GT(xt4.simulated_years_per_day(), xt3.simulated_years_per_day());
+}
+
+TEST(Pop, VnUsesHalfTheNodesAtModestCost) {
+  // Fig 17: same node count, twice the ranks in VN -> higher
+  // throughput; same rank count, SN mode -> somewhat faster per rank.
+  PopConfig cfg;
+  cfg.sample_steps = 1;
+  cfg.sample_cg_iters = 10;
+  cfg.nx = 720;
+  cfg.ny = 480;
+  const auto sn64 = run_pop(machine::xt4(), ExecMode::kSN, 64, cfg);
+  const auto vn64 = run_pop(machine::xt4(), ExecMode::kVN, 64, cfg);
+  const auto vn128 = run_pop(machine::xt4(), ExecMode::kVN, 128, cfg);
+  EXPECT_LE(sn64.seconds_per_day(), vn64.seconds_per_day() * 1.05);
+  // Using both cores of the same 64 nodes beats SN on 64 nodes.
+  EXPECT_LT(vn128.baroclinic_seconds_per_day,
+            sn64.baroclinic_seconds_per_day);
+}
+
+}  // namespace
+}  // namespace xts::apps

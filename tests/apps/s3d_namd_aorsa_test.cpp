@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+#include "apps/aorsa.hpp"
+#include "apps/namd.hpp"
+#include "apps/s3d.hpp"
+#include "machine/presets.hpp"
+
+namespace xts::apps {
+namespace {
+
+using machine::ExecMode;
+
+// ---------------- S3D (Fig 22) ----------------
+
+S3dConfig s3d_quick() {
+  S3dConfig cfg;
+  cfg.sample_steps = 1;
+  return cfg;
+}
+
+TEST(S3d, WeakScalingIsNearlyFlat) {
+  const auto p8 = run_s3d(machine::xt4(), ExecMode::kVN, 8, s3d_quick());
+  const auto p64 = run_s3d(machine::xt4(), ExecMode::kVN, 64, s3d_quick());
+  // Nearest-neighbour-only communication: cost per point per step grows
+  // only mildly with core count.
+  EXPECT_LT(p64.us_per_point_per_step,
+            1.25 * p8.us_per_point_per_step);
+}
+
+TEST(S3d, VnCostsAboutThirtyPercentOverSn) {
+  const auto sn = run_s3d(machine::xt4(), ExecMode::kSN, 27, s3d_quick());
+  const auto vn = run_s3d(machine::xt4(), ExecMode::kVN, 27, s3d_quick());
+  const double ratio = vn.us_per_point_per_step / sn.us_per_point_per_step;
+  EXPECT_GT(ratio, 1.18);
+  EXPECT_LT(ratio, 1.45);
+}
+
+TEST(S3d, Xt4FasterThanXt3) {
+  const auto xt3 =
+      run_s3d(machine::xt3_single_core(), ExecMode::kSN, 27, s3d_quick());
+  const auto xt4 = run_s3d(machine::xt4(), ExecMode::kSN, 27, s3d_quick());
+  EXPECT_LT(xt4.us_per_point_per_step, xt3.us_per_point_per_step);
+}
+
+TEST(S3d, CostPerPointInPaperRange) {
+  // Fig 22 y-axis: tens of microseconds per grid point per step.
+  const auto r = run_s3d(machine::xt4(), ExecMode::kVN, 27, s3d_quick());
+  EXPECT_GT(r.us_per_point_per_step, 20.0);
+  EXPECT_LT(r.us_per_point_per_step, 90.0);
+}
+
+// ---------------- NAMD (Figs 20-21) ----------------
+
+TEST(Namd, StepTimeDropsWithTasks) {
+  const auto cfg = namd_1m_atoms();
+  const auto p32 = run_namd(machine::xt4(), ExecMode::kVN, 32, cfg);
+  const auto p128 = run_namd(machine::xt4(), ExecMode::kVN, 128, cfg);
+  EXPECT_LT(p128.seconds_per_step, 0.45 * p32.seconds_per_step);
+}
+
+TEST(Namd, OneMAtomScalingStallsAtPmeLimit) {
+  // The 1M-atom FFT grid (128 planes) limits scaling: the charge-grid
+  // fan-in to 128 PME ranks puts a floor under the step time, so the
+  // second doubling buys much less than the first.
+  const auto cfg = namd_1m_atoms();
+  const auto p128 = run_namd(machine::xt4(), ExecMode::kVN, 128, cfg);
+  const auto p256 = run_namd(machine::xt4(), ExecMode::kVN, 256, cfg);
+  const auto p1024 = run_namd(machine::xt4(), ExecMode::kVN, 1024, cfg);
+  const double first_doubling = p128.seconds_per_step / p256.seconds_per_step;
+  const double last_quadrupling =
+      p256.seconds_per_step / p1024.seconds_per_step;
+  EXPECT_GT(first_doubling, 1.4);
+  // 4x more ranks buys less than the earlier single doubling did.
+  EXPECT_LT(last_quadrupling, 4.0 * first_doubling / 2.0);
+  EXPECT_GT(p1024.seconds_per_step, 0.002);  // hard floor remains
+}
+
+TEST(Namd, ThreeMScalesFurtherThanOneM) {
+  const auto r1 = run_namd(machine::xt4(), ExecMode::kVN, 256,
+                           namd_1m_atoms());
+  const auto r3 = run_namd(machine::xt4(), ExecMode::kVN, 256,
+                           namd_3m_atoms());
+  EXPECT_GT(r3.seconds_per_step, r1.seconds_per_step);
+}
+
+TEST(Namd, SnVnGapIsModest) {
+  // Fig 21: "order of 10% or less" at moderate task counts.
+  const auto cfg = namd_1m_atoms();
+  const auto sn = run_namd(machine::xt4(), ExecMode::kSN, 64, cfg);
+  const auto vn = run_namd(machine::xt4(), ExecMode::kVN, 64, cfg);
+  EXPECT_LT(vn.seconds_per_step, 1.35 * sn.seconds_per_step);
+  EXPECT_GE(vn.seconds_per_step, 0.95 * sn.seconds_per_step);
+}
+
+TEST(Namd, Xt4FivePercentFasterThanXt3) {
+  const auto cfg = namd_1m_atoms();
+  const auto xt3 = run_namd(machine::xt3_dual_core(), ExecMode::kVN, 64, cfg);
+  const auto xt4 = run_namd(machine::xt4(), ExecMode::kVN, 64, cfg);
+  EXPECT_LT(xt4.seconds_per_step, xt3.seconds_per_step);
+}
+
+// ---------------- AORSA (Fig 23) ----------------
+
+AorsaConfig aorsa_quick() {
+  AorsaConfig cfg;
+  cfg.mesh = 120;  // smaller mesh keeps tests quick; scaling shape holds
+  cfg.lu_steps = 24;
+  return cfg;
+}
+
+TEST(Aorsa, StrongScalingReducesGrindTime) {
+  const auto p64 = run_aorsa(machine::xt4(), ExecMode::kVN, 64,
+                             aorsa_quick());
+  const auto p256 = run_aorsa(machine::xt4(), ExecMode::kVN, 256,
+                              aorsa_quick());
+  EXPECT_LT(p256.total_minutes, 0.45 * p64.total_minutes);
+  EXPECT_LT(p256.axb_minutes, p64.axb_minutes);
+  EXPECT_LT(p256.ql_minutes, p64.ql_minutes);
+}
+
+TEST(Aorsa, SolverEfficiencyIsHplClass) {
+  // Paper: 16.7 TFLOPS on 4096 cores = 78.4% of peak with the
+  // HPL-based complex solver.  At test scale expect >60% of peak.
+  const auto r = run_aorsa(machine::xt4(), ExecMode::kVN, 64, aorsa_quick());
+  const double peak_tflops = 64 * machine::xt4().peak_flops_per_core() / 1e12;
+  EXPECT_GT(r.solver_tflops, 0.55 * peak_tflops);
+  EXPECT_LT(r.solver_tflops, peak_tflops);
+}
+
+TEST(Aorsa, Xt4BeatsXt3AtSameCores) {
+  const auto xt3 = run_aorsa(machine::xt3_dual_core(), ExecMode::kVN, 64,
+                             aorsa_quick());
+  const auto xt4 = run_aorsa(machine::xt4(), ExecMode::kVN, 64,
+                             aorsa_quick());
+  EXPECT_LT(xt4.total_minutes, xt3.total_minutes);
+}
+
+TEST(Aorsa, TotalIsSumOfPhases) {
+  const auto r = run_aorsa(machine::xt4(), ExecMode::kVN, 16, aorsa_quick());
+  EXPECT_NEAR(r.total_minutes, r.axb_minutes + r.ql_minutes,
+              0.05 * r.total_minutes);
+}
+
+}  // namespace
+}  // namespace xts::apps

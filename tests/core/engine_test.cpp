@@ -1,0 +1,91 @@
+#include "core/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace xts {
+namespace {
+
+TEST(Engine, StartsAtTimeZero) {
+  Engine e;
+  EXPECT_EQ(e.now(), 0.0);
+  EXPECT_EQ(e.events_processed(), 0u);
+  EXPECT_EQ(e.events_pending(), 0u);
+}
+
+TEST(Engine, RunsEventsInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(3.0, [&] { order.push_back(3); });
+  e.schedule_at(1.0, [&] { order.push_back(1); });
+  e.schedule_at(2.0, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.now(), 3.0);
+}
+
+TEST(Engine, SameTimeEventsFireInScheduleOrder) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 100; ++i)
+    e.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  e.run();
+  ASSERT_EQ(order.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Engine, EventsCanScheduleMoreEvents) {
+  Engine e;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 10) e.schedule_after(1.0, chain);
+  };
+  e.schedule_after(1.0, chain);
+  e.run();
+  EXPECT_EQ(fired, 10);
+  EXPECT_EQ(e.now(), 10.0);
+}
+
+TEST(Engine, SchedulingInThePastThrows) {
+  Engine e;
+  e.schedule_at(5.0, [&] {
+    EXPECT_THROW(e.schedule_at(1.0, [] {}), UsageError);
+  });
+  e.run();
+}
+
+TEST(Engine, NegativeDelayThrows) {
+  Engine e;
+  EXPECT_THROW(e.schedule_after(-1.0, [] {}), UsageError);
+}
+
+TEST(Engine, RunUntilStopsAtDeadline) {
+  Engine e;
+  int fired = 0;
+  e.schedule_at(1.0, [&] { ++fired; });
+  e.schedule_at(10.0, [&] { ++fired; });
+  EXPECT_FALSE(e.run_until(5.0));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(e.events_pending(), 1u);
+  EXPECT_TRUE(e.run_until(20.0));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, StepReturnsFalseWhenEmpty) {
+  Engine e;
+  EXPECT_FALSE(e.step());
+}
+
+TEST(Engine, EventCountersTrack) {
+  Engine e;
+  for (int i = 0; i < 5; ++i) e.schedule_at(static_cast<double>(i), [] {});
+  EXPECT_EQ(e.events_pending(), 5u);
+  e.run();
+  EXPECT_EQ(e.events_processed(), 5u);
+  EXPECT_EQ(e.events_pending(), 0u);
+}
+
+}  // namespace
+}  // namespace xts

@@ -1,0 +1,171 @@
+#include "hpcc/hpcc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "core/units.hpp"
+#include "machine/presets.hpp"
+
+namespace xts::hpcc {
+namespace {
+
+using machine::ExecMode;
+using namespace xts::units;
+
+// These tests check that the simulated HPCC suite reproduces the
+// paper's qualitative findings (§5.1 and Figs 2-11), which is the
+// whole point of the reproduction.
+
+TEST(HpccLocal, DgemmTracksClockAndSurvivesEp) {
+  const auto xt3 = dgemm_gflops(machine::xt3_single_core());
+  const auto xt4 = dgemm_gflops(machine::xt4());
+  // Fig 5: ~4.2 vs ~4.6 GFLOPS, EP ~= SP (high temporal locality).
+  EXPECT_NEAR(xt3.sp, 4.2, 0.3);
+  EXPECT_NEAR(xt4.sp, 4.6, 0.3);
+  EXPECT_GT(xt4.ep, 0.95 * xt4.sp);
+}
+
+TEST(HpccLocal, FftImprovesAboutTwentyFivePercent) {
+  const auto xt3 = fft_gflops(machine::xt3_single_core());
+  const auto xt4 = fft_gflops(machine::xt4());
+  // Fig 4: XT3 ~0.5, XT4 ~0.6 GFLOPS; EP mildly below SP.
+  EXPECT_NEAR(xt3.sp, 0.50, 0.08);
+  EXPECT_NEAR(xt4.sp, 0.60, 0.08);
+  EXPECT_GT(xt4.sp, 1.1 * xt3.sp);
+  EXPECT_LT(xt4.ep, xt4.sp);
+  EXPECT_GT(xt4.ep, 0.75 * xt4.sp);
+}
+
+TEST(HpccLocal, StreamSecondCoreAddsLittle) {
+  const auto xt3 = stream_triad_gbs(machine::xt3_single_core());
+  const auto xt4 = stream_triad_gbs(machine::xt4());
+  // Fig 7: XT3 ~4, XT4 SP ~6.5 GB/s; EP per-core about half SP.
+  EXPECT_NEAR(xt3.sp, 4.0, 0.3);
+  EXPECT_NEAR(xt4.sp, 6.5, 0.4);
+  EXPECT_NEAR(xt4.ep, 3.5, 0.4);
+  // Per-socket EP (2 cores) barely exceeds SP.
+  EXPECT_LT(2.0 * xt4.ep, 1.15 * xt4.sp);
+}
+
+TEST(HpccLocal, RandomAccessEpHalvesPerCore) {
+  const auto xt3 = random_access_gups(machine::xt3_single_core());
+  const auto xt4 = random_access_gups(machine::xt4());
+  // Fig 6: XT4 SP ~0.02 GUPS, EP = SP/2; XT3 in between.
+  EXPECT_NEAR(xt4.sp, 0.020, 0.003);
+  EXPECT_NEAR(xt4.ep / xt4.sp, 0.5, 0.05);
+  EXPECT_GT(xt4.sp, xt3.sp);
+  // Same per-socket performance with one or two cores active.
+  EXPECT_NEAR(2.0 * xt4.ep, xt4.sp, 0.15 * xt4.sp);
+}
+
+TEST(HpccNet, LatencyMatchesFig2) {
+  const auto xt3 =
+      net_latency(machine::xt3_single_core(), ExecMode::kSN, 16);
+  const auto xt4sn = net_latency(machine::xt4(), ExecMode::kSN, 16);
+  const auto xt4vn = net_latency(machine::xt4(), ExecMode::kVN, 32);
+  // XT4 SN ~4.5 us beats XT3 ~6 us; VN mode is clearly worse.
+  EXPECT_NEAR(xt4sn.pp_min, 4.5 * us, 1.0 * us);
+  EXPECT_NEAR(xt3.pp_min, 6.0 * us, 1.0 * us);
+  EXPECT_GT(xt4vn.pp_max, 1.5 * xt4sn.pp_max);
+  EXPECT_GT(xt4vn.random_ring, xt4sn.random_ring);
+}
+
+TEST(HpccNet, BandwidthMatchesFig3) {
+  const auto xt3 =
+      net_bandwidth(machine::xt3_single_core(), ExecMode::kSN, 64);
+  const auto xt4sn = net_bandwidth(machine::xt4(), ExecMode::kSN, 64);
+  // Fig 3: ping-pong ~1.15 vs ~2+ GB/s.
+  EXPECT_NEAR(xt3.pp_avg, 1.1 * GB_per_s, 0.2 * GB_per_s);
+  EXPECT_NEAR(xt4sn.pp_avg, 2.0 * GB_per_s, 0.3 * GB_per_s);
+  // The multi-hop random ring contends for links: below the 1-hop
+  // natural ring, which itself is at or below ping-pong.
+  EXPECT_LT(xt4sn.random_ring, 0.95 * xt4sn.natural_ring);
+  EXPECT_LE(xt4sn.natural_ring, xt4sn.pp_avg * 1.02);
+}
+
+TEST(HpccGlobal, HplScalesNearlyLinearly) {
+  const auto& m = machine::xt4();
+  const double t64 = hpl_tflops(m, ExecMode::kVN, 64);
+  const double t128 = hpl_tflops(m, ExecMode::kVN, 128);
+  EXPECT_GT(t128, 1.7 * t64);
+  // Reasonable efficiency: >60% of peak.
+  EXPECT_GT(t64, 0.6 * 64 * m.peak_flops_per_core() / 1e12);
+}
+
+TEST(HpccGlobal, HplPerCoreNearlyClockProportional) {
+  // Fig 8: XT4 per-core HPL ~ clock ratio over XT3, in SN and VN.
+  const double xt3 =
+      hpl_tflops(machine::xt3_single_core(), ExecMode::kSN, 64) / 64;
+  const double xt4vn = hpl_tflops(machine::xt4(), ExecMode::kVN, 64) / 64;
+  EXPECT_GT(xt4vn, xt3);
+  EXPECT_LT(xt4vn, 1.35 * xt3);
+}
+
+TEST(HpccGlobal, MpiFftVnPerCoreWorseThanSn) {
+  // Fig 9: NIC sharing hits MPI-FFT in VN mode on a per-core basis.
+  const auto& m = machine::xt4();
+  const double sn = mpifft_gflops(m, ExecMode::kSN, 32) / 32;
+  const double vn = mpifft_gflops(m, ExecMode::kVN, 32) / 32;
+  EXPECT_LT(vn, 0.9 * sn);
+}
+
+TEST(HpccGlobal, PtransXt4AdvantageCappedByUnchangedLinks) {
+  // Fig 10: link bandwidth did not change XT3 -> XT4, so at the paper's
+  // scale PTRANS per socket is flat.  At test scale (32 sockets) the
+  // benchmark is still partially injection-bound, so the XT4 may lead —
+  // but never by more than the injection ratio (2.0/1.1 = 1.82), and
+  // the advantage shrinks toward 1 as the machine grows and the
+  // unchanged links take over (measured: 1.6 @32 -> 1.2 @512; the
+  // at-scale behaviour is exercised by bench_fig08_11_global --full).
+  const double xt3_32 =
+      ptrans_gbs(machine::xt3_single_core(), ExecMode::kSN, 32);
+  const double xt4_32 = ptrans_gbs(machine::xt4(), ExecMode::kSN, 32);
+  const double ratio32 = xt4_32 / xt3_32;
+  EXPECT_GT(ratio32, 1.0);
+  EXPECT_LT(ratio32, 1.85);
+}
+
+TEST(HpccGlobal, MpiRaVnSlowerThanSn) {
+  // Fig 11: VN mode is slower per-core AND per-socket for MPI-RA.
+  const auto& m = machine::xt4();
+  const double sn = mpira_gups(m, ExecMode::kSN, 32);
+  const double vn_socket = mpira_gups(m, ExecMode::kVN, 64);  // same nodes
+  EXPECT_LT(vn_socket, sn);
+}
+
+TEST(HpccBiBw, TwoPairsHalvePerPairBandwidth) {
+  // Figs 12/13.
+  const auto& m = machine::xt4();
+  const auto one = bidirectional_bandwidth(m, ExecMode::kVN, 1, 4.0 * MB);
+  const auto two = bidirectional_bandwidth(m, ExecMode::kVN, 2, 4.0 * MB);
+  EXPECT_NEAR(two.per_pair_bw, one.per_pair_bw / 2.0,
+              0.15 * one.per_pair_bw);
+}
+
+TEST(HpccBiBw, Xt4LargeMessageAdvantage) {
+  const auto xt3 = bidirectional_bandwidth(machine::xt3_dual_core(),
+                                           ExecMode::kVN, 1, 4.0 * MB);
+  const auto xt4 =
+      bidirectional_bandwidth(machine::xt4(), ExecMode::kVN, 1, 4.0 * MB);
+  // "at least 1.8 times that of the dual-core XT3" for large messages.
+  EXPECT_GT(xt4.per_pair_bw, 1.6 * xt3.per_pair_bw);
+}
+
+TEST(HpccBiBw, TwoPairLatencyOverTwiceSinglePair) {
+  const auto& m = machine::xt4();
+  const auto one = bidirectional_bandwidth(m, ExecMode::kVN, 1, 8.0);
+  const auto two = bidirectional_bandwidth(m, ExecMode::kVN, 2, 8.0);
+  EXPECT_GT(two.one_way_time, 1.5 * one.one_way_time);
+}
+
+TEST(HpccBiBw, ValidatesArguments) {
+  EXPECT_THROW(
+      bidirectional_bandwidth(machine::xt4(), ExecMode::kSN, 2, 1024.0),
+      UsageError);
+  EXPECT_THROW(
+      bidirectional_bandwidth(machine::xt4(), ExecMode::kVN, 3, 1024.0),
+      UsageError);
+}
+
+}  // namespace
+}  // namespace xts::hpcc

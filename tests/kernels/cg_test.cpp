@@ -1,0 +1,134 @@
+#include "kernels/cg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "core/rng.hpp"
+
+namespace xts::kernels {
+namespace {
+
+std::vector<double> random_vec(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.uniform(-1.0, 1.0);
+  return v;
+}
+
+double residual_norm(std::size_t nx, std::size_t ny,
+                     std::span<const double> b, std::span<const double> x) {
+  std::vector<double> ax(nx * ny);
+  apply_laplacian_5pt(nx, ny, x, ax);
+  double s = 0.0, bn = 0.0;
+  for (std::size_t i = 0; i < ax.size(); ++i) {
+    const double r = b[i] - ax[i];
+    s += r * r;
+    bn += b[i] * b[i];
+  }
+  return std::sqrt(s) / std::sqrt(bn > 0 ? bn : 1.0);
+}
+
+TEST(Laplacian, InteriorStencil) {
+  const std::size_t nx = 5, ny = 5;
+  std::vector<double> x(nx * ny, 1.0), y(nx * ny);
+  apply_laplacian_5pt(nx, ny, x, y);
+  // Interior of constant field: 4 - 4 = 0; boundaries see fewer
+  // neighbours (Dirichlet), so positive.
+  EXPECT_DOUBLE_EQ(y[2 * nx + 2], 0.0);
+  EXPECT_DOUBLE_EQ(y[0], 2.0);       // corner: 4 - 2
+  EXPECT_DOUBLE_EQ(y[2], 1.0);       // edge: 4 - 3
+}
+
+TEST(Cg, SolvesSmallSystem) {
+  const std::size_t nx = 20, ny = 15;
+  const auto b = random_vec(nx * ny, 1);
+  std::vector<double> x(nx * ny, 0.0);
+  const auto res = cg_solve(nx, ny, b, x, 1e-10, 2000);
+  EXPECT_TRUE(res.converged);
+  EXPECT_LT(residual_norm(nx, ny, b, x), 1e-8);
+}
+
+TEST(Cg, ChronopoulosGearSolvesSameSystem) {
+  const std::size_t nx = 20, ny = 15;
+  const auto b = random_vec(nx * ny, 1);
+  std::vector<double> x(nx * ny, 0.0);
+  const auto res = cg_solve_chronopoulos_gear(nx, ny, b, x, 1e-10, 2000);
+  EXPECT_TRUE(res.converged);
+  EXPECT_LT(residual_norm(nx, ny, b, x), 1e-8);
+}
+
+TEST(Cg, VariantsConvergeInSimilarIterations) {
+  // C-G is a rearrangement, not a different method: iteration counts
+  // should match closely (identical in exact arithmetic).
+  const std::size_t nx = 32, ny = 32;
+  const auto b = random_vec(nx * ny, 7);
+  std::vector<double> x1(nx * ny, 0.0), x2(nx * ny, 0.0);
+  const auto r1 = cg_solve(nx, ny, b, x1, 1e-9, 5000);
+  const auto r2 = cg_solve_chronopoulos_gear(nx, ny, b, x2, 1e-9, 5000);
+  ASSERT_TRUE(r1.converged);
+  ASSERT_TRUE(r2.converged);
+  EXPECT_NEAR(r1.iterations, r2.iterations, 3);
+}
+
+TEST(Cg, ResidualHistoryReachesTolerance) {
+  const std::size_t nx = 16, ny = 16;
+  const auto b = random_vec(nx * ny, 3);
+  std::vector<double> x(nx * ny, 0.0);
+  const auto res = cg_solve(nx, ny, b, x, 1e-8, 2000);
+  ASSERT_GE(res.residual_history.size(), 2u);
+  EXPECT_LE(res.residual_history.back(), 1e-8);
+  // Monotone overall decay: last residual far below first.
+  EXPECT_LT(res.residual_history.back(),
+            res.residual_history.front() * 1e-6);
+}
+
+TEST(Cg, WarmStartConvergesFaster) {
+  const std::size_t nx = 24, ny = 24;
+  const auto b = random_vec(nx * ny, 5);
+  std::vector<double> cold(nx * ny, 0.0);
+  const auto rc = cg_solve(nx, ny, b, cold, 1e-9, 5000);
+  // Perturb the solution slightly and re-solve: few iterations needed.
+  auto warm = cold;
+  for (auto& v : warm) v += 1e-6;
+  const auto rw = cg_solve(nx, ny, b, warm, 1e-9, 5000);
+  EXPECT_LT(rw.iterations, rc.iterations / 2);
+}
+
+TEST(Cg, BadSizesThrow) {
+  std::vector<double> b(10), x(10);
+  EXPECT_THROW(cg_solve(3, 4, b, x), UsageError);
+  EXPECT_THROW(cg_solve(0, 4, b, x), UsageError);
+}
+
+// Property: both variants solve grids of many shapes.
+class CgGrids : public ::testing::TestWithParam<
+                    std::tuple<std::size_t, std::size_t, bool>> {};
+
+TEST_P(CgGrids, Converges) {
+  const auto [nx, ny, use_cg_variant] = GetParam();
+  const auto b = random_vec(nx * ny, nx * 100 + ny);
+  std::vector<double> x(nx * ny, 0.0);
+  const auto res = use_cg_variant
+                       ? cg_solve_chronopoulos_gear(nx, ny, b, x, 1e-8, 20000)
+                       : cg_solve(nx, ny, b, x, 1e-8, 20000);
+  EXPECT_TRUE(res.converged) << nx << "x" << ny;
+  EXPECT_LT(residual_norm(nx, ny, b, x), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grids, CgGrids,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 8, 31, 64),
+                       ::testing::Values<std::size_t>(1, 9, 33),
+                       ::testing::Bool()));
+
+TEST(CgWork, BandwidthBoundProfile) {
+  const auto w = cg_iteration_work(1.0e6);
+  EXPECT_GT(w.stream_bytes, w.flops);  // stencil solvers stream memory
+}
+
+}  // namespace
+}  // namespace xts::kernels

@@ -1,0 +1,99 @@
+#include "kernels/dgemm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+#include <vector>
+
+#include "core/rng.hpp"
+
+namespace xts::kernels {
+namespace {
+
+std::vector<double> random_matrix(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> m(n);
+  for (auto& x : m) x = rng.uniform(-1.0, 1.0);
+  return m;
+}
+
+TEST(Dgemm, MatchesNaiveSquare) {
+  const std::size_t n = 37;
+  auto a = random_matrix(n * n, 1);
+  auto b = random_matrix(n * n, 2);
+  auto c1 = random_matrix(n * n, 3);
+  auto c2 = c1;
+  dgemm(n, n, n, 1.5, a, b, 0.5, c1);
+  dgemm_naive(n, n, n, 1.5, a, b, 0.5, c2);
+  for (std::size_t i = 0; i < n * n; ++i) EXPECT_NEAR(c1[i], c2[i], 1e-10);
+}
+
+TEST(Dgemm, IdentityIsNeutral) {
+  const std::size_t n = 16;
+  std::vector<double> eye(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) eye[i * n + i] = 1.0;
+  auto b = random_matrix(n * n, 7);
+  std::vector<double> c(n * n, 0.0);
+  dgemm(n, n, n, 1.0, eye, b, 0.0, c);
+  for (std::size_t i = 0; i < n * n; ++i) EXPECT_NEAR(c[i], b[i], 1e-12);
+}
+
+TEST(Dgemm, BetaScalesExistingC) {
+  const std::size_t n = 8;
+  std::vector<double> zero(n * n, 0.0);
+  std::vector<double> c(n * n, 2.0);
+  dgemm(n, n, n, 1.0, zero, zero, 3.0, c);
+  for (const double x : c) EXPECT_DOUBLE_EQ(x, 6.0);
+}
+
+TEST(Dgemm, BadSpanSizesThrow) {
+  std::vector<double> small(4, 0.0);
+  std::vector<double> c(16, 0.0);
+  EXPECT_THROW(dgemm(4, 4, 4, 1.0, small, small, 0.0, c), UsageError);
+}
+
+// Rectangular shapes, blocked vs naive.
+class DgemmShapes : public ::testing::TestWithParam<
+                        std::tuple<std::size_t, std::size_t, std::size_t>> {};
+
+TEST_P(DgemmShapes, MatchesNaive) {
+  const auto [m, n, k] = GetParam();
+  auto a = random_matrix(m * k, 11);
+  auto b = random_matrix(k * n, 13);
+  auto c1 = random_matrix(m * n, 17);
+  auto c2 = c1;
+  dgemm(m, n, k, -0.7, a, b, 1.2, c1);
+  dgemm_naive(m, n, k, -0.7, a, b, 1.2, c2);
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < m * n; ++i)
+    max_err = std::max(max_err, std::abs(c1[i] - c2[i]));
+  EXPECT_LT(max_err, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, DgemmShapes,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(5, 3, 2),
+                      std::make_tuple(64, 64, 64),
+                      std::make_tuple(65, 130, 129),
+                      std::make_tuple(128, 1, 200),
+                      std::make_tuple(1, 300, 7),
+                      std::make_tuple(100, 100, 1)));
+
+TEST(DgemmWork, CountsFlopsAndTraffic) {
+  const auto w = dgemm_work(1000.0);
+  EXPECT_DOUBLE_EQ(w.flops, 2.0e9);
+  EXPECT_NEAR(w.flop_efficiency, 0.88, 1e-12);
+  EXPECT_GT(w.stream_bytes, 0.0);
+  // Traffic is O(n^2): tiny compared with flops for n = 1000.
+  EXPECT_LT(w.stream_bytes, w.flops * 0.1);
+}
+
+TEST(DgemmWork, ComplexQuadruplesFlops) {
+  const auto real = gemm_update_work(100, 100, 100, false);
+  const auto cplx = gemm_update_work(100, 100, 100, true);
+  EXPECT_DOUBLE_EQ(cplx.flops, 4.0 * real.flops);
+}
+
+}  // namespace
+}  // namespace xts::kernels

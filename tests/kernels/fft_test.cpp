@@ -1,0 +1,107 @@
+#include "kernels/fft.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "core/rng.hpp"
+
+namespace xts::kernels {
+namespace {
+
+std::vector<Complex> random_signal(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Complex> x(n);
+  for (auto& v : x) v = Complex(rng.uniform(-1, 1), rng.uniform(-1, 1));
+  return x;
+}
+
+double max_abs_diff(std::span<const Complex> a, std::span<const Complex> b) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    m = std::max(m, std::abs(a[i] - b[i]));
+  return m;
+}
+
+TEST(Fft, MatchesReferenceDft) {
+  for (std::size_t n : {1u, 2u, 4u, 8u, 64u, 256u}) {
+    auto x = random_signal(n, n);
+    const auto expected = dft_reference(x);
+    fft(x);
+    EXPECT_LT(max_abs_diff(x, expected), 1e-9 * static_cast<double>(n))
+        << "n=" << n;
+  }
+}
+
+TEST(Fft, DeltaGivesFlatSpectrum) {
+  std::vector<Complex> x(16, Complex(0, 0));
+  x[0] = Complex(1, 0);
+  fft(x);
+  for (const auto& v : x) EXPECT_NEAR(std::abs(v - Complex(1, 0)), 0.0, 1e-12);
+}
+
+TEST(Fft, SingleToneLandsInOneBin) {
+  const std::size_t n = 64;
+  const std::size_t tone = 5;
+  std::vector<Complex> x(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    const double angle =
+        2.0 * 3.14159265358979323846 * static_cast<double>(tone * t) /
+        static_cast<double>(n);
+    x[t] = Complex(std::cos(angle), std::sin(angle));
+  }
+  fft(x);
+  for (std::size_t k = 0; k < n; ++k) {
+    if (k == tone)
+      EXPECT_NEAR(std::abs(x[k]), static_cast<double>(n), 1e-9);
+    else
+      EXPECT_NEAR(std::abs(x[k]), 0.0, 1e-9);
+  }
+}
+
+TEST(Fft, NonPowerOfTwoThrows) {
+  std::vector<Complex> x(12);
+  EXPECT_THROW(fft(x), UsageError);
+  std::vector<Complex> empty;
+  EXPECT_THROW(fft(empty), UsageError);
+}
+
+TEST(Fft, ParsevalHolds) {
+  auto x = random_signal(128, 42);
+  double time_energy = 0.0;
+  for (const auto& v : x) time_energy += std::norm(v);
+  fft(x);
+  double freq_energy = 0.0;
+  for (const auto& v : x) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy / 128.0, time_energy, 1e-9);
+}
+
+// Property sweep: ifft(fft(x)) == x across sizes.
+class FftRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftRoundTrip, InverseRecoversInput) {
+  const std::size_t n = GetParam();
+  const auto original = random_signal(n, 1000 + n);
+  auto x = original;
+  fft(x);
+  ifft(x);
+  EXPECT_LT(max_abs_diff(x, original), 1e-10 * static_cast<double>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftRoundTrip,
+                         ::testing::Values(1, 2, 4, 16, 128, 1024, 4096,
+                                           1u << 15));
+
+TEST(FftWork, ScalesAsNLogN) {
+  const auto w1 = fft_work(1024.0);
+  const auto w2 = fft_work(2048.0);
+  EXPECT_NEAR(w1.flops, 5.0 * 1024 * 10, 1e-6);
+  EXPECT_NEAR(w2.flops / w1.flops, 2.0 * 11.0 / 10.0, 1e-9);
+  EXPECT_GT(w1.stream_bytes, w1.flops);  // memory-intensive kernel
+}
+
+}  // namespace
+}  // namespace xts::kernels

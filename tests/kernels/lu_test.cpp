@@ -1,0 +1,95 @@
+#include "kernels/lu.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "core/rng.hpp"
+
+namespace xts::kernels {
+namespace {
+
+std::vector<double> random_matrix(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> m(n * n);
+  for (auto& x : m) x = rng.uniform(-1.0, 1.0);
+  // Diagonal boost keeps conditioning reasonable for residual checks.
+  for (std::size_t i = 0; i < n; ++i) m[i * n + i] += 2.0;
+  return m;
+}
+
+double solve_residual(std::size_t n, std::uint64_t seed,
+                      std::size_t block) {
+  const auto a0 = random_matrix(n, seed);
+  auto a = a0;
+  std::vector<int> piv(n);
+  if (!lu_factor(n, a, piv, block)) return 1e30;
+  Rng rng(seed + 1);
+  std::vector<double> b(n), x;
+  for (auto& v : b) v = rng.uniform(-1.0, 1.0);
+  x = b;
+  lu_solve(n, a, piv, x);
+  // Residual ||A x - b||_inf relative to ||b||_inf.
+  double max_r = 0.0, max_b = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double ax = 0.0;
+    for (std::size_t j = 0; j < n; ++j) ax += a0[i * n + j] * x[j];
+    max_r = std::max(max_r, std::abs(ax - b[i]));
+    max_b = std::max(max_b, std::abs(b[i]));
+  }
+  return max_r / max_b;
+}
+
+TEST(Lu, SolvesRandomSystems) {
+  for (std::size_t n : {1u, 2u, 5u, 17u, 64u, 101u}) {
+    EXPECT_LT(solve_residual(n, 7 * n + 1, 32), 1e-10) << "n=" << n;
+  }
+}
+
+// Blocked and unblocked paths agree across block sizes.
+class LuBlocks : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LuBlocks, BlockSizeDoesNotChangeTheAnswer) {
+  EXPECT_LT(solve_residual(73, 99, GetParam()), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Blocks, LuBlocks,
+                         ::testing::Values(1, 4, 16, 32, 73, 100));
+
+TEST(Lu, PivotingHandlesZeroDiagonal) {
+  // [[0, 1], [1, 0]] requires a swap.
+  std::vector<double> a{0.0, 1.0, 1.0, 0.0};
+  std::vector<int> piv(2);
+  ASSERT_TRUE(lu_factor(2, a, piv));
+  std::vector<double> b{3.0, 4.0};
+  lu_solve(2, a, piv, b);
+  EXPECT_DOUBLE_EQ(b[0], 4.0);  // x solves [[0,1],[1,0]] x = (3,4)
+  EXPECT_DOUBLE_EQ(b[1], 3.0);
+}
+
+TEST(Lu, SingularMatrixReportsFalse) {
+  std::vector<double> a(9, 1.0);  // rank-1
+  std::vector<int> piv(3);
+  EXPECT_FALSE(lu_factor(3, a, piv));
+}
+
+TEST(Lu, BadArgumentsThrow) {
+  std::vector<double> a(4);
+  std::vector<int> piv(2);
+  EXPECT_THROW(lu_factor(3, a, piv), UsageError);
+  EXPECT_THROW(lu_factor(2, a, piv, 0), UsageError);
+  std::vector<double> b(1);
+  EXPECT_THROW(lu_solve(2, a, piv, b), UsageError);
+}
+
+TEST(LuWork, TwoThirdsNCubed) {
+  const auto w = lu_work(300.0);
+  EXPECT_NEAR(w.flops, 2.0 / 3.0 * 300.0 * 300.0 * 300.0, 1.0);
+  EXPECT_GT(w.flop_efficiency, 0.5);
+}
+
+}  // namespace
+}  // namespace xts::kernels

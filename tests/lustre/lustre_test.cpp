@@ -1,0 +1,155 @@
+#include "lustre/lustre.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xts::lustre {
+namespace {
+
+using namespace xts::units;
+
+LustreConfig small_fs() {
+  LustreConfig cfg;
+  cfg.n_oss = 4;
+  cfg.osts_per_oss = 2;
+  return cfg;
+}
+
+TEST(Filesystem, CreateAssignsStripes) {
+  Engine e;
+  Filesystem fs(e, small_fs());
+  FileLayout layout;
+  spawn(e, [](Filesystem& f, FileLayout& out) -> Task<void> {
+    out = co_await f.create(4);
+  }(fs, layout));
+  e.run();
+  EXPECT_EQ(layout.stripe_count, 4);
+  EXPECT_EQ(layout.osts.size(), 4u);
+  for (const int ost : layout.osts) {
+    EXPECT_GE(ost, 0);
+    EXPECT_LT(ost, fs.total_osts());
+  }
+  EXPECT_EQ(fs.mds_ops(), 1u);
+}
+
+TEST(Filesystem, BadStripeCountThrows) {
+  Engine e;
+  Filesystem fs(e, small_fs());
+  EXPECT_THROW((void)fs.create(0), UsageError);
+  EXPECT_THROW((void)fs.create(fs.total_osts() + 1), UsageError);
+}
+
+TEST(Filesystem, InvalidConfigThrows) {
+  Engine e;
+  LustreConfig bad = small_fs();
+  bad.n_oss = 0;
+  EXPECT_THROW(Filesystem(e, bad), UsageError);
+  bad = small_fs();
+  bad.ost_bw = 0.0;
+  EXPECT_THROW(Filesystem(e, bad), UsageError);
+}
+
+TEST(Filesystem, SingleClientWriteBoundByOneOstWhenStripeOne) {
+  Engine e;
+  auto cfg = small_fs();
+  Filesystem fs(e, cfg);
+  SimTime done = -1.0;
+  const double bytes = 256.0 * MiB;
+  spawn(e, [](Engine& eng, Filesystem& f, double nbytes, SimTime& out)
+               -> Task<void> {
+    auto layout = co_await f.create(1);
+    co_await f.write(layout, 0.0, nbytes);
+    out = eng.now();
+  }(e, fs, bytes, done));
+  e.run();
+  // One OST at 250 MB/s: ~1.07 s for 256 MiB.
+  EXPECT_NEAR(done, bytes / (250.0 * MB_per_s), 0.1);
+}
+
+TEST(Filesystem, WiderStripesGoFaster) {
+  auto timed = [&](int stripes) {
+    Engine e;
+    Filesystem fs(e, small_fs());
+    SimTime done = -1.0;
+    spawn(e, [](Engine& eng, Filesystem& f, int sc, SimTime& out)
+                 -> Task<void> {
+      auto layout = co_await f.create(sc);
+      co_await f.write(layout, 0.0, 512.0 * MiB);
+      out = eng.now();
+    }(e, fs, stripes, done));
+    e.run();
+    return done;
+  };
+  const SimTime one = timed(1);
+  const SimTime four = timed(4);
+  EXPECT_LT(four, 0.4 * one);
+}
+
+TEST(Filesystem, MdsSerializesCreates) {
+  Engine e;
+  auto cfg = small_fs();
+  Filesystem fs(e, cfg);
+  const int clients = 50;
+  int done = 0;
+  for (int i = 0; i < clients; ++i) {
+    spawn(e, [](Filesystem& f, int& count) -> Task<void> {
+      (void)co_await f.create(1);
+      ++count;
+    }(fs, done));
+  }
+  e.run();
+  EXPECT_EQ(done, clients);
+  // Strictly serialized: total time = clients x op time.
+  EXPECT_NEAR(e.now(), clients * cfg.mds_op_time, 1e-9);
+}
+
+TEST(Ior, AggregateBandwidthScalesWithStripesAndClients) {
+  LustreConfig fs = small_fs();
+  IorConfig io;
+  io.clients = 4;
+  io.block_bytes = 32.0 * MiB;
+  io.stripe_count = 1;
+  const auto narrow = run_ior(fs, io);
+  io.stripe_count = 4;
+  const auto wide = run_ior(fs, io);
+  EXPECT_GT(wide.write_gbs, narrow.write_gbs);
+  EXPECT_GT(wide.read_gbs, 0.0);
+}
+
+TEST(Ior, ManyClientsSaturateTheFilesystem) {
+  LustreConfig fs = small_fs();
+  IorConfig io;
+  io.block_bytes = 16.0 * MiB;
+  io.stripe_count = 2;
+  io.clients = 2;
+  const auto few = run_ior(fs, io);
+  io.clients = 16;
+  const auto many = run_ior(fs, io);
+  // Aggregate grows but is capped by the 8 OSTs x 250 MB/s = 2 GB/s.
+  EXPECT_GE(many.write_gbs, few.write_gbs * 0.9);
+  EXPECT_LE(many.write_gbs, 2.1);
+}
+
+TEST(Ior, SharedFileCreatesOnce) {
+  LustreConfig fs = small_fs();
+  IorConfig io;
+  io.clients = 8;
+  io.block_bytes = 8.0 * MiB;
+  io.file_per_process = false;
+  const auto r = run_ior(fs, io);
+  EXPECT_GT(r.write_gbs, 0.0);
+  // Metadata phase is one MDS op, not eight.
+  EXPECT_LT(r.create_seconds, 2.0 * fs.mds_op_time + 1e-3);
+}
+
+TEST(Ior, ValidatesArguments) {
+  LustreConfig fs = small_fs();
+  IorConfig io;
+  io.clients = 0;
+  EXPECT_THROW(run_ior(fs, io), UsageError);
+  io.clients = 1;
+  io.xfer_bytes = 0.0;
+  EXPECT_THROW(run_ior(fs, io), UsageError);
+}
+
+}  // namespace
+}  // namespace xts::lustre

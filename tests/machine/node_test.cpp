@@ -1,0 +1,199 @@
+#include "machine/node.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/units.hpp"
+#include "machine/presets.hpp"
+
+namespace xts::machine {
+namespace {
+
+using xts::units::GB_per_s;
+using xts::units::GFLOPS;
+
+MachineConfig simple_config() {
+  MachineConfig m;
+  m.name = "simple";
+  m.core = {1.0e9, 2.0};  // 2 GFLOPS peak
+  m.cores_per_node = 2;
+  m.memory.peak_bw = 10.0 * GB_per_s;
+  m.memory.socket_stream_bw = 8.0 * GB_per_s;
+  m.memory.core_stream_bw = 6.0 * GB_per_s;
+  m.memory.latency = 100e-9;
+  m.memory.ra_cost_factor = 1.0;
+  m.memory.ra_contention = 1.0;
+  m.nic.injection_bw = 1.0 * GB_per_s;
+  m.nic.link_bw = 2.0 * GB_per_s;
+  m.memcpy_bw = 4.0 * GB_per_s;
+  return m;
+}
+
+SimTime run_single(Node& node, const Work& w) {
+  SimTime done = -1.0;
+  spawn(node.engine(), [](Node& n, Work work, SimTime& out) -> Task<void> {
+    co_await n.execute(work);
+    out = n.engine().now();
+  }(node, w, done));
+  node.engine().run();
+  return done;
+}
+
+TEST(Node, PureFlopsRunAtEffectivePeak) {
+  Engine e;
+  auto cfg = simple_config();
+  Node node(e, cfg);
+  Work w{2.0 * GFLOPS, 1.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(run_single(node, w), 1.0);
+}
+
+TEST(Node, FlopEfficiencyScalesTime) {
+  Engine e;
+  auto cfg = simple_config();
+  Node node(e, cfg);
+  Work w{2.0 * GFLOPS, 0.5, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(run_single(node, w), 2.0);
+}
+
+TEST(Node, SingleCoreStreamLimitedByCoreBandwidth) {
+  Engine e;
+  auto cfg = simple_config();
+  Node node(e, cfg);
+  Work w{0.0, 1.0, 6.0 * 1e9, 0.0};  // 6 GB at 6 GB/s core cap
+  EXPECT_NEAR(run_single(node, w), 1.0, 1e-9);
+}
+
+TEST(Node, DualCoreStreamsShareTheSocket) {
+  Engine e;
+  auto cfg = simple_config();
+  Node node(e, cfg);
+  std::vector<SimTime> done(2, -1.0);
+  for (int i = 0; i < 2; ++i) {
+    spawn(e, [](Node& n, SimTime& out) -> Task<void> {
+      co_await n.execute(Work{0.0, 1.0, 4.0e9, 0.0});
+      out = n.engine().now();
+    }(node, done[static_cast<size_t>(i)]));
+  }
+  e.run();
+  // 8 GB total through an 8 GB/s socket: each core sees 4 GB/s.
+  EXPECT_NEAR(done[0], 1.0, 1e-9);
+  EXPECT_NEAR(done[1], 1.0, 1e-9);
+}
+
+TEST(Node, RandomAccessContentionDoublesLatency) {
+  Engine e;
+  auto cfg = simple_config();
+  Node node(e, cfg);
+  const double n_acc = 1.0e6;
+  SimTime solo = -1.0;
+  {
+    Engine e2;
+    Node node2(e2, cfg);
+    spawn(e2, [](Node& n, double acc, SimTime& out) -> Task<void> {
+      co_await n.execute(Work{0.0, 1.0, 0.0, acc});
+      out = n.engine().now();
+    }(node2, n_acc, solo));
+    e2.run();
+  }
+  EXPECT_NEAR(solo, n_acc * 100e-9, 1e-9);
+
+  std::vector<SimTime> done(2, -1.0);
+  for (int i = 0; i < 2; ++i) {
+    spawn(e, [](Node& n, double acc, SimTime& out) -> Task<void> {
+      co_await n.execute(Work{0.0, 1.0, 0.0, acc});
+      out = n.engine().now();
+    }(node, n_acc, done[static_cast<size_t>(i)]));
+  }
+  e.run();
+  // Both cores random-accessing: latency doubles (ra_contention = 1).
+  EXPECT_NEAR(done[0], 2.0 * solo, solo * 0.2);
+  EXPECT_NEAR(done[1], 2.0 * solo, solo * 0.2);
+}
+
+TEST(Node, UncontendedTimeMatchesSoloExecution) {
+  Engine e;
+  auto cfg = simple_config();
+  Node node(e, cfg);
+  Work w{1.0 * GFLOPS, 0.8, 2.0e9, 1.0e5};
+  const SimTime predicted = node.uncontended_time(w);
+  EXPECT_NEAR(run_single(node, w), predicted, predicted * 1e-9);
+}
+
+TEST(Node, NegativeWorkThrows) {
+  Engine e;
+  auto cfg = simple_config();
+  Node node(e, cfg);
+  bool threw = false;
+  spawn(e, [](Node& n, bool& flag) -> Task<void> {
+    try {
+      co_await n.execute(Work{-1.0, 1.0, 0.0, 0.0});
+    } catch (const UsageError&) {
+      flag = true;
+    }
+  }(node, threw));
+  e.run();
+  EXPECT_TRUE(threw);
+}
+
+TEST(Node, MemcpyTrafficCostsReadPlusWrite) {
+  Engine e;
+  auto cfg = simple_config();
+  Node node(e, cfg);
+  SimTime done = -1.0;
+  spawn(e, [](Node& n, SimTime& out) -> Task<void> {
+    (void)co_await n.memcpy_traffic(3.0e9);
+    out = n.engine().now();
+  }(node, done));
+  e.run();
+  EXPECT_NEAR(done, 1.0, 1e-9);  // 6 GB through 6 GB/s per-core cap
+}
+
+TEST(Node, ConfigWithoutClockThrows) {
+  Engine e;
+  MachineConfig bad;
+  bad.memory.socket_stream_bw = 1.0;
+  bad.memory.core_stream_bw = 1.0;
+  bad.nic.injection_bw = 1.0;
+  EXPECT_THROW(Node(e, bad), UsageError);
+}
+
+// Property: a kernel never gets faster when a sibling core is active.
+class NodeContentionProperty
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(NodeContentionProperty, SiblingActivityNeverSpeedsUs) {
+  const auto [flops, bytes, accesses] = GetParam();
+  auto cfg = simple_config();
+  const Work w{flops, 0.9, bytes, accesses};
+
+  SimTime solo;
+  {
+    Engine e;
+    Node node(e, cfg);
+    solo = run_single(node, w);
+  }
+  SimTime contended = -1.0;
+  {
+    Engine e;
+    Node node(e, cfg);
+    spawn(e, [](Node& n) -> Task<void> {
+      co_await n.execute(Work{1.0e9, 1.0, 8.0e9, 2.0e5});
+    }(node));
+    spawn(e, [](Node& n, Work work, SimTime& out) -> Task<void> {
+      co_await n.execute(work);
+      out = n.engine().now();
+    }(node, w, contended));
+    e.run();
+  }
+  EXPECT_GE(contended, solo - 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WorkShapes, NodeContentionProperty,
+    ::testing::Values(std::make_tuple(1.0e9, 0.0, 0.0),
+                      std::make_tuple(0.0, 4.0e9, 0.0),
+                      std::make_tuple(0.0, 0.0, 1.0e5),
+                      std::make_tuple(5.0e8, 1.0e9, 5.0e4),
+                      std::make_tuple(1.0e8, 8.0e9, 0.0)));
+
+}  // namespace
+}  // namespace xts::machine

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/units.hpp"
+#include "machine/node.hpp"
+#include "machine/presets.hpp"
+#include "vmpi/comm.hpp"
+#include "vmpi/world.hpp"
+
+namespace xts::machine {
+namespace {
+
+using namespace xts::units;
+
+SimTime run_work(const MachineConfig& cfg, std::uint64_t seed,
+                 const Work& w) {
+  Engine e;
+  Node node(e, cfg, seed);
+  SimTime done = -1.0;
+  spawn(e, [](Node& n, Work work, SimTime& out) -> Task<void> {
+    co_await n.execute(work);
+    out = n.engine().now();
+  }(node, w, done));
+  e.run();
+  return done;
+}
+
+TEST(Noise, CatamountIsNoiseless) {
+  const auto cfg = xt4();
+  const Work w{5.2e9, 1.0, 0.0, 0.0};  // 1 s of compute
+  EXPECT_DOUBLE_EQ(run_work(cfg, 1, w), run_work(cfg, 2, w));
+  EXPECT_NEAR(run_work(cfg, 1, w), 1.0, 1e-9);
+}
+
+TEST(Noise, JitterStretchesComputeByTheDutyCycle) {
+  const auto cfg = with_os_noise(xt4(), 1.0e-3, 25.0e-6);
+  const Work w{5.2e9, 1.0, 0.0, 0.0};  // 1 s busy
+  // ~1000 +- ~32 interruptions x 25 us = +2.5% +- 0.1%.
+  const SimTime t = run_work(cfg, 7, w);
+  EXPECT_GT(t, 1.015);
+  EXPECT_LT(t, 1.04);
+}
+
+TEST(Noise, DifferentNodesStraggleDifferently) {
+  const auto cfg = with_os_noise(xt4(), 1.0e-3, 25.0e-6);
+  // Short kernels: the fractional-interruption draw differs by seed.
+  const Work w{5.2e6, 1.0, 0.0, 0.0};  // ~1 ms busy
+  std::vector<SimTime> times;
+  for (std::uint64_t s = 0; s < 16; ++s) times.push_back(run_work(cfg, s, w));
+  double lo = times[0], hi = times[0];
+  for (const auto t : times) {
+    lo = std::min(lo, t);
+    hi = std::max(hi, t);
+  }
+  EXPECT_GT(hi - lo, 10.0e-6);  // at least one extra interruption apart
+}
+
+TEST(Noise, JitterAmplifiesThroughCollectives) {
+  // A bulk-synchronous loop: with jitter, every allreduce waits for the
+  // unluckiest node, so the slowdown exceeds the ~2.5% duty cycle.
+  auto bsp_time = [](const MachineConfig& m, int nranks) {
+    vmpi::WorldConfig cfg;
+    cfg.machine = m;
+    cfg.nranks = nranks;
+    vmpi::World w(std::move(cfg));
+    return w.run([](vmpi::Comm& c) -> Task<void> {
+      Work step{5.2e6, 1.0, 0.0, 0.0};  // ~1 ms compute per superstep
+      for (int i = 0; i < 16; ++i) {
+        co_await c.compute(step);
+        std::vector<double> v(1, 1.0);
+        (void)co_await c.allreduce_sum(std::move(v));
+      }
+    });
+  };
+  const double clean = bsp_time(xt4(), 64);
+  const double noisy = bsp_time(with_os_noise(xt4()), 64);
+  const double slowdown = noisy / clean;
+  EXPECT_GT(slowdown, 1.025);  // worse than the raw duty cycle
+}
+
+}  // namespace
+}  // namespace xts::machine

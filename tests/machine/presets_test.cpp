@@ -1,0 +1,116 @@
+#include "machine/presets.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/units.hpp"
+#include "machine/platforms.hpp"
+#include "machine/work.hpp"
+
+namespace xts::machine {
+namespace {
+
+using xts::units::GB_per_s;
+using xts::units::us;
+
+TEST(Presets, Table1HeadlineNumbers) {
+  const auto xt3 = xt3_single_core();
+  const auto xt3dc = xt3_dual_core();
+  const auto x4 = xt4();
+
+  // Clocks and core counts (Table 1).
+  EXPECT_DOUBLE_EQ(xt3.core.clock_hz, 2.4e9);
+  EXPECT_EQ(xt3.cores_per_node, 1);
+  EXPECT_DOUBLE_EQ(xt3dc.core.clock_hz, 2.6e9);
+  EXPECT_EQ(xt3dc.cores_per_node, 2);
+  EXPECT_DOUBLE_EQ(x4.core.clock_hz, 2.6e9);
+  EXPECT_EQ(x4.cores_per_node, 2);
+
+  // Memory generations (Table 1).
+  EXPECT_DOUBLE_EQ(xt3.memory.peak_bw, 6.4 * GB_per_s);
+  EXPECT_DOUBLE_EQ(xt3dc.memory.peak_bw, 6.4 * GB_per_s);
+  EXPECT_DOUBLE_EQ(x4.memory.peak_bw, 10.6 * GB_per_s);
+
+  // NIC injection: 2.2 vs 4 GB/s bidirectional -> 1.1 vs 2.0 unidir.
+  EXPECT_DOUBLE_EQ(xt3.nic.injection_bw, 1.1 * GB_per_s);
+  EXPECT_DOUBLE_EQ(x4.nic.injection_bw, 2.0 * GB_per_s);
+
+  // Link bandwidth unchanged XT3 -> XT4 (PTRANS flat, Fig 10).
+  EXPECT_DOUBLE_EQ(xt3.nic.link_bw, x4.nic.link_bw);
+}
+
+TEST(Presets, LatencyOrderingMatchesFig2) {
+  const auto xt3 = xt3_single_core();
+  const auto x4 = xt4();
+  const double xt3_lat = xt3.nic.tx_overhead + xt3.nic.rx_overhead;
+  const double xt4_lat = x4.nic.tx_overhead + x4.nic.rx_overhead;
+  EXPECT_GT(xt3_lat, xt4_lat);         // XT4 SN beats XT3
+  EXPECT_NEAR(xt4_lat, 4.2 * us, us);  // ~4.5 us end to end
+  EXPECT_NEAR(xt3_lat, 5.6 * us, us);  // ~6 us end to end
+  EXPECT_GT(x4.nic.vn_forward_delay, 0.0);
+}
+
+TEST(Presets, MemoryLatencyUnderSixtyNanoseconds) {
+  // §2: Cray chose the 100-series Opteron to keep latency < 60 ns.
+  EXPECT_LT(xt3_single_core().memory.latency, 60e-9 + 1e-15);
+  EXPECT_LT(xt4().memory.latency, 60e-9);
+}
+
+TEST(Presets, StreamBandwidthImprovesWithDdr2) {
+  EXPECT_GT(xt4().memory.socket_stream_bw,
+            1.5 * xt3_single_core().memory.socket_stream_bw);
+  EXPECT_GT(xt4_ddr2_800().memory.socket_stream_bw,
+            xt4().memory.socket_stream_bw);
+}
+
+TEST(Presets, PeakFlopsPerCore) {
+  EXPECT_DOUBLE_EQ(xt3_single_core().peak_flops_per_core(), 4.8e9);
+  EXPECT_DOUBLE_EQ(xt4().peak_flops_per_core(), 5.2e9);
+  EXPECT_DOUBLE_EQ(xt4_quad_core().peak_flops_per_core(), 8.4e9);
+}
+
+TEST(Platforms, PeakFlopsMatchPaperSection61) {
+  EXPECT_DOUBLE_EQ(cray_x1e().peak_flops_per_core(), 18.0e9);
+  EXPECT_DOUBLE_EQ(earth_simulator().peak_flops_per_core(), 8.0e9);
+  EXPECT_DOUBLE_EQ(ibm_p690().peak_flops_per_core(), 5.2e9);
+  EXPECT_DOUBLE_EQ(ibm_p575().peak_flops_per_core(), 7.6e9);
+  EXPECT_DOUBLE_EQ(ibm_sp().peak_flops_per_core(), 1.5e9);
+}
+
+TEST(Platforms, VectorEfficiencyCollapsesAtShortVectors) {
+  const auto x1e = cray_x1e();
+  EXPECT_GT(x1e.vector_efficiency(2000.0), 0.9);
+  EXPECT_LT(x1e.vector_efficiency(100.0), 0.5);  // Fig 15: <128 hurts
+  EXPECT_EQ(x1e.vector_efficiency(0.0), 0.0);
+  // Scalar machines are unaffected by vector length.
+  EXPECT_DOUBLE_EQ(ibm_p575().vector_efficiency(1.0), 1.0);
+}
+
+TEST(Platforms, SmpWidthsMatchPaper) {
+  EXPECT_EQ(earth_simulator().cores_per_node, 8);
+  EXPECT_EQ(ibm_p690().cores_per_node, 32);
+  EXPECT_EQ(ibm_p575().cores_per_node, 8);
+  EXPECT_EQ(ibm_sp().cores_per_node, 16);
+}
+
+TEST(WorkDescriptor, ScaledAndCombined) {
+  Work a{100.0, 0.5, 10.0, 1.0};
+  Work b = a.scaled(2.0);
+  EXPECT_DOUBLE_EQ(b.flops, 200.0);
+  EXPECT_DOUBLE_EQ(b.stream_bytes, 20.0);
+  EXPECT_DOUBLE_EQ(b.flop_efficiency, 0.5);
+
+  // Combining equal-efficiency work keeps efficiency.
+  Work c = a + a;
+  EXPECT_DOUBLE_EQ(c.flops, 200.0);
+  EXPECT_NEAR(c.flop_efficiency, 0.5, 1e-12);
+
+  // Blending efficiencies preserves total flop time.
+  Work fast{100.0, 1.0, 0.0, 0.0};
+  Work slow{100.0, 0.25, 0.0, 0.0};
+  Work mix = fast + slow;
+  const double t = mix.flops / mix.flop_efficiency;
+  EXPECT_NEAR(t, 100.0 / 1.0 + 100.0 / 0.25, 1e-9);
+}
+
+}  // namespace
+}  // namespace xts::machine

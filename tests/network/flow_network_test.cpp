@@ -1,0 +1,203 @@
+#include "network/flow_network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/rng.hpp"
+#include "core/task.hpp"
+
+namespace xts::net {
+namespace {
+
+NetConfig cfg(double link = 4.0, double inj = 2.0) {
+  NetConfig c;
+  c.link_bw = link;           // units: bytes/s (test-scale numbers)
+  c.injection_bw = inj;
+  c.per_hop_latency = 0.1;
+  return c;
+}
+
+SimTime run_one_transfer(Engine& e, FlowNetwork& net, NodeId src, NodeId dst,
+                         double bytes) {
+  SimTime done = -1.0;
+  spawn(e, [](Engine& eng, FlowNetwork& n, NodeId s, NodeId d, double b,
+              SimTime& out) -> Task<void> {
+    (void)co_await n.transfer(s, d, b);
+    out = eng.now();
+  }(e, net, src, dst, bytes, done));
+  e.run();
+  return done;
+}
+
+TEST(FlowNetwork, SingleFlowLimitedByInjection) {
+  Engine e;
+  FlowNetwork net(e, Torus3D({4, 1, 1}), cfg(4.0, 2.0));
+  // 8 bytes at min(inj 2, link 4, ej 2) = 2 B/s -> 4 s.
+  EXPECT_NEAR(run_one_transfer(e, net, 0, 1, 8.0), 4.0, 1e-9);
+  EXPECT_NEAR(net.total_delivered(), 8.0, 1e-6);
+}
+
+TEST(FlowNetwork, SingleFlowLimitedByLink) {
+  Engine e;
+  FlowNetwork net(e, Torus3D({4, 1, 1}), cfg(1.0, 2.0));
+  EXPECT_NEAR(run_one_transfer(e, net, 0, 1, 8.0), 8.0, 1e-9);
+}
+
+TEST(FlowNetwork, ZeroByteTransferCompletesImmediately) {
+  Engine e;
+  FlowNetwork net(e, Torus3D({2, 1, 1}), cfg());
+  EXPECT_NEAR(run_one_transfer(e, net, 0, 1, 0.0), 0.0, 1e-12);
+}
+
+TEST(FlowNetwork, NegativeSizeThrows) {
+  Engine e;
+  FlowNetwork net(e, Torus3D({2, 1, 1}), cfg());
+  EXPECT_THROW((void)net.transfer(0, 1, -1.0), UsageError);
+}
+
+TEST(FlowNetwork, TwoFlowsShareInjectionLink) {
+  Engine e;
+  FlowNetwork net(e, Torus3D({4, 1, 1}), cfg(8.0, 2.0));
+  std::vector<SimTime> done(2, -1.0);
+  // Same source, different destinations: share the injection link.
+  const NodeId dst[2] = {1, 3};
+  for (int i = 0; i < 2; ++i) {
+    spawn(e, [](Engine& eng, FlowNetwork& n, NodeId d, SimTime& out)
+                 -> Task<void> {
+      (void)co_await n.transfer(0, d, 4.0);
+      out = eng.now();
+    }(e, net, dst[i], done[static_cast<size_t>(i)]));
+  }
+  e.run();
+  // Each gets 1 B/s on the 2 B/s injection link -> 4 s.
+  EXPECT_NEAR(done[0], 4.0, 1e-9);
+  EXPECT_NEAR(done[1], 4.0, 1e-9);
+}
+
+TEST(FlowNetwork, DisjointFlowsDoNotInterfere) {
+  Engine e;
+  FlowNetwork net(e, Torus3D({4, 4, 1}), cfg(4.0, 2.0));
+  Torus3D t({4, 4, 1});
+  std::vector<SimTime> done(2, -1.0);
+  const NodeId srcs[2] = {t.id_of({0, 0, 0}), t.id_of({2, 2, 0})};
+  const NodeId dsts[2] = {t.id_of({0, 1, 0}), t.id_of({2, 3, 0})};
+  for (int i = 0; i < 2; ++i) {
+    spawn(e, [](Engine& eng, FlowNetwork& n, NodeId s, NodeId d,
+                SimTime& out) -> Task<void> {
+      (void)co_await n.transfer(s, d, 8.0);
+      out = eng.now();
+    }(e, net, srcs[i], dsts[i], done[static_cast<size_t>(i)]));
+  }
+  e.run();
+  EXPECT_NEAR(done[0], 4.0, 1e-9);  // full injection rate each
+  EXPECT_NEAR(done[1], 4.0, 1e-9);
+}
+
+TEST(FlowNetwork, LateFlowSlowsSharedLink) {
+  Engine e;
+  // Ring of 8; flows 0->2 and 1->2 share link 1->2 and ejection at 2.
+  FlowNetwork net(e, Torus3D({8, 1, 1}), cfg(2.0, 100.0));
+  SimTime first = -1.0, second = -1.0;
+  spawn(e, [](Engine& eng, FlowNetwork& n, SimTime& out) -> Task<void> {
+    (void)co_await n.transfer(0, 2, 8.0);
+    out = eng.now();
+  }(e, net, first));
+  spawn(e, [](Engine& eng, FlowNetwork& n, SimTime& out) -> Task<void> {
+    co_await Delay(eng, 2.0);
+    (void)co_await n.transfer(1, 2, 2.0);
+    out = eng.now();
+  }(e, net, second));
+  e.run();
+  // Flow A: 4 bytes by t=2 (rate 2), then shares: rate 1 each.
+  // Flow B: 2 bytes at rate 1 -> done t=4. A: 2 more bytes in [2,4],
+  // then 2 bytes alone at rate 2 -> done t=5.
+  EXPECT_NEAR(second, 4.0, 1e-9);
+  EXPECT_NEAR(first, 5.0, 1e-9);
+}
+
+TEST(FlowNetwork, ConservationAcrossManyRandomFlows) {
+  Engine e;
+  Torus3D topo({4, 4, 4});
+  FlowNetwork net(e, topo, cfg(3.0, 2.0));
+  double total = 0.0;
+  int finished = 0;
+  const int kFlows = 200;
+  Rng rng_src(1), rng_dst(2);
+  for (int i = 0; i < kFlows; ++i) {
+    const auto src = static_cast<NodeId>(rng_src.below(64));
+    auto dst = static_cast<NodeId>(rng_dst.below(64));
+    if (dst == src) dst = (dst + 1) % 64;
+    const double bytes = 1.0 + static_cast<double>(i % 17);
+    total += bytes;
+    spawn(e, [](Engine& eng, FlowNetwork& n, NodeId s, NodeId d, double b,
+                int delay, int& count) -> Task<void> {
+      co_await Delay(eng, 0.25 * delay);
+      (void)co_await n.transfer(s, d, b);
+      ++count;
+    }(e, net, src, dst, bytes, i % 7, finished));
+  }
+  e.run();
+  EXPECT_EQ(finished, kFlows);
+  EXPECT_NEAR(net.total_delivered(), total, 1e-6);
+  EXPECT_EQ(net.active_flows(), 0u);
+  for (LinkId l = 0; l < topo.total_link_count(); ++l)
+    EXPECT_EQ(net.link_load(l), 0);
+}
+
+TEST(FlowNetwork, RouteLatencyScalesWithHops) {
+  Engine e;
+  FlowNetwork net(e, Torus3D({8, 1, 1}), cfg());
+  EXPECT_NEAR(net.route_latency(0, 1), 0.1, 1e-12);
+  EXPECT_NEAR(net.route_latency(0, 4), 0.4, 1e-12);
+}
+
+TEST(FlowNetwork, DeterministicReplay) {
+  auto run = [] {
+    Engine e;
+    FlowNetwork net(e, Torus3D({4, 4, 1}), cfg(2.5, 1.5));
+    std::vector<SimTime> done;
+    for (int i = 0; i < 20; ++i) {
+      NodeId s = static_cast<NodeId>(i % 16);
+      NodeId d = static_cast<NodeId>((i * 5 + 1) % 16);
+      if (s == d) d = (d + 1) % 16;
+      spawn(e, [](Engine& eng, FlowNetwork& n, NodeId src, NodeId dst,
+                  double b, std::vector<SimTime>& log) -> Task<void> {
+        (void)co_await n.transfer(src, dst, b);
+        log.push_back(eng.now());
+      }(e, net, s, d, 1.0 + i, done));
+    }
+    e.run();
+    return done;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+// Property: N identical flows through one bottleneck finish in N x solo
+// time (fair sharing), for a sweep of N.
+class FlowFairness : public ::testing::TestWithParam<int> {};
+
+TEST_P(FlowFairness, BottleneckSharedEqually) {
+  const int n = GetParam();
+  Engine e;
+  // All flows eject at node 1: ejection link is the bottleneck.
+  FlowNetwork net(e, Torus3D({16, 1, 1}), cfg(100.0, 2.0));
+  std::vector<SimTime> done(static_cast<size_t>(n), -1.0);
+  for (int i = 0; i < n; ++i) {
+    const auto src = static_cast<NodeId>(2 + i);
+    spawn(e, [](Engine& eng, FlowNetwork& net2, NodeId s, SimTime& out)
+                 -> Task<void> {
+      (void)co_await net2.transfer(s, 1, 4.0);
+      out = eng.now();
+    }(e, net, src, done[static_cast<size_t>(i)]));
+  }
+  e.run();
+  const double expected = static_cast<double>(n) * 4.0 / 2.0;
+  for (const auto t : done) EXPECT_NEAR(t, expected, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, FlowFairness,
+                         ::testing::Values(1, 2, 3, 5, 9, 14));
+
+}  // namespace
+}  // namespace xts::net

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "core/error.hpp"
+#include "machine/presets.hpp"
+#include "vmpi/comm.hpp"
+#include "vmpi/world.hpp"
+
+namespace xts::vmpi {
+namespace {
+
+WorldConfig make_cfg(int nranks) {
+  WorldConfig cfg;
+  cfg.machine = machine::xt4();
+  cfg.nranks = nranks;
+  return cfg;
+}
+
+class Collectives2 : public ::testing::TestWithParam<int> {};
+
+TEST_P(Collectives2, GatherOrdersByRank) {
+  const int p = GetParam();
+  World w(make_cfg(p));
+  std::vector<double> at_root;
+  w.run([&](Comm& c) -> Task<void> {
+    std::vector<double> mine(2);
+    mine[0] = static_cast<double>(c.rank());
+    mine[1] = static_cast<double>(c.rank() * 10);
+    auto r = co_await c.gather(0, std::move(mine));
+    if (c.rank() == 0) at_root = std::move(r);
+  });
+  ASSERT_EQ(at_root.size(), static_cast<size_t>(2 * p));
+  for (int r = 0; r < p; ++r) {
+    EXPECT_DOUBLE_EQ(at_root[static_cast<size_t>(2 * r)], r);
+    EXPECT_DOUBLE_EQ(at_root[static_cast<size_t>(2 * r + 1)], 10.0 * r);
+  }
+}
+
+TEST_P(Collectives2, ScatterDistributesChunks) {
+  const int p = GetParam();
+  World w(make_cfg(p));
+  std::vector<std::vector<double>> got(static_cast<size_t>(p));
+  w.run([&](Comm& c) -> Task<void> {
+    std::vector<double> data;
+    if (c.rank() == 0) {
+      data.resize(static_cast<size_t>(3 * p));
+      std::iota(data.begin(), data.end(), 0.0);
+    }
+    got[static_cast<size_t>(c.rank())] =
+        co_await c.scatter(0, std::move(data), 3);
+  });
+  for (int r = 0; r < p; ++r) {
+    const auto& v = got[static_cast<size_t>(r)];
+    ASSERT_EQ(v.size(), 3u);
+    EXPECT_DOUBLE_EQ(v[0], 3.0 * r);
+    EXPECT_DOUBLE_EQ(v[2], 3.0 * r + 2);
+  }
+}
+
+TEST_P(Collectives2, GatherScatterRoundTrip) {
+  const int p = GetParam();
+  World w(make_cfg(p));
+  std::vector<int> ok(static_cast<size_t>(p), 0);
+  w.run([&](Comm& c) -> Task<void> {
+    std::vector<double> mine(4, static_cast<double>(c.rank() + 1));
+    auto gathered = co_await c.gather(0, mine);
+    auto back = co_await c.scatter(0, std::move(gathered), 4);
+    ok[static_cast<size_t>(c.rank())] = back == mine;
+  });
+  for (int r = 0; r < p; ++r) EXPECT_TRUE(ok[static_cast<size_t>(r)]) << r;
+}
+
+TEST_P(Collectives2, ReduceScatterBlockSegmentsTheSum) {
+  const int p = GetParam();
+  World w(make_cfg(p));
+  const std::size_t k = 2;
+  std::vector<std::vector<double>> got(static_cast<size_t>(p));
+  w.run([&](Comm& c) -> Task<void> {
+    // contrib[j] = rank + j so segment sums are easy to predict.
+    std::vector<double> contrib(k * static_cast<size_t>(p));
+    for (std::size_t j = 0; j < contrib.size(); ++j)
+      contrib[j] = static_cast<double>(c.rank()) + static_cast<double>(j);
+    got[static_cast<size_t>(c.rank())] =
+        co_await c.reduce_scatter_block(std::move(contrib));
+  });
+  const double rank_sum = p * (p - 1) / 2.0;
+  for (int r = 0; r < p; ++r) {
+    const auto& v = got[static_cast<size_t>(r)];
+    ASSERT_EQ(v.size(), k);
+    for (std::size_t j = 0; j < k; ++j) {
+      const double idx = static_cast<double>(k * static_cast<size_t>(r) + j);
+      EXPECT_DOUBLE_EQ(v[j], rank_sum + idx * p) << "rank " << r;
+    }
+  }
+}
+
+TEST_P(Collectives2, RabenseifnerAgreesWithRecursiveDoubling) {
+  const int p = GetParam();
+  World w(make_cfg(p));
+  bool all_ok = true;
+  w.run([&](Comm& c) -> Task<void> {
+    std::vector<double> contrib(static_cast<size_t>(4 * p));
+    for (std::size_t j = 0; j < contrib.size(); ++j)
+      contrib[j] = static_cast<double>(c.rank() * 100) +
+                   static_cast<double>(j);
+    auto a = co_await c.allreduce_sum(contrib,
+                                      AllreduceAlgo::kRecursiveDoubling);
+    auto b =
+        co_await c.allreduce_sum(contrib, AllreduceAlgo::kRabenseifner);
+    if (a != b) all_ok = false;
+  });
+  EXPECT_TRUE(all_ok);
+}
+
+TEST_P(Collectives2, ScanIsInclusivePrefixSum) {
+  const int p = GetParam();
+  World w(make_cfg(p));
+  std::vector<double> got(static_cast<size_t>(p), -1.0);
+  w.run([&](Comm& c) -> Task<void> {
+    std::vector<double> contrib(1, static_cast<double>(c.rank() + 1));
+    auto r = co_await c.scan_sum(std::move(contrib));
+    got[static_cast<size_t>(c.rank())] = r[0];
+  });
+  for (int r = 0; r < p; ++r)
+    EXPECT_DOUBLE_EQ(got[static_cast<size_t>(r)],
+                     (r + 1) * (r + 2) / 2.0);
+}
+
+TEST_P(Collectives2, SplitByParity) {
+  const int p = GetParam();
+  World w(make_cfg(p));
+  std::vector<double> sums(static_cast<size_t>(p), -1.0);
+  std::vector<int> sizes(static_cast<size_t>(p), -1);
+  w.run([&](Comm& c) -> Task<void> {
+    auto sub = co_await c.split(c.rank() % 2, c.rank());
+    if (!sub) co_return;
+    sizes[static_cast<size_t>(c.rank())] = sub->size();
+    std::vector<double> contrib(1, static_cast<double>(c.rank()));
+    auto r = co_await sub->allreduce_sum(std::move(contrib));
+    sums[static_cast<size_t>(c.rank())] = r[0];
+  });
+  double even_sum = 0, odd_sum = 0;
+  int evens = 0, odds = 0;
+  for (int r = 0; r < p; ++r)
+    (r % 2 == 0 ? even_sum : odd_sum) += r,
+        ++(r % 2 == 0 ? evens : odds);
+  for (int r = 0; r < p; ++r) {
+    EXPECT_DOUBLE_EQ(sums[static_cast<size_t>(r)],
+                     r % 2 == 0 ? even_sum : odd_sum)
+        << r;
+    EXPECT_EQ(sizes[static_cast<size_t>(r)], r % 2 == 0 ? evens : odds);
+  }
+}
+
+TEST_P(Collectives2, SplitKeyControlsOrdering) {
+  const int p = GetParam();
+  if (p < 2) GTEST_SKIP();
+  World w(make_cfg(p));
+  std::vector<int> new_rank(static_cast<size_t>(p), -1);
+  w.run([&](Comm& c) -> Task<void> {
+    // Reverse ordering via descending keys.
+    auto sub = co_await c.split(0, c.size() - c.rank());
+    if (sub) new_rank[static_cast<size_t>(c.rank())] = sub->rank();
+    co_return;
+  });
+  for (int r = 0; r < p; ++r)
+    EXPECT_EQ(new_rank[static_cast<size_t>(r)], p - 1 - r);
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, Collectives2,
+                         ::testing::Values(1, 2, 3, 4, 6, 8, 12));
+
+TEST(Collectives2Errors, ReduceScatterBadSizeThrows) {
+  World w(make_cfg(3));
+  EXPECT_THROW(w.run([&](Comm& c) -> Task<void> {
+    std::vector<double> contrib(4, 1.0);  // not divisible by 3
+    (void)co_await c.reduce_scatter_block(std::move(contrib));
+  }),
+               UsageError);
+}
+
+TEST(Collectives2Errors, SplitUndefinedColorGetsNull) {
+  World w(make_cfg(4));
+  std::vector<int> is_null(4, -1);
+  w.run([&](Comm& c) -> Task<void> {
+    auto sub = co_await c.split(c.rank() == 0 ? -1 : 1, 0);
+    is_null[static_cast<size_t>(c.rank())] = sub == nullptr ? 1 : 0;
+    co_return;
+  });
+  EXPECT_EQ(is_null[0], 1);
+  for (int r = 1; r < 4; ++r) EXPECT_EQ(is_null[static_cast<size_t>(r)], 0);
+}
+
+}  // namespace
+}  // namespace xts::vmpi

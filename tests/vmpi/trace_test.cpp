@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "machine/presets.hpp"
+#include "vmpi/comm.hpp"
+#include "vmpi/world.hpp"
+
+namespace xts::vmpi {
+namespace {
+
+TEST(Trace, DisabledByDefault) {
+  WorldConfig cfg;
+  cfg.machine = machine::xt4();
+  cfg.nranks = 2;
+  World w(std::move(cfg));
+  w.run([](Comm& c) -> Task<void> {
+    if (c.rank() == 0) co_await c.send_wait(1, 0, 64.0);
+    else (void)co_await c.recv(0, 0);
+  });
+  EXPECT_TRUE(w.trace().empty());
+}
+
+TEST(Trace, RecordsDeliveredMessages) {
+  WorldConfig cfg;
+  cfg.machine = machine::xt4();
+  cfg.nranks = 2;
+  cfg.enable_trace = true;
+  World w(std::move(cfg));
+  w.run([](Comm& c) -> Task<void> {
+    if (c.rank() == 0) {
+      co_await c.send_wait(1, 0, 64.0);
+      co_await c.send_wait(1, 1, 128.0);
+    } else {
+      (void)co_await c.recv(0, 0);
+      (void)co_await c.recv(0, 1);
+    }
+  });
+  ASSERT_EQ(w.trace().size(), 2u);
+  EXPECT_EQ(w.trace()[0].src_world, 0);
+  EXPECT_EQ(w.trace()[0].dst_world, 1);
+  EXPECT_DOUBLE_EQ(w.trace()[0].bytes, 64.0);
+  EXPECT_FALSE(w.trace()[0].internal);
+  EXPECT_GT(w.trace()[1].delivered_at, w.trace()[0].delivered_at);
+}
+
+TEST(Trace, FlagsCollectiveTrafficAsInternal) {
+  WorldConfig cfg;
+  cfg.machine = machine::xt4();
+  cfg.nranks = 4;
+  cfg.enable_trace = true;
+  World w(std::move(cfg));
+  w.run([](Comm& c) -> Task<void> {
+    std::vector<double> v(1, 1.0);
+    (void)co_await c.allreduce_sum(std::move(v));
+  });
+  ASSERT_FALSE(w.trace().empty());
+  for (const auto& rec : w.trace()) EXPECT_TRUE(rec.internal);
+}
+
+TEST(Trace, PeakFlowsTracked) {
+  WorldConfig cfg;
+  cfg.machine = machine::xt4();
+  cfg.mode = machine::ExecMode::kSN;
+  cfg.nranks = 8;
+  World w(std::move(cfg));
+  w.run([](Comm& c) -> Task<void> {
+    // All ranks exchange with their opposite: 8 simultaneous flows.
+    const int partner = c.size() - 1 - c.rank();
+    auto f = co_await c.send(partner, 0, 1.0e6);
+    (void)co_await c.recv(partner, 0);
+    (void)co_await std::move(f);
+  });
+  EXPECT_GE(w.network().peak_flows(), 4u);
+}
+
+}  // namespace
+}  // namespace xts::vmpi
