@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig08_11_global.cpp" "bench/CMakeFiles/bench_fig08_11_global.dir/bench_fig08_11_global.cpp.o" "gcc" "bench/CMakeFiles/bench_fig08_11_global.dir/bench_fig08_11_global.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/xtsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/xtsim_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/network/CMakeFiles/xtsim_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmpi/CMakeFiles/xtsim_vmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/xtsim_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/hpcc/CMakeFiles/xtsim_hpcc.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/xtsim_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/lustre/CMakeFiles/xtsim_lustre.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_13_bibw.dir/bench_fig12_13_bibw.cpp.o"
+  "CMakeFiles/bench_fig12_13_bibw.dir/bench_fig12_13_bibw.cpp.o.d"
+  "bench_fig12_13_bibw"
+  "bench_fig12_13_bibw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_13_bibw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_16_cam.dir/bench_fig14_16_cam.cpp.o"
+  "CMakeFiles/bench_fig14_16_cam.dir/bench_fig14_16_cam.cpp.o.d"
+  "bench_fig14_16_cam"
+  "bench_fig14_16_cam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_16_cam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig20_21_namd.dir/bench_fig20_21_namd.cpp.o"
+  "CMakeFiles/bench_fig20_21_namd.dir/bench_fig20_21_namd.cpp.o.d"
+  "bench_fig20_21_namd"
+  "bench_fig20_21_namd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig20_21_namd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig23_aorsa.dir/bench_fig23_aorsa.cpp.o"
+  "CMakeFiles/bench_fig23_aorsa.dir/bench_fig23_aorsa.cpp.o.d"
+  "bench_fig23_aorsa"
+  "bench_fig23_aorsa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig23_aorsa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ior.dir/bench_ior.cpp.o"
+  "CMakeFiles/bench_ior.dir/bench_ior.cpp.o.d"
+  "bench_ior"
+  "bench_ior.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ior.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

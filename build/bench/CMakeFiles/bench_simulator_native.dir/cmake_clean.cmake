@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_simulator_native.dir/bench_simulator_native.cpp.o"
+  "CMakeFiles/bench_simulator_native.dir/bench_simulator_native.cpp.o.d"
+  "bench_simulator_native"
+  "bench_simulator_native.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_simulator_native.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

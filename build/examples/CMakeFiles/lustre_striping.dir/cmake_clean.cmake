@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lustre_striping.dir/lustre_striping.cpp.o"
+  "CMakeFiles/lustre_striping.dir/lustre_striping.cpp.o.d"
+  "lustre_striping"
+  "lustre_striping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lustre_striping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/aorsa.cpp" "src/apps/CMakeFiles/xtsim_apps.dir/aorsa.cpp.o" "gcc" "src/apps/CMakeFiles/xtsim_apps.dir/aorsa.cpp.o.d"
+  "/root/repo/src/apps/cam.cpp" "src/apps/CMakeFiles/xtsim_apps.dir/cam.cpp.o" "gcc" "src/apps/CMakeFiles/xtsim_apps.dir/cam.cpp.o.d"
+  "/root/repo/src/apps/namd.cpp" "src/apps/CMakeFiles/xtsim_apps.dir/namd.cpp.o" "gcc" "src/apps/CMakeFiles/xtsim_apps.dir/namd.cpp.o.d"
+  "/root/repo/src/apps/pop.cpp" "src/apps/CMakeFiles/xtsim_apps.dir/pop.cpp.o" "gcc" "src/apps/CMakeFiles/xtsim_apps.dir/pop.cpp.o.d"
+  "/root/repo/src/apps/s3d.cpp" "src/apps/CMakeFiles/xtsim_apps.dir/s3d.cpp.o" "gcc" "src/apps/CMakeFiles/xtsim_apps.dir/s3d.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/xtsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/xtsim_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/network/CMakeFiles/xtsim_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmpi/CMakeFiles/xtsim_vmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/xtsim_kernels.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

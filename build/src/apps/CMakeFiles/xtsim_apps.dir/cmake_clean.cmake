@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtsim_apps.dir/aorsa.cpp.o"
+  "CMakeFiles/xtsim_apps.dir/aorsa.cpp.o.d"
+  "CMakeFiles/xtsim_apps.dir/cam.cpp.o"
+  "CMakeFiles/xtsim_apps.dir/cam.cpp.o.d"
+  "CMakeFiles/xtsim_apps.dir/namd.cpp.o"
+  "CMakeFiles/xtsim_apps.dir/namd.cpp.o.d"
+  "CMakeFiles/xtsim_apps.dir/pop.cpp.o"
+  "CMakeFiles/xtsim_apps.dir/pop.cpp.o.d"
+  "CMakeFiles/xtsim_apps.dir/s3d.cpp.o"
+  "CMakeFiles/xtsim_apps.dir/s3d.cpp.o.d"
+  "libxtsim_apps.a"
+  "libxtsim_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtsim_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtsim_core.dir/report.cpp.o"
+  "CMakeFiles/xtsim_core.dir/report.cpp.o.d"
+  "CMakeFiles/xtsim_core.dir/resource.cpp.o"
+  "CMakeFiles/xtsim_core.dir/resource.cpp.o.d"
+  "CMakeFiles/xtsim_core.dir/stats.cpp.o"
+  "CMakeFiles/xtsim_core.dir/stats.cpp.o.d"
+  "libxtsim_core.a"
+  "libxtsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtsim_hpcc.dir/hpcc.cpp.o"
+  "CMakeFiles/xtsim_hpcc.dir/hpcc.cpp.o.d"
+  "libxtsim_hpcc.a"
+  "libxtsim_hpcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtsim_hpcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

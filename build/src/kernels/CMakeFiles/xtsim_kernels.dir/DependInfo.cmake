@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/cg.cpp" "src/kernels/CMakeFiles/xtsim_kernels.dir/cg.cpp.o" "gcc" "src/kernels/CMakeFiles/xtsim_kernels.dir/cg.cpp.o.d"
+  "/root/repo/src/kernels/dgemm.cpp" "src/kernels/CMakeFiles/xtsim_kernels.dir/dgemm.cpp.o" "gcc" "src/kernels/CMakeFiles/xtsim_kernels.dir/dgemm.cpp.o.d"
+  "/root/repo/src/kernels/fft.cpp" "src/kernels/CMakeFiles/xtsim_kernels.dir/fft.cpp.o" "gcc" "src/kernels/CMakeFiles/xtsim_kernels.dir/fft.cpp.o.d"
+  "/root/repo/src/kernels/lu.cpp" "src/kernels/CMakeFiles/xtsim_kernels.dir/lu.cpp.o" "gcc" "src/kernels/CMakeFiles/xtsim_kernels.dir/lu.cpp.o.d"
+  "/root/repo/src/kernels/random_access.cpp" "src/kernels/CMakeFiles/xtsim_kernels.dir/random_access.cpp.o" "gcc" "src/kernels/CMakeFiles/xtsim_kernels.dir/random_access.cpp.o.d"
+  "/root/repo/src/kernels/stream.cpp" "src/kernels/CMakeFiles/xtsim_kernels.dir/stream.cpp.o" "gcc" "src/kernels/CMakeFiles/xtsim_kernels.dir/stream.cpp.o.d"
+  "/root/repo/src/kernels/transpose.cpp" "src/kernels/CMakeFiles/xtsim_kernels.dir/transpose.cpp.o" "gcc" "src/kernels/CMakeFiles/xtsim_kernels.dir/transpose.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/xtsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/xtsim_machine.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtsim_kernels.dir/cg.cpp.o"
+  "CMakeFiles/xtsim_kernels.dir/cg.cpp.o.d"
+  "CMakeFiles/xtsim_kernels.dir/dgemm.cpp.o"
+  "CMakeFiles/xtsim_kernels.dir/dgemm.cpp.o.d"
+  "CMakeFiles/xtsim_kernels.dir/fft.cpp.o"
+  "CMakeFiles/xtsim_kernels.dir/fft.cpp.o.d"
+  "CMakeFiles/xtsim_kernels.dir/lu.cpp.o"
+  "CMakeFiles/xtsim_kernels.dir/lu.cpp.o.d"
+  "CMakeFiles/xtsim_kernels.dir/random_access.cpp.o"
+  "CMakeFiles/xtsim_kernels.dir/random_access.cpp.o.d"
+  "CMakeFiles/xtsim_kernels.dir/stream.cpp.o"
+  "CMakeFiles/xtsim_kernels.dir/stream.cpp.o.d"
+  "CMakeFiles/xtsim_kernels.dir/transpose.cpp.o"
+  "CMakeFiles/xtsim_kernels.dir/transpose.cpp.o.d"
+  "libxtsim_kernels.a"
+  "libxtsim_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtsim_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtsim_lustre.dir/lustre.cpp.o"
+  "CMakeFiles/xtsim_lustre.dir/lustre.cpp.o.d"
+  "libxtsim_lustre.a"
+  "libxtsim_lustre.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtsim_lustre.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtsim_machine.dir/node.cpp.o"
+  "CMakeFiles/xtsim_machine.dir/node.cpp.o.d"
+  "CMakeFiles/xtsim_machine.dir/platforms.cpp.o"
+  "CMakeFiles/xtsim_machine.dir/platforms.cpp.o.d"
+  "CMakeFiles/xtsim_machine.dir/presets.cpp.o"
+  "CMakeFiles/xtsim_machine.dir/presets.cpp.o.d"
+  "libxtsim_machine.a"
+  "libxtsim_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtsim_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/network/flow_network.cpp" "src/network/CMakeFiles/xtsim_network.dir/flow_network.cpp.o" "gcc" "src/network/CMakeFiles/xtsim_network.dir/flow_network.cpp.o.d"
+  "/root/repo/src/network/torus.cpp" "src/network/CMakeFiles/xtsim_network.dir/torus.cpp.o" "gcc" "src/network/CMakeFiles/xtsim_network.dir/torus.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/xtsim_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

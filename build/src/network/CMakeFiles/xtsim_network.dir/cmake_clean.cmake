@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtsim_network.dir/flow_network.cpp.o"
+  "CMakeFiles/xtsim_network.dir/flow_network.cpp.o.d"
+  "CMakeFiles/xtsim_network.dir/torus.cpp.o"
+  "CMakeFiles/xtsim_network.dir/torus.cpp.o.d"
+  "libxtsim_network.a"
+  "libxtsim_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtsim_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

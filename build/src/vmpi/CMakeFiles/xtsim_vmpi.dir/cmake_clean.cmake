@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtsim_vmpi.dir/comm.cpp.o"
+  "CMakeFiles/xtsim_vmpi.dir/comm.cpp.o.d"
+  "CMakeFiles/xtsim_vmpi.dir/world.cpp.o"
+  "CMakeFiles/xtsim_vmpi.dir/world.cpp.o.d"
+  "libxtsim_vmpi.a"
+  "libxtsim_vmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtsim_vmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxtsim_vmpi.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_s3d_namd_aorsa.dir/s3d_namd_aorsa_test.cpp.o"
+  "CMakeFiles/test_s3d_namd_aorsa.dir/s3d_namd_aorsa_test.cpp.o.d"
+  "test_s3d_namd_aorsa"
+  "test_s3d_namd_aorsa.pdb"
+  "test_s3d_namd_aorsa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_s3d_namd_aorsa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

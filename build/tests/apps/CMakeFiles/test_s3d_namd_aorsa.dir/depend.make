@@ -1,0 +1,2 @@
+# Empty dependencies file for test_s3d_namd_aorsa.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,9 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/apps
+# Build directory: /root/repo/build/tests/apps
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/apps/test_pop[1]_include.cmake")
+include("/root/repo/build/tests/apps/test_cam[1]_include.cmake")
+include("/root/repo/build/tests/apps/test_s3d_namd_aorsa[1]_include.cmake")

@@ -1,0 +1,11 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/core
+# Build directory: /root/repo/build/tests/core
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/core/test_engine[1]_include.cmake")
+include("/root/repo/build/tests/core/test_task[1]_include.cmake")
+include("/root/repo/build/tests/core/test_resource[1]_include.cmake")
+include("/root/repo/build/tests/core/test_rng_stats[1]_include.cmake")
+include("/root/repo/build/tests/core/test_report[1]_include.cmake")

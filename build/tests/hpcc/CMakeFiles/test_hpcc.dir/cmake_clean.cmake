@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hpcc.dir/hpcc_test.cpp.o"
+  "CMakeFiles/test_hpcc.dir/hpcc_test.cpp.o.d"
+  "test_hpcc"
+  "test_hpcc.pdb"
+  "test_hpcc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hpcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

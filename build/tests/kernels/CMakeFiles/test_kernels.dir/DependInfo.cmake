@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/kernels/cg_test.cpp" "tests/kernels/CMakeFiles/test_kernels.dir/cg_test.cpp.o" "gcc" "tests/kernels/CMakeFiles/test_kernels.dir/cg_test.cpp.o.d"
+  "/root/repo/tests/kernels/dgemm_test.cpp" "tests/kernels/CMakeFiles/test_kernels.dir/dgemm_test.cpp.o" "gcc" "tests/kernels/CMakeFiles/test_kernels.dir/dgemm_test.cpp.o.d"
+  "/root/repo/tests/kernels/fft_test.cpp" "tests/kernels/CMakeFiles/test_kernels.dir/fft_test.cpp.o" "gcc" "tests/kernels/CMakeFiles/test_kernels.dir/fft_test.cpp.o.d"
+  "/root/repo/tests/kernels/lu_test.cpp" "tests/kernels/CMakeFiles/test_kernels.dir/lu_test.cpp.o" "gcc" "tests/kernels/CMakeFiles/test_kernels.dir/lu_test.cpp.o.d"
+  "/root/repo/tests/kernels/random_access_test.cpp" "tests/kernels/CMakeFiles/test_kernels.dir/random_access_test.cpp.o" "gcc" "tests/kernels/CMakeFiles/test_kernels.dir/random_access_test.cpp.o.d"
+  "/root/repo/tests/kernels/stream_test.cpp" "tests/kernels/CMakeFiles/test_kernels.dir/stream_test.cpp.o" "gcc" "tests/kernels/CMakeFiles/test_kernels.dir/stream_test.cpp.o.d"
+  "/root/repo/tests/kernels/transpose_test.cpp" "tests/kernels/CMakeFiles/test_kernels.dir/transpose_test.cpp.o" "gcc" "tests/kernels/CMakeFiles/test_kernels.dir/transpose_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/xtsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/xtsim_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/xtsim_machine.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernels.dir/cg_test.cpp.o"
+  "CMakeFiles/test_kernels.dir/cg_test.cpp.o.d"
+  "CMakeFiles/test_kernels.dir/dgemm_test.cpp.o"
+  "CMakeFiles/test_kernels.dir/dgemm_test.cpp.o.d"
+  "CMakeFiles/test_kernels.dir/fft_test.cpp.o"
+  "CMakeFiles/test_kernels.dir/fft_test.cpp.o.d"
+  "CMakeFiles/test_kernels.dir/lu_test.cpp.o"
+  "CMakeFiles/test_kernels.dir/lu_test.cpp.o.d"
+  "CMakeFiles/test_kernels.dir/random_access_test.cpp.o"
+  "CMakeFiles/test_kernels.dir/random_access_test.cpp.o.d"
+  "CMakeFiles/test_kernels.dir/stream_test.cpp.o"
+  "CMakeFiles/test_kernels.dir/stream_test.cpp.o.d"
+  "CMakeFiles/test_kernels.dir/transpose_test.cpp.o"
+  "CMakeFiles/test_kernels.dir/transpose_test.cpp.o.d"
+  "test_kernels"
+  "test_kernels.pdb"
+  "test_kernels[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

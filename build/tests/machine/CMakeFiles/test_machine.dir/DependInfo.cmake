@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/machine/node_test.cpp" "tests/machine/CMakeFiles/test_machine.dir/node_test.cpp.o" "gcc" "tests/machine/CMakeFiles/test_machine.dir/node_test.cpp.o.d"
+  "/root/repo/tests/machine/noise_test.cpp" "tests/machine/CMakeFiles/test_machine.dir/noise_test.cpp.o" "gcc" "tests/machine/CMakeFiles/test_machine.dir/noise_test.cpp.o.d"
+  "/root/repo/tests/machine/presets_test.cpp" "tests/machine/CMakeFiles/test_machine.dir/presets_test.cpp.o" "gcc" "tests/machine/CMakeFiles/test_machine.dir/presets_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/xtsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/xtsim_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmpi/CMakeFiles/xtsim_vmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/network/CMakeFiles/xtsim_network.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/network/fairness_test.cpp" "tests/network/CMakeFiles/test_network.dir/fairness_test.cpp.o" "gcc" "tests/network/CMakeFiles/test_network.dir/fairness_test.cpp.o.d"
+  "/root/repo/tests/network/flow_network_test.cpp" "tests/network/CMakeFiles/test_network.dir/flow_network_test.cpp.o" "gcc" "tests/network/CMakeFiles/test_network.dir/flow_network_test.cpp.o.d"
+  "/root/repo/tests/network/torus_test.cpp" "tests/network/CMakeFiles/test_network.dir/torus_test.cpp.o" "gcc" "tests/network/CMakeFiles/test_network.dir/torus_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/xtsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/network/CMakeFiles/xtsim_network.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

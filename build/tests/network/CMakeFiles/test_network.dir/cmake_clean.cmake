@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_network.dir/fairness_test.cpp.o"
+  "CMakeFiles/test_network.dir/fairness_test.cpp.o.d"
+  "CMakeFiles/test_network.dir/flow_network_test.cpp.o"
+  "CMakeFiles/test_network.dir/flow_network_test.cpp.o.d"
+  "CMakeFiles/test_network.dir/torus_test.cpp.o"
+  "CMakeFiles/test_network.dir/torus_test.cpp.o.d"
+  "test_network"
+  "test_network.pdb"
+  "test_network[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

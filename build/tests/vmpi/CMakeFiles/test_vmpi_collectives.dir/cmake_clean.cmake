@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vmpi_collectives.dir/collectives_test.cpp.o"
+  "CMakeFiles/test_vmpi_collectives.dir/collectives_test.cpp.o.d"
+  "test_vmpi_collectives"
+  "test_vmpi_collectives.pdb"
+  "test_vmpi_collectives[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vmpi_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

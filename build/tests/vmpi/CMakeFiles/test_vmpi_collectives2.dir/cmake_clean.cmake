@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vmpi_collectives2.dir/collectives2_test.cpp.o"
+  "CMakeFiles/test_vmpi_collectives2.dir/collectives2_test.cpp.o.d"
+  "test_vmpi_collectives2"
+  "test_vmpi_collectives2.pdb"
+  "test_vmpi_collectives2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vmpi_collectives2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

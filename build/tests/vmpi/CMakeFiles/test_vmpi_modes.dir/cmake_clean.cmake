@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vmpi_modes.dir/modes_test.cpp.o"
+  "CMakeFiles/test_vmpi_modes.dir/modes_test.cpp.o.d"
+  "test_vmpi_modes"
+  "test_vmpi_modes.pdb"
+  "test_vmpi_modes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vmpi_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/vmpi
+# Build directory: /root/repo/build/tests/vmpi
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/vmpi/test_vmpi_p2p[1]_include.cmake")
+include("/root/repo/build/tests/vmpi/test_vmpi_collectives[1]_include.cmake")
+include("/root/repo/build/tests/vmpi/test_vmpi_modes[1]_include.cmake")
+include("/root/repo/build/tests/vmpi/test_vmpi_collectives2[1]_include.cmake")
+include("/root/repo/build/tests/vmpi/test_vmpi_trace[1]_include.cmake")
