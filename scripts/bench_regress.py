@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""Run the simulator-core microbenchmarks and track events/sec over PRs.
+
+Runs build/bench/bench_simulator_native with JSON output, extracts
+items_per_second for every benchmark, and records the numbers in
+results/BENCH_simcore.json next to the frozen pre-optimization baseline:
+
+    {
+      "schema": 1,
+      "baseline":  {"label": ..., "metrics": {name: items_per_second}},
+      "current":   {"label": ..., "metrics": {...}},
+      "reference": {...},          # best "current" seen so far
+      "speedup_vs_baseline": {name: current/baseline}
+    }
+
+Modes:
+  (default)        full run, update "current"/"reference", write JSON
+  --smoke          quick subset (small args, min benchmark time); writes
+                   results/BENCH_simcore.tmp instead of the tracked file
+                   and fails if any benchmark errors; with --check, also
+                   fails if a metric collapses below SMOKE_MIN_RATIO x
+                   reference — used by the `check-perf` target and the
+                   perf-smoke ctest label
+  --save-baseline  overwrite the stored baseline with this run
+  --check          additionally fail (exit 1) if any metric drops below
+                   MIN_RATIO x its reference value
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+MIN_RATIO = 0.70  # --check: tolerated fraction of the reference number
+# Smoke runs are short and often share the box with other work, so the
+# gate only catches collapse-level regressions, not noise.
+SMOKE_MIN_RATIO = 0.35
+SMOKE_FILTER = "BM_EngineEvents/10000|BM_EngineThroughput/100000|" \
+    "BM_FlowNetworkTransfers/1000|BM_FlowChurn/256|" \
+    "BM_VmpiAllreduce/64|BM_VmpiAlltoall/64"
+
+
+def run_bench(binary, smoke):
+    cmd = [binary, "--benchmark_format=json"]
+    if smoke:
+        cmd += ["--benchmark_filter=" + SMOKE_FILTER,
+                "--benchmark_min_time=0.01"]
+    else:
+        cmd += ["--benchmark_min_time=0.05"]
+    proc = subprocess.run(cmd, stdout=subprocess.PIPE, check=True)
+    report = json.loads(proc.stdout)
+    metrics = {}
+    for b in report.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        ips = b.get("items_per_second")
+        if ips is not None:
+            metrics[b["name"]] = ips
+    if not metrics:
+        raise RuntimeError("benchmark produced no items_per_second metrics")
+    return metrics
+
+
+def git_label(repo_root):
+    try:
+        rev = subprocess.run(
+            ["git", "-C", repo_root, "rev-parse", "--short", "HEAD"],
+            stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, check=True,
+        ).stdout.decode().strip()
+        return rev
+    except Exception:
+        return "unknown"
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--build-dir", default="build")
+    ap.add_argument("--out", default=None,
+                    help="output JSON (default results/BENCH_simcore.json, "
+                         "or results/BENCH_simcore.tmp with --smoke)")
+    ap.add_argument("--smoke", action="store_true")
+    ap.add_argument("--save-baseline", action="store_true")
+    ap.add_argument("--check", action="store_true")
+    ap.add_argument("--label", default=None,
+                    help="label for this run (default: git short rev)")
+    args = ap.parse_args()
+
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    binary = os.path.join(args.build_dir, "bench", "bench_simulator_native")
+    if not os.path.isabs(binary):
+        binary = os.path.join(repo_root, binary)
+    if not os.path.exists(binary):
+        sys.exit(f"bench binary not found: {binary} (build the "
+                 f"bench_simulator_native target first)")
+
+    tracked = os.path.join(repo_root, "results", "BENCH_simcore.json")
+    out = args.out or (os.path.join(repo_root, "results",
+                                    "BENCH_simcore.tmp")
+                       if args.smoke else tracked)
+
+    metrics = run_bench(binary, args.smoke)
+    label = args.label or git_label(repo_root)
+    run = {"label": label, "metrics": metrics}
+
+    doc = {"schema": 1}
+    if os.path.exists(tracked):
+        with open(tracked) as f:
+            doc = json.load(f)
+
+    if args.smoke:
+        # Smoke mode proves the benches still run (and, with --check,
+        # that nothing collapsed); don't touch the tracked file.
+        os.makedirs(os.path.dirname(out), exist_ok=True)
+        with open(out, "w") as f:
+            json.dump({"schema": 1, "smoke": run}, f, indent=2)
+            f.write("\n")
+        print(f"perf smoke ok: {len(metrics)} benchmarks ran "
+              f"(wrote {os.path.relpath(out, repo_root)})")
+        if args.check:
+            ref = doc.get("reference", {}).get("metrics", {})
+            bad = [(n, v, ref[n]) for n, v in metrics.items()
+                   if n in ref and v < SMOKE_MIN_RATIO * ref[n]]
+            if bad:
+                for n, v, r in bad:
+                    print(f"REGRESSION: {n}: {v:.3e} < {SMOKE_MIN_RATIO} x "
+                          f"reference {r:.3e}", file=sys.stderr)
+                sys.exit(1)
+            print(f"check ok: no metric below {SMOKE_MIN_RATIO} x reference")
+        return
+
+    if args.save_baseline or "baseline" not in doc:
+        doc["baseline"] = run
+    doc["current"] = run
+
+    ref = doc.get("reference", {}).get("metrics", {})
+    new_ref = dict(ref)
+    for name, val in metrics.items():
+        if val >= ref.get(name, 0.0):
+            new_ref[name] = val
+    doc["reference"] = {"label": label, "metrics": new_ref}
+
+    base = doc["baseline"]["metrics"]
+    doc["speedup_vs_baseline"] = {
+        name: round(val / base[name], 3)
+        for name, val in metrics.items() if base.get(name)
+    }
+
+    os.makedirs(os.path.dirname(out), exist_ok=True)
+    with open(out, "w") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+
+    width = max(len(n) for n in metrics)
+    print(f"{'benchmark':<{width}}  {'items/sec':>12}  vs baseline")
+    for name, val in metrics.items():
+        spd = doc["speedup_vs_baseline"].get(name)
+        spd_s = f"{spd:.2f}x" if spd else "--"
+        print(f"{name:<{width}}  {val:12.3e}  {spd_s}")
+    print(f"wrote {os.path.relpath(out, repo_root)}")
+
+    if args.check:
+        bad = [(n, v, ref[n]) for n, v in metrics.items()
+               if n in ref and v < MIN_RATIO * ref[n]]
+        if bad:
+            for n, v, r in bad:
+                print(f"REGRESSION: {n}: {v:.3e} < {MIN_RATIO} x "
+                      f"reference {r:.3e}", file=sys.stderr)
+            sys.exit(1)
+        print("check ok: no metric below "
+              f"{MIN_RATIO} x reference")
+
+
+if __name__ == "__main__":
+    main()

@@ -48,12 +48,22 @@ class SimFuture;
 template <typename T>
 class SimPromise {
  public:
+  /// Empty promise (no shared state): a placeholder slot that can be
+  /// move-assigned a live promise later.  Calling set_value/set_error
+  /// or future() on it is a usage error.
+  SimPromise() noexcept = default;
+
   explicit SimPromise(Engine& engine)
       : state_(std::make_shared<detail::FutureState<T>>()) {
     state_->engine = &engine;
   }
 
+  /// True when this promise owns shared state (was not
+  /// default-constructed or moved from).
+  [[nodiscard]] bool valid() const noexcept { return state_ != nullptr; }
+
   void set_value(T v) const {
+    if (!state_) throw UsageError("SimPromise: empty promise");
     if (state_->value || state_->error)
       throw UsageError("SimPromise: value already set");
     state_->value.emplace(std::move(v));
@@ -61,6 +71,7 @@ class SimPromise {
   }
 
   void set_error(std::exception_ptr e) const {
+    if (!state_) throw UsageError("SimPromise: empty promise");
     if (state_->value || state_->error)
       throw UsageError("SimPromise: value already set");
     state_->error = std::move(e);
@@ -103,6 +114,7 @@ class [[nodiscard]] SimFuture {
 
 template <typename T>
 SimFuture<T> SimPromise<T>::future() const {
+  if (!state_) throw UsageError("SimPromise: empty promise");
   return SimFuture<T>(state_);
 }
 

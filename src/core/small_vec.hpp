@@ -1,0 +1,126 @@
+#pragma once
+
+/// \file small_vec.hpp
+/// Small-buffer vector for trivially-copyable elements.
+///
+/// Routes, per-flow link positions, and similar hot-path sequences are
+/// almost always a dozen elements or fewer; SmallVec keeps up to N of
+/// them inline (no allocation) and spills to the heap only beyond that.
+/// Restricted to trivially-copyable T so growth and copies are plain
+/// byte copies.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+namespace xts {
+
+template <typename T, std::uint32_t N>
+class SmallVec {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVec requires trivially-copyable elements");
+  static_assert(N > 0);
+
+ public:
+  SmallVec() noexcept : data_(inline_), size_(0), cap_(N) {}
+
+  SmallVec(const SmallVec& other) : SmallVec() { assign_from(other); }
+
+  SmallVec(SmallVec&& other) noexcept : SmallVec() { take_from(other); }
+
+  SmallVec& operator=(const SmallVec& other) {
+    if (this != &other) {
+      size_ = 0;
+      assign_from(other);
+    }
+    return *this;
+  }
+
+  SmallVec& operator=(SmallVec&& other) noexcept {
+    if (this != &other) {
+      release();
+      take_from(other);
+    }
+    return *this;
+  }
+
+  ~SmallVec() { release(); }
+
+  void push_back(T v) {
+    if (size_ == cap_) grow(cap_ * 2);
+    data_[size_++] = v;
+  }
+
+  void clear() noexcept { size_ = 0; }
+
+  void reserve(std::uint32_t n) {
+    if (n > cap_) grow(n);
+  }
+
+  [[nodiscard]] std::uint32_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  [[nodiscard]] T& operator[](std::uint32_t i) noexcept { return data_[i]; }
+  [[nodiscard]] const T& operator[](std::uint32_t i) const noexcept {
+    return data_[i];
+  }
+
+  [[nodiscard]] T* begin() noexcept { return data_; }
+  [[nodiscard]] T* end() noexcept { return data_ + size_; }
+  [[nodiscard]] const T* begin() const noexcept { return data_; }
+  [[nodiscard]] const T* end() const noexcept { return data_ + size_; }
+  [[nodiscard]] T& back() noexcept { return data_[size_ - 1]; }
+
+  friend bool operator==(const SmallVec& a, const SmallVec& b) noexcept {
+    if (a.size_ != b.size_) return false;
+    return a.size_ == 0 ||
+           std::memcmp(a.data_, b.data_, a.size_ * sizeof(T)) == 0;
+  }
+
+ private:
+  void grow(std::uint32_t cap) {
+    T* heap = new T[cap];
+    if (size_ > 0) std::memcpy(heap, data_, size_ * sizeof(T));
+    release();
+    data_ = heap;
+    cap_ = cap;
+  }
+
+  void release() noexcept {
+    if (data_ != inline_) {
+      delete[] data_;
+      data_ = inline_;
+      cap_ = N;
+    }
+  }
+
+  void assign_from(const SmallVec& other) {
+    reserve(other.size_);
+    if (other.size_ > 0)
+      std::memcpy(data_, other.data_, other.size_ * sizeof(T));
+    size_ = other.size_;
+  }
+
+  void take_from(SmallVec& other) noexcept {
+    if (other.data_ != other.inline_) {
+      data_ = other.data_;
+      cap_ = other.cap_;
+      size_ = other.size_;
+      other.data_ = other.inline_;
+      other.cap_ = N;
+      other.size_ = 0;
+    } else {
+      size_ = other.size_;
+      if (size_ > 0) std::memcpy(data_, other.data_, size_ * sizeof(T));
+      other.size_ = 0;
+    }
+  }
+
+  T* data_;
+  std::uint32_t size_;
+  std::uint32_t cap_;
+  T inline_[N];
+};
+
+}  // namespace xts

@@ -9,7 +9,7 @@ namespace xts::net {
 namespace {
 // A flow is complete once its residue would be served in under
 // max(kTimeEps, 4 ulp(now)) seconds at its current rate: both the
-// settle() rounding residue and — late in long simulations — the
+// settle rounding residue and — late in long simulations — the
 // clock's own resolution would otherwise livelock the event loop (see
 // core/resource.cpp).
 constexpr double kTimeEps = 1e-12;
@@ -19,14 +19,32 @@ double completion_time_eps(double now) {
       std::nextafter(now, std::numeric_limits<double>::infinity()) - now;
   return std::max(kTimeEps, 4.0 * ulp);
 }
+}  // namespace
+
+// Min-heap ordering for std::push_heap/pop_heap: "a pops after b".
+// Ties break on flow index so same-instant completions fire in a
+// deterministic order regardless of heap history.
+bool FlowNetwork::pops_after(const CompletionEntry& a,
+                             const CompletionEntry& b) noexcept {
+  if (a.time != b.time) return a.time > b.time;
+  if (a.flow != b.flow) return a.flow > b.flow;
+  return a.gen > b.gen;
 }
 
 FlowNetwork::FlowNetwork(Engine& engine, Torus3D topo, NetConfig cfg)
-    : engine_(engine), topo_(std::move(topo)), cfg_(cfg) {
+    : engine_(engine),
+      topo_(std::move(topo)),
+      cfg_(cfg),
+      route_cache_(cfg.route_cache_capacity) {
   if (cfg_.link_bw <= 0.0 || cfg_.injection_bw <= 0.0)
     throw UsageError("FlowNetwork: link and injection bandwidth required");
   if (cfg_.ejection_bw <= 0.0) cfg_.ejection_bw = cfg_.injection_bw;
-  link_load_.assign(static_cast<std::size_t>(topo_.total_link_count()), 0);
+  const auto links = static_cast<std::size_t>(topo_.total_link_count());
+  link_load_.assign(links, 0);
+  link_stamp_.assign(links, 0);
+  residual_.assign(links, 0.0);
+  active_share_.assign(links, 0);
+  if (cfg_.incremental) link_flows_.resize(links);
   last_settle_ = engine_.now();
 }
 
@@ -51,6 +69,16 @@ SimTime FlowNetwork::route_latency(NodeId src, NodeId dst) const {
          cfg_.per_hop_latency;
 }
 
+void FlowNetwork::get_route(NodeId src, NodeId dst, Route& out) {
+  if (!route_cache_.enabled()) {
+    topo_.route_into(src, dst, out);
+    return;
+  }
+  if (route_cache_.lookup(src, dst, out)) return;
+  topo_.route_into(src, dst, out);
+  route_cache_.insert(src, dst, out);
+}
+
 SimFutureV FlowNetwork::transfer(NodeId src, NodeId dst, double bytes) {
   if (bytes < 0.0) throw UsageError("FlowNetwork::transfer: negative size");
   SimPromiseV promise(engine_);
@@ -59,131 +87,476 @@ SimFutureV FlowNetwork::transfer(NodeId src, NodeId dst, double bytes) {
     promise.set_value(Done{});
     return future;
   }
-  settle();
-  Flow flow{bytes, 0.0, topo_.route(src, dst), std::move(promise)};
-  for (const LinkId l : flow.links) ++link_load_[static_cast<size_t>(l)];
-  flows_.emplace(next_flow_id_++, std::move(flow));
-  peak_flows_ = std::max(peak_flows_, flows_.size());
-  mark_dirty();
+  flows_[add_flow(src, dst, bytes)].promise = std::move(promise);
   return future;
 }
 
-void FlowNetwork::settle() {
-  const SimTime now = engine_.now();
-  const SimTime dt = now - last_settle_;
-  last_settle_ = now;
-  if (dt <= 0.0 || flows_.empty()) return;
-  for (auto& [id, f] : flows_) {
-    const double served = std::min(f.remaining, f.rate * dt);
-    f.remaining -= served;
-    total_delivered_ += served;
+FlowNetwork::TransferAwaiter FlowNetwork::transfer_flow(NodeId src,
+                                                        NodeId dst,
+                                                        double bytes) {
+  if (bytes < 0.0)
+    throw UsageError("FlowNetwork::transfer_flow: negative size");
+  return TransferAwaiter(this, src, dst, bytes);
+}
+
+void FlowNetwork::start_flow(NodeId src, NodeId dst, double bytes,
+                             std::coroutine_handle<> h) {
+  flows_[add_flow(src, dst, bytes)].waiter = h;
+}
+
+std::uint32_t FlowNetwork::add_flow(NodeId src, NodeId dst, double bytes) {
+  // The fallback settles everyone at pre-change rates before the load
+  // changes below; the incremental path settles each flow lazily when
+  // its own rate next changes.
+  if (!cfg_.incremental) settle_all();
+
+  std::uint32_t idx;
+  if (!free_.empty()) {
+    idx = free_.back();
+    free_.pop_back();
+  } else {
+    idx = static_cast<std::uint32_t>(flows_.size());
+    flows_.emplace_back();
+    flow_stamp_.push_back(0);
   }
+  Flow& f = flows_[idx];
+  f.remaining = bytes;
+  f.rate = 0.0;
+  f.last_settle = engine_.now();
+  f.in_use = true;
+  get_route(src, dst, f.links);
+  f.link_pos.clear();
+  for (std::uint32_t s = 0; s < f.links.size(); ++s) {
+    const LinkId l = f.links[s];
+    const auto li = static_cast<std::size_t>(l);
+    ++link_load_[li];
+    mark_link_dirty(l);
+    if (cfg_.incremental) {
+      auto& set = link_flows_[li];
+      f.link_pos.push_back(static_cast<std::uint32_t>(set.size()));
+      set.push_back({idx, s});
+    }
+  }
+  ++active_count_;
+  peak_flows_ = std::max(peak_flows_, active_count_);
+  mark_dirty();
+  return idx;
+}
+
+void FlowNetwork::mark_link_dirty(LinkId link) {
+  const auto li = static_cast<std::size_t>(link);
+  if (link_stamp_[li] == stamp_) return;
+  link_stamp_[li] = stamp_;
+  dirty_links_.push_back(link);
 }
 
 void FlowNetwork::mark_dirty() {
-  if (recompute_pending_) return;
-  recompute_pending_ = true;
-  ++epoch_;  // invalidate any scheduled completion event
+  if (process_pending_) return;
+  process_pending_ = true;
+  ++epoch_;  // retire any scheduled completion timer; the pass below
+             // re-derives the next one after absorbing this change
   const std::uint64_t epoch = epoch_;
   engine_.schedule_after(0.0, [this, epoch] {
     if (epoch != epoch_) return;
-    recompute_pending_ = false;
-    settle();
-    recompute();
+    process_pending_ = false;
+    if (cfg_.incremental)
+      process();
+    else
+      process_full();
   });
 }
 
-void FlowNetwork::recompute() {
-  // Complete flows that have drained (several can share an instant).
-  const double teps = completion_time_eps(engine_.now());
-  std::vector<SimPromiseV> done;
-  for (auto it = flows_.begin(); it != flows_.end();) {
-    if (it->second.remaining <= it->second.rate * teps) {
-      total_delivered_ += it->second.remaining;
-      for (const LinkId l : it->second.links)
-        --link_load_[static_cast<size_t>(l)];
-      done.push_back(std::move(it->second.promise));
-      it = flows_.erase(it);
-    } else {
-      ++it;
-    }
-  }
-
-  ++epoch_;
-  if (!flows_.empty()) {
-    if (cfg_.fairness == Fairness::kMaxMin) {
-      assign_rates_max_min();
-    } else {
-      assign_rates_min_share();
-    }
-    SimTime earliest = std::numeric_limits<double>::max();
-    for (auto& [id, f] : flows_)
-      earliest = std::min(earliest, f.remaining / f.rate);
-    const std::uint64_t epoch = epoch_;
-    engine_.schedule_after(earliest, [this, epoch] { on_event(epoch); });
-  }
-
-  for (auto& p : done) p.set_value(Done{});
+void FlowNetwork::on_timer(std::uint64_t epoch) {
+  if (epoch != epoch_) return;
+  if (cfg_.incremental)
+    process();
+  else
+    process_full();
 }
 
-void FlowNetwork::assign_rates_min_share() {
-  for (auto& [id, f] : flows_) f.rate = compute_rate(f);
+void FlowNetwork::settle_flow(Flow& f, SimTime now) {
+  const SimTime dt = now - f.last_settle;
+  if (dt > 0.0 && f.rate > 0.0) {
+    const double served = std::min(f.remaining, f.rate * dt);
+    f.remaining -= served;
+    settled_delivered_ += served;
+  }
+  f.last_settle = now;
 }
 
-void FlowNetwork::assign_rates_max_min() {
-  // Progressive filling: repeatedly find the tightest link, freeze its
-  // flows at the equal share of its residual capacity, subtract their
-  // rates everywhere, and continue with the rest.
-  std::vector<double> residual(link_load_.size());
-  std::vector<int> active(link_load_.size(), 0);
-  for (std::size_t l = 0; l < residual.size(); ++l)
-    residual[l] = link_capacity(static_cast<LinkId>(l));
-  std::vector<Flow*> unfrozen;
-  unfrozen.reserve(flows_.size());
-  for (auto& [id, f] : flows_) {
-    unfrozen.push_back(&f);
-    for (const LinkId l : f.links) ++active[static_cast<std::size_t>(l)];
+void FlowNetwork::finish_flow(std::uint32_t idx) {
+  Flow& f = flows_[idx];
+  // The sub-eps residue counts as delivered (conservation).
+  settled_delivered_ += f.remaining;
+  f.remaining = 0.0;
+  for (std::uint32_t s = 0; s < f.links.size(); ++s) {
+    const LinkId l = f.links[s];
+    const auto li = static_cast<std::size_t>(l);
+    --link_load_[li];
+    mark_link_dirty(l);
+    if (cfg_.incremental) {
+      // Swap-erase this flow's entry; the moved entry's back-pointer
+      // keeps link_pos consistent.  Routes never repeat a link, so a
+      // moved entry naming this flow is the entry being erased itself.
+      auto& set = link_flows_[li];
+      const std::uint32_t pos = f.link_pos[s];
+      const LinkRef moved = set.back();
+      set[pos] = moved;
+      set.pop_back();
+      if (moved.flow != idx) flows_[moved.flow].link_pos[moved.slot] = pos;
+    }
+  }
+  done_.push_back(Completion{std::move(f.promise), f.waiter});
+  ++f.gen;  // strand any heap entries still naming this slot
+  f.waiter = {};
+  f.rate = 0.0;
+  f.links.clear();
+  f.link_pos.clear();
+  f.in_use = false;
+  free_.push_back(idx);
+  --active_count_;
+}
+
+void FlowNetwork::fire_completions() {
+  for (Completion& c : done_) {
+    if (c.promise.valid()) {
+      c.promise.set_value(Done{});
+    } else if (c.waiter) {
+      const auto h = c.waiter;
+      engine_.schedule_after(0.0, [h] { h.resume(); });
+    }
+  }
+  done_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Incremental path
+// ---------------------------------------------------------------------------
+
+void FlowNetwork::heap_push(CompletionEntry e) {
+  cheap_.push_back(e);
+  std::push_heap(cheap_.begin(), cheap_.end(), pops_after);
+}
+
+void FlowNetwork::heap_pop() {
+  std::pop_heap(cheap_.begin(), cheap_.end(), pops_after);
+  cheap_.pop_back();
+}
+
+void FlowNetwork::process() {
+  const SimTime now = engine_.now();
+  const double teps = completion_time_eps(now);
+
+  // Amortized sweep of invalidated predictions: every rate change
+  // strands one entry, so without this the heap tracks rate churn
+  // instead of flow count.
+  if (cheap_.size() >= 64 && cheap_.size() > 4 * active_count_) {
+    std::size_t kept = 0;
+    for (const CompletionEntry& e : cheap_) {
+      const Flow& f = flows_[e.flow];
+      if (f.in_use && e.gen == f.gen) cheap_[kept++] = e;
+    }
+    cheap_.resize(kept);
+    std::make_heap(cheap_.begin(), cheap_.end(),
+                   pops_after);
   }
 
-  while (!unfrozen.empty()) {
-    double bottleneck = std::numeric_limits<double>::max();
-    for (std::size_t l = 0; l < residual.size(); ++l) {
-      if (active[l] > 0)
-        bottleneck = std::min(bottleneck, residual[l] / active[l]);
+  // 1. Retire flows whose predicted completion has arrived.  A stale
+  //    prediction (generation mismatch) is simply dropped.  Entries
+  //    within teps of now complete in the same wave — near-coincident
+  //    completions (e.g. a lock-step round draining) would otherwise
+  //    splinter into one full rate pass per ulp-spaced instant.
+  while (!cheap_.empty()) {
+    const CompletionEntry top = cheap_.front();
+    Flow& f = flows_[top.flow];
+    if (!f.in_use || top.gen != f.gen) {
+      heap_pop();
+      continue;
     }
-    // Freeze every flow whose path includes a bottleneck link.
-    std::vector<Flow*> still;
-    still.reserve(unfrozen.size());
-    for (Flow* f : unfrozen) {
-      bool frozen = false;
-      for (const LinkId l : f->links) {
+    if (top.time > now + teps) break;
+    heap_pop();
+    settle_flow(f, now);
+    if (f.remaining <= f.rate * teps) {
+      finish_flow(top.flow);
+    } else {
+      // Settle rounding left a residue; predict again.  remaining >
+      // rate * teps with teps >= 4 ulp(now) makes the new prediction
+      // strictly later than now, so this cannot livelock.
+      ++f.gen;
+      heap_push({now + f.remaining / f.rate, top.flow, f.gen});
+    }
+  }
+
+  // 2. Re-allocate rates among the flows affected by the load changes.
+  if (!dirty_links_.empty()) {
+    ++recompute_passes_;
+    if (cfg_.fairness == Fairness::kMaxMin)
+      update_rates_max_min(now);
+    else
+      update_rates_min_share(now);
+    dirty_links_.clear();
+    ++stamp_;
+    flush_pending();
+  }
+
+  schedule_timer();
+  fire_completions();
+}
+
+void FlowNetwork::apply_rate(std::uint32_t idx, Flow& f, double rate,
+                             SimTime now) {
+  ++rate_updates_;
+  if (rate == f.rate) return;
+  settle_flow(f, now);
+  f.rate = rate;
+  ++f.gen;
+  pending_.push_back({now + f.remaining / rate, idx, f.gen});
+}
+
+void FlowNetwork::flush_pending() {
+  if (pending_.empty()) return;
+  // A wave that re-rates most flows amortizes better through one
+  // O(n) make_heap than through per-entry O(log n) sift-ups.
+  if (pending_.size() > cheap_.size() / 4) {
+    cheap_.insert(cheap_.end(), pending_.begin(), pending_.end());
+    std::make_heap(cheap_.begin(), cheap_.end(), pops_after);
+  } else {
+    for (const CompletionEntry& e : pending_) heap_push(e);
+  }
+  pending_.clear();
+}
+
+void FlowNetwork::update_rates_min_share(SimTime now) {
+  // A min-share rate depends only on the loads of the flow's own
+  // links, so exactly the flows crossing a dirty link need revisiting.
+  // When the change is dense (a big wave dirtied about as many links
+  // as there are flows), a straight scan of the slot map beats
+  // chasing the per-link index lists.
+  if (dirty_links_.size() >= active_count_) {
+    for (std::uint32_t i = 0; i < flows_.size(); ++i) {
+      Flow& f = flows_[i];
+      if (f.in_use) apply_rate(i, f, compute_rate(f), now);
+    }
+    return;
+  }
+  for (const LinkId dl : dirty_links_) {
+    for (const LinkRef ref : link_flows_[static_cast<std::size_t>(dl)]) {
+      if (flow_stamp_[ref.flow] == stamp_) continue;
+      flow_stamp_[ref.flow] = stamp_;
+      Flow& f = flows_[ref.flow];
+      apply_rate(ref.flow, f, compute_rate(f), now);
+    }
+  }
+}
+
+void FlowNetwork::update_rates_max_min(SimTime now) {
+  // Max-min allocations decompose over connected components of the
+  // flow/link sharing graph: a component's rates depend only on its
+  // own members.  Expand the dirty links to the full component, then
+  // run progressive filling there against fresh link capacities.
+  // dirty_links_ doubles as the BFS frontier; every appended link is
+  // stamped first, so each link and flow is visited once.
+  comp_flows_.clear();
+  for (std::size_t i = 0; i < dirty_links_.size(); ++i) {
+    const auto dl = static_cast<std::size_t>(dirty_links_[i]);
+    for (const LinkRef ref : link_flows_[dl]) {
+      if (flow_stamp_[ref.flow] == stamp_) continue;
+      flow_stamp_[ref.flow] = stamp_;
+      comp_flows_.push_back(ref.flow);
+      for (const LinkId l : flows_[ref.flow].links) {
         const auto li = static_cast<std::size_t>(l);
-        if (residual[li] / active[li] <= bottleneck * (1.0 + 1e-12)) {
+        if (link_stamp_[li] == stamp_) continue;
+        link_stamp_[li] = stamp_;
+        dirty_links_.push_back(l);
+      }
+    }
+  }
+  if (comp_flows_.empty()) return;
+
+  for (const LinkId l : dirty_links_) {
+    const auto li = static_cast<std::size_t>(l);
+    residual_[li] = link_capacity(l);
+    active_share_[li] = 0;
+  }
+  for (const std::uint32_t fi : comp_flows_) {
+    for (const LinkId l : flows_[fi].links)
+      ++active_share_[static_cast<std::size_t>(l)];
+  }
+
+  // Progressive filling restricted to the component, consuming
+  // comp_flows_ in place as flows freeze.
+  while (!comp_flows_.empty()) {
+    double bottleneck = std::numeric_limits<double>::max();
+    for (const LinkId l : dirty_links_) {
+      const auto li = static_cast<std::size_t>(l);
+      if (active_share_[li] > 0)
+        bottleneck = std::min(bottleneck, residual_[li] / active_share_[li]);
+    }
+    std::size_t kept = 0;
+    for (const std::uint32_t fi : comp_flows_) {
+      Flow& f = flows_[fi];
+      bool frozen = false;
+      for (const LinkId l : f.links) {
+        const auto li = static_cast<std::size_t>(l);
+        if (residual_[li] / active_share_[li] <=
+            bottleneck * (1.0 + 1e-12)) {
           frozen = true;
           break;
         }
       }
       if (frozen) {
-        f->rate = bottleneck;
-        for (const LinkId l : f->links) {
+        apply_rate(fi, f, bottleneck, now);
+        for (const LinkId l : f.links) {
           const auto li = static_cast<std::size_t>(l);
-          residual[li] -= bottleneck;
-          --active[li];
+          residual_[li] -= bottleneck;
+          --active_share_[li];
         }
       } else {
-        still.push_back(f);
+        comp_flows_[kept++] = fi;
       }
     }
-    if (still.size() == unfrozen.size())
+    if (kept == comp_flows_.size())
       throw InternalError("max-min filling made no progress");
-    unfrozen.swap(still);
+    comp_flows_.resize(kept);
   }
 }
 
-void FlowNetwork::on_event(std::uint64_t epoch) {
-  if (epoch != epoch_) return;
-  settle();
-  recompute();
+void FlowNetwork::schedule_timer() {
+  ++epoch_;  // retire whatever timer was scheduled before this pass
+  while (!cheap_.empty()) {
+    const CompletionEntry& top = cheap_.front();
+    const Flow& f = flows_[top.flow];
+    if (!f.in_use || top.gen != f.gen) {
+      heap_pop();
+      continue;
+    }
+    const std::uint64_t epoch = epoch_;
+    engine_.schedule_at(std::max(top.time, engine_.now()),
+                        [this, epoch] { on_timer(epoch); });
+    return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Full-pass fallback (NetConfig::incremental == false)
+// ---------------------------------------------------------------------------
+
+void FlowNetwork::settle_all() {
+  const SimTime now = engine_.now();
+  if (now - last_settle_ <= 0.0) return;
+  last_settle_ = now;
+  for (Flow& f : flows_)
+    if (f.in_use) settle_flow(f, now);
+}
+
+void FlowNetwork::process_full() {
+  settle_all();
+  const SimTime now = engine_.now();
+  const double teps = completion_time_eps(now);
+
+  // Complete flows that have drained (several can share an instant).
+  for (std::uint32_t i = 0; i < flows_.size(); ++i) {
+    Flow& f = flows_[i];
+    if (f.in_use && f.remaining <= f.rate * teps) finish_flow(i);
+  }
+
+  if (active_count_ > 0) {
+    ++recompute_passes_;
+    if (cfg_.fairness == Fairness::kMaxMin) {
+      assign_rates_max_min_full();
+    } else {
+      // Dirty-bit skip: a min-share rate can only have changed if one
+      // of the flow's links changed load since the last pass.
+      for (Flow& f : flows_) {
+        if (!f.in_use) continue;
+        bool touched = false;
+        for (const LinkId l : f.links) {
+          if (link_stamp_[static_cast<std::size_t>(l)] == stamp_) {
+            touched = true;
+            break;
+          }
+        }
+        if (!touched) continue;
+        f.rate = compute_rate(f);
+        ++rate_updates_;
+      }
+    }
+    SimTime earliest = std::numeric_limits<double>::max();
+    for (const Flow& f : flows_)
+      if (f.in_use) earliest = std::min(earliest, f.remaining / f.rate);
+    ++epoch_;
+    const std::uint64_t epoch = epoch_;
+    engine_.schedule_after(earliest, [this, epoch] { on_timer(epoch); });
+  }
+
+  dirty_links_.clear();
+  ++stamp_;
+  fire_completions();
+}
+
+void FlowNetwork::assign_rates_max_min_full() {
+  // Progressive filling over all flows: repeatedly find the tightest
+  // link, freeze its flows at the equal share of its residual
+  // capacity, subtract their rates everywhere, continue with the rest.
+  for (std::size_t l = 0; l < residual_.size(); ++l) {
+    residual_[l] = link_capacity(static_cast<LinkId>(l));
+    active_share_[l] = 0;
+  }
+  comp_flows_.clear();
+  for (std::uint32_t i = 0; i < flows_.size(); ++i) {
+    if (!flows_[i].in_use) continue;
+    comp_flows_.push_back(i);
+    for (const LinkId l : flows_[i].links)
+      ++active_share_[static_cast<std::size_t>(l)];
+  }
+
+  while (!comp_flows_.empty()) {
+    double bottleneck = std::numeric_limits<double>::max();
+    for (std::size_t l = 0; l < residual_.size(); ++l) {
+      if (active_share_[l] > 0)
+        bottleneck = std::min(bottleneck, residual_[l] / active_share_[l]);
+    }
+    std::size_t kept = 0;
+    for (const std::uint32_t fi : comp_flows_) {
+      Flow& f = flows_[fi];
+      bool frozen = false;
+      for (const LinkId l : f.links) {
+        const auto li = static_cast<std::size_t>(l);
+        if (residual_[li] / active_share_[li] <=
+            bottleneck * (1.0 + 1e-12)) {
+          frozen = true;
+          break;
+        }
+      }
+      if (frozen) {
+        f.rate = bottleneck;
+        ++rate_updates_;
+        for (const LinkId l : f.links) {
+          const auto li = static_cast<std::size_t>(l);
+          residual_[li] -= bottleneck;
+          --active_share_[li];
+        }
+      } else {
+        comp_flows_[kept++] = fi;
+      }
+    }
+    if (kept == comp_flows_.size())
+      throw InternalError("max-min filling made no progress");
+    comp_flows_.resize(kept);
+  }
+}
+
+// ---------------------------------------------------------------------------
+
+double FlowNetwork::total_delivered() const noexcept {
+  const SimTime now = engine_.now();
+  double sum = settled_delivered_;
+  for (const Flow& f : flows_) {
+    if (!f.in_use) continue;
+    const SimTime dt = now - f.last_settle;
+    if (dt > 0.0 && f.rate > 0.0) sum += std::min(f.remaining, f.rate * dt);
+  }
+  return sum;
 }
 
 int FlowNetwork::link_load(LinkId link) const {

@@ -12,18 +12,32 @@
 /// leave some residual capacity unused, which real wormhole routing
 /// wastes too).
 ///
-/// Rates for *all* flows are recomputed whenever the flow set changes.
-/// Changes at the same simulated instant are coalesced into a single
-/// recompute, so lock-step collective rounds (the common case in HPCC
-/// and the app proxies) cost one O(flows x path) pass per round rather
-/// than one per message.
+/// Rate allocation is *incremental*: per-link index sets record which
+/// flows traverse each link, so when the flow set changes only the
+/// flows sharing a changed link (kMinShare), or the connected component
+/// of flows transitively sharing links with the change (kMaxMin), are
+/// revisited — O(affected x path) instead of O(all flows x path) per
+/// arrival/departure.  Flows are stored in a slot-map (free-list
+/// recycled, stable indices) with small-vector route storage, progress
+/// is settled lazily per flow, and completions come from a lazy min-
+/// heap of predicted completion times, invalidated by per-flow
+/// generation counters.  Changes at the same simulated instant are
+/// still coalesced into a single allocation pass, so lock-step
+/// collective rounds cost one pass per round rather than one per
+/// message.  Setting NetConfig::incremental = false selects the
+/// simpler full-pass fallback (global settle + scan), which skips rate
+/// recomputation for flows whose links' loads did not change since the
+/// last pass.
 
+#include <coroutine>
+#include <cstddef>
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "core/engine.hpp"
 #include "core/future.hpp"
+#include "core/small_vec.hpp"
+#include "network/route_cache.hpp"
 #include "network/torus.hpp"
 
 namespace xts::net {
@@ -42,6 +56,13 @@ struct NetConfig {
   double ejection_bw = 0.0;   ///< NIC ejection capacity, B/s (0 => =inj)
   double per_hop_latency = 0.0;  ///< router hop latency, seconds
   Fairness fairness = Fairness::kMinShare;
+  /// Incremental rate allocation via per-link flow-index sets (the
+  /// default).  false selects the full-pass fallback with dirty-bit
+  /// skipping — simpler, O(flows) per change, kept for differential
+  /// testing and as an escape hatch.
+  bool incremental = true;
+  /// LRU route-cache entries keyed on (src, dst); 0 disables caching.
+  std::size_t route_cache_capacity = 4096;
 };
 
 class FlowNetwork {
@@ -56,53 +77,162 @@ class FlowNetwork {
   /// (vmpi) accounts for first-byte latency separately.
   [[nodiscard]] SimFutureV transfer(NodeId src, NodeId dst, double bytes);
 
+  /// Allocation-free transfer handle: awaiting it parks the coroutine
+  /// directly in the flow slot (no promise shared-state allocation) and
+  /// resumes it, through the event queue, when the last byte ejects.
+  class [[nodiscard]] TransferAwaiter {
+   public:
+    [[nodiscard]] bool await_ready() const noexcept { return bytes_ == 0.0; }
+    void await_suspend(std::coroutine_handle<> h) {
+      net_->start_flow(src_, dst_, bytes_, h);
+    }
+    void await_resume() const noexcept {}
+
+   private:
+    friend class FlowNetwork;
+    TransferAwaiter(FlowNetwork* net, NodeId src, NodeId dst,
+                    double bytes) noexcept
+        : net_(net), src_(src), dst_(dst), bytes_(bytes) {}
+
+    FlowNetwork* net_;
+    NodeId src_;
+    NodeId dst_;
+    double bytes_;
+  };
+  [[nodiscard]] TransferAwaiter transfer_flow(NodeId src, NodeId dst,
+                                              double bytes);
+
   /// First-byte latency of the minimal route (hop count x per-hop).
   [[nodiscard]] SimTime route_latency(NodeId src, NodeId dst) const;
 
   [[nodiscard]] const Torus3D& topology() const noexcept { return topo_; }
   [[nodiscard]] const NetConfig& config() const noexcept { return cfg_; }
   [[nodiscard]] std::size_t active_flows() const noexcept {
-    return flows_.size();
+    return active_count_;
   }
   /// High-water mark of concurrent flows (capacity-planning stat).
   [[nodiscard]] std::size_t peak_flows() const noexcept {
     return peak_flows_;
   }
-  /// Total bytes fully delivered (conservation checks).
-  [[nodiscard]] double total_delivered() const noexcept {
-    return total_delivered_;
-  }
+  /// Total bytes fully delivered (conservation checks).  Includes the
+  /// progress of still-active flows up to now().
+  [[nodiscard]] double total_delivered() const noexcept;
   /// Current load (flow count) on a link — exposed for tests.
   [[nodiscard]] int link_load(LinkId link) const;
+
+  // -- perf/behavior counters (tests, bench_regress) ---------------------
+
+  /// Coalesced rate-allocation passes run so far: all same-instant
+  /// arrivals/departures share one pass.
+  [[nodiscard]] std::uint64_t recompute_passes() const noexcept {
+    return recompute_passes_;
+  }
+  /// Individual per-flow rate recomputations across all passes.
+  [[nodiscard]] std::uint64_t rate_updates() const noexcept {
+    return rate_updates_;
+  }
+  [[nodiscard]] std::uint64_t route_cache_hits() const noexcept {
+    return route_cache_.hits();
+  }
+  [[nodiscard]] std::uint64_t route_cache_misses() const noexcept {
+    return route_cache_.misses();
+  }
 
  private:
   struct Flow {
     double remaining = 0.0;
     double rate = 0.0;
-    std::vector<LinkId> links;
+    SimTime last_settle = 0.0;
+    std::uint32_t gen = 0;  ///< invalidates completion-heap entries
+    bool in_use = false;
+    Route links;
+    SmallVec<std::uint32_t, 16> link_pos;  ///< index in link_flows_[links[i]]
+    std::coroutine_handle<> waiter{};      ///< transfer_flow path
+    SimPromiseV promise;                   ///< transfer path
+  };
+
+  /// Back-reference stored in a link's flow set: which flow, and which
+  /// position of that flow's route this link occupies (so a swap-erase
+  /// can fix the moved entry's link_pos in O(1)).
+  struct LinkRef {
+    std::uint32_t flow;
+    std::uint32_t slot;
+  };
+
+  struct CompletionEntry {
+    double time;
+    std::uint32_t flow;
+    std::uint32_t gen;
+  };
+
+  struct Completion {
     SimPromiseV promise;
+    std::coroutine_handle<> waiter{};
   };
 
   [[nodiscard]] double link_capacity(LinkId link) const noexcept;
   [[nodiscard]] double compute_rate(const Flow& f) const noexcept;
-  void assign_rates_min_share();
-  void assign_rates_max_min();
-  void settle();
+  void get_route(NodeId src, NodeId dst, Route& out);
+  std::uint32_t add_flow(NodeId src, NodeId dst, double bytes);
+  void start_flow(NodeId src, NodeId dst, double bytes,
+                  std::coroutine_handle<> h);
   void mark_dirty();
-  void recompute();  // settle happened; recompute rates + next event
-  void on_event(std::uint64_t epoch);
+  void mark_link_dirty(LinkId link);
+  void settle_flow(Flow& f, SimTime now);
+  void finish_flow(std::uint32_t idx);
+  void fire_completions();
+
+  static bool pops_after(const CompletionEntry& a,
+                         const CompletionEntry& b) noexcept;
+
+  // incremental path
+  void process();
+  void on_timer(std::uint64_t epoch);
+  void update_rates_min_share(SimTime now);
+  void update_rates_max_min(SimTime now);
+  void apply_rate(std::uint32_t idx, Flow& f, double rate, SimTime now);
+  void flush_pending();
+  void schedule_timer();
+  void heap_push(CompletionEntry e);
+  void heap_pop();
+
+  // full-pass fallback path
+  void process_full();
+  void settle_all();
+  void assign_rates_max_min_full();
 
   Engine& engine_;
   Torus3D topo_;
   NetConfig cfg_;
-  std::unordered_map<std::uint64_t, Flow> flows_;
+  RouteCache route_cache_;
+
+  std::vector<Flow> flows_;            ///< slot-map backing store
+  std::vector<std::uint32_t> free_;    ///< recycled slots (LIFO)
   std::vector<int> link_load_;
-  std::uint64_t next_flow_id_ = 0;
+  std::vector<std::vector<LinkRef>> link_flows_;  ///< incremental only
+
+  // Dirty tracking: a link is dirty when its load changed since the
+  // last allocation pass; stamps avoid O(links) clearing.
+  std::vector<LinkId> dirty_links_;
+  std::vector<std::uint32_t> link_stamp_;
+  std::vector<std::uint32_t> flow_stamp_;
+  std::uint32_t stamp_ = 1;
+
+  std::vector<CompletionEntry> cheap_;  ///< lazy completion min-heap
+  std::vector<CompletionEntry> pending_;  ///< scratch: predictions to insert
+  std::vector<Completion> done_;        ///< scratch: completions to fire
+  std::vector<std::uint32_t> comp_flows_;  ///< scratch: max-min component
+  std::vector<double> residual_;           ///< scratch: max-min filling
+  std::vector<int> active_share_;          ///< scratch: max-min filling
+
+  std::size_t active_count_ = 0;
   std::size_t peak_flows_ = 0;
-  std::uint64_t epoch_ = 0;
-  bool recompute_pending_ = false;
-  SimTime last_settle_ = 0.0;
-  double total_delivered_ = 0.0;
+  std::uint64_t epoch_ = 0;        ///< invalidates scheduled timers
+  bool process_pending_ = false;   ///< zero-delay pass already queued
+  SimTime last_settle_ = 0.0;      ///< full-pass path only
+  double settled_delivered_ = 0.0;
+  std::uint64_t recompute_passes_ = 0;
+  std::uint64_t rate_updates_ = 0;
 };
 
 }  // namespace xts::net

@@ -73,33 +73,43 @@ int ring_delta(int a, int b, int n) {
 }  // namespace
 
 std::vector<LinkId> Torus3D::route(NodeId src, NodeId dst) const {
+  Route r;
+  route_into(src, dst, r);
+  return std::vector<LinkId>(r.begin(), r.end());
+}
+
+void Torus3D::route_into(NodeId src, NodeId dst, Route& out) const {
   check_node(src);
   check_node(dst);
   if (src == dst)
     throw UsageError("Torus3D::route: src == dst (use the memory path)");
 
-  std::vector<LinkId> links;
-  links.push_back(injection_link(src));
+  out.clear();
+  out.push_back(torus_link_count() + src);  // injection link
 
   Coord cur = coord_of(src);
   const Coord goal = coord_of(dst);
   const int sizes[3] = {dims_.x, dims_.y, dims_.z};
   int* cur_axis[3] = {&cur.x, &cur.y, &cur.z};
   const int goal_axis[3] = {goal.x, goal.y, goal.z};
+  // Per-hop node-id increment along each dimension (row-major x,y,z).
+  const NodeId strides[3] = {static_cast<NodeId>(dims_.y * dims_.z),
+                             static_cast<NodeId>(dims_.z), 1};
+  NodeId cur_id = src;
 
   for (int dim = 0; dim < 3; ++dim) {
     int delta = ring_delta(*cur_axis[dim], goal_axis[dim], sizes[dim]);
     const int dir = delta >= 0 ? 1 : 0;
     const int step = delta >= 0 ? 1 : -1;
     while (delta != 0) {
-      links.push_back(torus_link(id_of(cur), dim, dir));
-      *cur_axis[dim] =
-          (*cur_axis[dim] + step + sizes[dim]) % sizes[dim];
+      out.push_back((cur_id * 3 + dim) * 2 + dir);
+      const int before = *cur_axis[dim];
+      *cur_axis[dim] = (before + step + sizes[dim]) % sizes[dim];
+      cur_id += static_cast<NodeId>(*cur_axis[dim] - before) * strides[dim];
       delta -= step;
     }
   }
-  links.push_back(ejection_link(dst));
-  return links;
+  out.push_back(torus_link_count() + node_count() + dst);  // ejection link
 }
 
 int Torus3D::hop_count(NodeId src, NodeId dst) const {

@@ -14,11 +14,17 @@
 #include <vector>
 
 #include "core/error.hpp"
+#include "core/small_vec.hpp"
 
 namespace xts::net {
 
 using NodeId = std::int32_t;
 using LinkId = std::int32_t;
+
+/// A route as a link sequence, inline up to 16 links (14 torus hops
+/// plus injection/ejection) — enough for every route of a 1k-node
+/// near-cubic torus without allocation.
+using Route = SmallVec<LinkId, 16>;
 
 struct Coord {
   int x = 0, y = 0, z = 0;
@@ -66,6 +72,10 @@ class Torus3D {
   /// link.  src == dst is a caller error (intra-node traffic never
   /// reaches the network).
   [[nodiscard]] std::vector<LinkId> route(NodeId src, NodeId dst) const;
+
+  /// Allocation-free variant: derive the route into \p out (cleared
+  /// first).  The hot path used by FlowNetwork.
+  void route_into(NodeId src, NodeId dst, Route& out) const;
 
   /// Torus hop count of the minimal route (excludes injection/ejection).
   [[nodiscard]] int hop_count(NodeId src, NodeId dst) const;

@@ -215,7 +215,9 @@ Task<void> World::transport(int src, int dst, Message msg,
                                   mcfg.nic.rx_overhead);
     }
     co_await Delay(engine_, oneway);
-    (void)co_await network_->transfer(snode, dnode, std::max(bytes, 8.0));
+    // transfer_flow parks this coroutine in the flow slot itself — no
+    // promise shared-state allocation per message on the hot path.
+    co_await network_->transfer_flow(snode, dnode, std::max(bytes, 8.0));
     // Receiver-side processing serializes through the destination
     // node's NIC doorbell too: Portals processing runs on the host
     // CPU, and in VN mode the owner core handles every arriving

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <memory>
 #include <vector>
 
 namespace xts {
@@ -76,6 +78,86 @@ TEST(Engine, RunUntilStopsAtDeadline) {
 TEST(Engine, StepReturnsFalseWhenEmpty) {
   Engine e;
   EXPECT_FALSE(e.step());
+}
+
+TEST(Engine, RunUntilAdvancesNowToDeadline) {
+  // Regression: run_until used to leave now() at the last fired event,
+  // so a follow-up schedule_after() landed before the deadline.
+  Engine e;
+  e.schedule_at(1.0, [] {});
+  e.schedule_at(10.0, [] {});
+  EXPECT_FALSE(e.run_until(5.0));
+  EXPECT_EQ(e.now(), 5.0);
+  int fired_at_deadline_plus = 0;
+  e.schedule_after(1.0, [&] { ++fired_at_deadline_plus; });  // at t=6
+  EXPECT_FALSE(e.run_until(7.0));
+  EXPECT_EQ(fired_at_deadline_plus, 1);
+  EXPECT_EQ(e.now(), 7.0);
+  EXPECT_TRUE(e.run_until(20.0));
+  EXPECT_EQ(e.now(), 20.0);  // drained: still advances to the deadline
+}
+
+TEST(Engine, RunUntilPastDeadlineDoesNotRewindTime) {
+  Engine e;
+  e.schedule_at(3.0, [] {});
+  e.run();
+  EXPECT_EQ(e.now(), 3.0);
+  EXPECT_TRUE(e.run_until(1.0));  // deadline already in the past
+  EXPECT_EQ(e.now(), 3.0);
+}
+
+TEST(Engine, SameInstantFifoAndHeapInterleaveBySequence) {
+  // Events landing at the same instant fire in schedule order even when
+  // some were scheduled earlier (heap) and some at that instant (FIFO).
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(1.0, [&] {
+    order.push_back(0);
+    // Scheduled *at* t=1 while now()==1: takes the same-instant lane.
+    e.schedule_after(0.0, [&] { order.push_back(2); });
+    e.schedule_at(1.0, [&] { order.push_back(3); });
+  });
+  e.schedule_at(1.0, [&] { order.push_back(1); });  // heap, seq 1
+  e.schedule_at(2.0, [&] { order.push_back(4); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Engine, ZeroDelayStormPreservesFifoOrder) {
+  // Grow the same-instant ring through several reallocations.
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(1.0, [&] {
+    for (int i = 0; i < 500; ++i)
+      e.schedule_after(0.0, [&order, i] { order.push_back(2 * i); });
+  });
+  e.schedule_at(1.0, [&] {
+    for (int i = 0; i < 500; ++i)
+      e.schedule_after(0.0, [&order, i] { order.push_back(2 * i + 1); });
+  });
+  e.run();
+  // Both batches were enqueued before any ring entry fired, so the ring
+  // drains the first batch (even values), then the second (odd values).
+  ASSERT_EQ(order.size(), 1000u);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], 2 * i);
+    EXPECT_EQ(order[static_cast<size_t>(500 + i)], 2 * i + 1);
+  }
+  EXPECT_EQ(e.now(), 1.0);
+}
+
+TEST(Engine, LargeAndNonTrivialCapturesAreBoxedCorrectly) {
+  // Callables that exceed the inline buffer (or are not trivially
+  // copyable) take the heap-boxed path of InlineFn.
+  Engine e;
+  auto big = std::make_shared<std::vector<int>>(100, 7);
+  long sum = 0;
+  double pad[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  e.schedule_at(1.0, [big, &sum] { sum += (*big)[99]; });   // non-trivial
+  e.schedule_at(2.0, [pad, &sum] { sum += static_cast<long>(pad[7]); });
+  e.run();
+  EXPECT_EQ(sum, 15);
+  EXPECT_EQ(big.use_count(), 1);  // boxed copy destroyed after firing
 }
 
 TEST(Engine, EventCountersTrack) {

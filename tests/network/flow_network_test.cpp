@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <tuple>
 #include <vector>
 
 #include "core/rng.hpp"
@@ -198,6 +199,167 @@ TEST_P(FlowFairness, BottleneckSharedEqually) {
 
 INSTANTIATE_TEST_SUITE_P(Counts, FlowFairness,
                          ::testing::Values(1, 2, 3, 5, 9, 14));
+
+// 32 disjoint same-instant transfers must coalesce into a handful of
+// rate-allocation passes (one absorbing all arrivals, one per
+// completion wave) — not one pass per transfer.
+TEST(FlowNetwork, SameInstantArrivalsCoalesceIntoOnePass) {
+  Engine e;
+  FlowNetwork net(e, Torus3D({64, 1, 1}), cfg(100.0, 2.0));
+  int finished = 0;
+  for (int i = 0; i < 32; ++i) {
+    const auto src = static_cast<NodeId>(2 * i);
+    const auto dst = static_cast<NodeId>(2 * i + 1);
+    spawn(e, [](FlowNetwork& n, NodeId s, NodeId d, int& count)
+                 -> Task<void> {
+      (void)co_await n.transfer(s, d, 8.0);
+      ++count;
+    }(net, src, dst, finished));
+  }
+  e.run();
+  EXPECT_EQ(finished, 32);
+  // Disjoint equal flows: one arrival pass, one completion wave.
+  EXPECT_GE(net.recompute_passes(), 1u);
+  EXPECT_LE(net.recompute_passes(), 4u);
+}
+
+// Three-way contention where the two fairness policies provably
+// diverge.  Flows B, C, D share ejection(2) (the bottleneck, 1 B/s
+// each); A shares injection(0) with B.  Min-share caps A at
+// inj/2 = 1.5 B/s even though B cannot use its half; max-min hands the
+// slack to A (2 B/s), finishing it a full second earlier.
+TEST(FlowNetwork, FairnessPoliciesDivergeWhenBottleneckStrandsCapacity) {
+  struct Result {
+    SimTime a, b, c, d;
+  };
+  auto run = [](Fairness fairness) {
+    Engine e;
+    NetConfig c = cfg(100.0, 3.0);  // links never bind; NICs do
+    c.fairness = fairness;
+    FlowNetwork net(e, Torus3D({4, 1, 1}), c);
+    Result r{};
+    auto xfer = [](Engine& eng, FlowNetwork& n, NodeId s, NodeId d,
+                   double bytes, SimTime& out) -> Task<void> {
+      (void)co_await n.transfer(s, d, bytes);
+      out = eng.now();
+    };
+    spawn(e, xfer(e, net, 0, 1, 6.0, r.a));
+    spawn(e, xfer(e, net, 0, 2, 4.0, r.b));
+    spawn(e, xfer(e, net, 1, 2, 4.0, r.c));
+    spawn(e, xfer(e, net, 3, 2, 4.0, r.d));
+    e.run();
+    return r;
+  };
+
+  const Result ms = run(Fairness::kMinShare);
+  EXPECT_NEAR(ms.a, 4.0, 1e-9);  // held to 1.5 B/s by B's unused share
+  EXPECT_NEAR(ms.b, 4.0, 1e-9);
+  EXPECT_NEAR(ms.c, 4.0, 1e-9);
+  EXPECT_NEAR(ms.d, 4.0, 1e-9);
+
+  const Result mm = run(Fairness::kMaxMin);
+  EXPECT_NEAR(mm.a, 3.0, 1e-9);  // picks up the slack: 2 B/s
+  EXPECT_NEAR(mm.b, 4.0, 1e-9);
+  EXPECT_NEAR(mm.c, 4.0, 1e-9);
+  EXPECT_NEAR(mm.d, 4.0, 1e-9);
+}
+
+// Byte conservation and full teardown under staggered churn, across
+// the incremental/full-pass and min-share/max-min matrix.
+class FlowChurnModes
+    : public ::testing::TestWithParam<std::tuple<bool, Fairness>> {};
+
+TEST_P(FlowChurnModes, ConservesBytesAndTearsDownCleanly) {
+  const auto [incremental, fairness] = GetParam();
+  Engine e;
+  Torus3D topo({4, 4, 4});
+  NetConfig c = cfg(3.0, 2.0);
+  c.incremental = incremental;
+  c.fairness = fairness;
+  FlowNetwork net(e, topo, c);
+  double total = 0.0;
+  int finished = 0;
+  const int kFlows = 150;
+  Rng rng_src(7), rng_dst(11);
+  for (int i = 0; i < kFlows; ++i) {
+    const auto src = static_cast<NodeId>(rng_src.below(64));
+    auto dst = static_cast<NodeId>(rng_dst.below(64));
+    if (dst == src) dst = (dst + 1) % 64;
+    const double bytes = 1.0 + static_cast<double>(i % 23);
+    total += bytes;
+    spawn(e, [](Engine& eng, FlowNetwork& n, NodeId s, NodeId d, double b,
+                int delay, int& count) -> Task<void> {
+      co_await Delay(eng, 0.3 * delay);
+      (void)co_await n.transfer(s, d, b);
+      ++count;
+    }(e, net, src, dst, bytes, i % 11, finished));
+  }
+  e.run();
+  EXPECT_EQ(finished, kFlows);
+  EXPECT_NEAR(net.total_delivered(), total, 1e-6);
+  EXPECT_EQ(net.active_flows(), 0u);
+  for (LinkId l = 0; l < topo.total_link_count(); ++l)
+    EXPECT_EQ(net.link_load(l), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, FlowChurnModes,
+    ::testing::Combine(::testing::Bool(),
+                       ::testing::Values(Fairness::kMinShare,
+                                         Fairness::kMaxMin)));
+
+// The incremental path must produce the same completion times as the
+// full-pass fallback — they are two implementations of one model.
+TEST(FlowNetwork, IncrementalMatchesFullPassCompletionTimes) {
+  auto run = [](bool incremental, Fairness fairness) {
+    Engine e;
+    NetConfig c = cfg(2.5, 1.5);
+    c.incremental = incremental;
+    c.fairness = fairness;
+    FlowNetwork net(e, Torus3D({4, 4, 1}), c);
+    std::vector<SimTime> done(40, -1.0);
+    for (int i = 0; i < 40; ++i) {
+      auto s = static_cast<NodeId>(i % 16);
+      auto d = static_cast<NodeId>((i * 5 + 1) % 16);
+      if (s == d) d = (d + 1) % 16;
+      spawn(e, [](Engine& eng, FlowNetwork& n, NodeId src, NodeId dst,
+                  double b, int delay, SimTime& out) -> Task<void> {
+        co_await Delay(eng, 0.5 * delay);
+        (void)co_await n.transfer(src, dst, b);
+        out = eng.now();
+      }(e, net, s, d, 1.0 + i % 13, i % 5,
+        done[static_cast<std::size_t>(i)]));
+    }
+    e.run();
+    return done;
+  };
+  for (const Fairness f : {Fairness::kMinShare, Fairness::kMaxMin}) {
+    const auto inc = run(true, f);
+    const auto full = run(false, f);
+    ASSERT_EQ(inc.size(), full.size());
+    for (std::size_t i = 0; i < inc.size(); ++i)
+      EXPECT_NEAR(inc[i], full[i], 1e-7) << "flow " << i;
+  }
+}
+
+TEST(FlowNetwork, RouteCacheServesRepeatedPairs) {
+  Engine e;
+  FlowNetwork net(e, Torus3D({4, 4, 1}), cfg());
+  for (int i = 0; i < 10; ++i) run_one_transfer(e, net, 0, 5, 4.0);
+  EXPECT_EQ(net.route_cache_misses(), 1u);
+  EXPECT_EQ(net.route_cache_hits(), 9u);
+}
+
+TEST(FlowNetwork, RouteCacheCanBeDisabled) {
+  Engine e;
+  NetConfig c = cfg();
+  c.route_cache_capacity = 0;
+  FlowNetwork net(e, Torus3D({4, 4, 1}), c);
+  for (int i = 0; i < 3; ++i)
+    EXPECT_NEAR(run_one_transfer(e, net, 0, 1, 2.0), 1.0 + i, 1e-9);
+  EXPECT_EQ(net.route_cache_hits(), 0u);
+  EXPECT_EQ(net.route_cache_misses(), 0u);
+}
 
 }  // namespace
 }  // namespace xts::net

@@ -58,6 +58,52 @@ TEST(Trace, FlagsCollectiveTrafficAsInternal) {
   for (const auto& rec : w.trace()) EXPECT_TRUE(rec.internal);
 }
 
+// Golden trace: the determinism contract.  A mixed round (ring
+// sendrecv, allreduce, alltoall, barrier) over 8 ranks must replay
+// bit-for-bit — identical delivery order, byte counts, and exact
+// double-equal timestamps — across independent Worlds.  Any change to
+// (time, seq) event ordering, flow completion order, or rate
+// arithmetic shows up here.
+TEST(Trace, GoldenTraceReplaysBitForBit) {
+  auto run = [] {
+    WorldConfig cfg;
+    cfg.machine = machine::xt4();
+    cfg.nranks = 8;
+    cfg.enable_trace = true;
+    World w(std::move(cfg));
+    const SimTime makespan = w.run([](Comm& c) -> Task<void> {
+      const int right = (c.rank() + 1) % c.size();
+      {
+        auto sent = co_await c.send(right, 0, 4096.0);
+        (void)co_await c.recv((c.rank() + c.size() - 1) % c.size(), 0);
+        (void)co_await std::move(sent);
+      }
+      std::vector<double> v(4, static_cast<double>(c.rank()));
+      (void)co_await c.allreduce_sum(std::move(v));
+      co_await c.alltoallv_bytes(std::vector<double>(
+          static_cast<std::size_t>(c.size()), 512.0));
+      co_await c.barrier();
+      co_await c.send_wait(right, 1, 1.0e6);
+      (void)co_await c.recv(kAnySource, 1);
+    });
+    return std::pair<std::vector<TraceRecord>, SimTime>(w.trace(),
+                                                        makespan);
+  };
+  const auto [trace_a, end_a] = run();
+  const auto [trace_b, end_b] = run();
+  EXPECT_GT(end_a, 0.0);
+  EXPECT_EQ(end_a, end_b);  // exact, not approximate
+  ASSERT_EQ(trace_a.size(), trace_b.size());
+  ASSERT_FALSE(trace_a.empty());
+  for (std::size_t i = 0; i < trace_a.size(); ++i) {
+    EXPECT_EQ(trace_a[i].src_world, trace_b[i].src_world) << i;
+    EXPECT_EQ(trace_a[i].dst_world, trace_b[i].dst_world) << i;
+    EXPECT_EQ(trace_a[i].bytes, trace_b[i].bytes) << i;
+    EXPECT_EQ(trace_a[i].delivered_at, trace_b[i].delivered_at) << i;
+    EXPECT_EQ(trace_a[i].internal, trace_b[i].internal) << i;
+  }
+}
+
 TEST(Trace, PeakFlowsTracked) {
   WorldConfig cfg;
   cfg.machine = machine::xt4();
