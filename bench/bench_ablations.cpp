@@ -14,6 +14,7 @@
 
 #include "apps/pop.hpp"
 #include "core/report.hpp"
+#include "obsv/export.hpp"
 #include "core/units.hpp"
 #include "hpcc/hpcc.hpp"
 #include "machine/presets.hpp"
@@ -24,6 +25,7 @@ int main(int argc, char** argv) {
   using namespace xts::units;
   const auto opt =
       BenchOptions::parse(argc, argv, "Design-choice ablation benches");
+  obsv::arm_cli(opt);
 
   // --- 1. VN forwarding delay sweep ---
   {

@@ -5,6 +5,7 @@
 #include <iostream>
 
 #include "core/report.hpp"
+#include "obsv/export.hpp"
 #include "core/units.hpp"
 #include "hpcc/hpcc.hpp"
 #include "machine/presets.hpp"
@@ -14,6 +15,7 @@ int main(int argc, char** argv) {
   using machine::ExecMode;
   const auto opt =
       BenchOptions::parse(argc, argv, "Figure 2: HPCC network latency (us)");
+  obsv::arm_cli(opt);
   const int n = opt.quick ? 16 : (opt.full ? 256 : 64);
 
   struct Row {

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "core/report.hpp"
+#include "obsv/export.hpp"
 #include "hpcc/hpcc.hpp"
 #include "machine/presets.hpp"
 
@@ -46,6 +47,7 @@ int main(int argc, char** argv) {
       argc, argv,
       "Figures 4-7: SP/EP FFT (GFLOPS), DGEMM (GFLOPS), RandomAccess "
       "(GUPS), STREAM Triad (GB/s)");
+  obsv::arm_cli(opt);
 
   figure("Figure 4: SP/EP FFT (GFLOPS)", hpcc::fft_gflops, opt, 3);
   figure("Figure 5: SP/EP DGEMM (GFLOPS)", hpcc::dgemm_gflops, opt, 3);

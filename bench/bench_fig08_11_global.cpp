@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/report.hpp"
+#include "obsv/export.hpp"
 #include "hpcc/hpcc.hpp"
 #include "machine/presets.hpp"
 
@@ -52,6 +53,7 @@ int main(int argc, char** argv) {
       argc, argv,
       "Figures 8-11: global HPL (TFLOPS), MPI-FFT (GFLOPS), PTRANS (GB/s), "
       "MPI RandomAccess (GUPS)");
+  obsv::arm_cli(opt);
 
   const std::vector<int> counts =
       opt.quick ? std::vector<int>{16, 32}

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/report.hpp"
+#include "obsv/export.hpp"
 #include "core/units.hpp"
 #include "hpcc/hpcc.hpp"
 #include "machine/presets.hpp"
@@ -19,6 +20,7 @@ int main(int argc, char** argv) {
   const auto opt = BenchOptions::parse(
       argc, argv,
       "Figures 12-13: bidirectional MPI bandwidth vs message size");
+  obsv::arm_cli(opt);
 
   std::vector<double> sizes;
   for (double b = 8.0; b <= (opt.quick ? 1.0 * MB : 16.0 * MB); b *= 4.0)

@@ -7,6 +7,7 @@
 
 #include "apps/cam.hpp"
 #include "core/report.hpp"
+#include "obsv/export.hpp"
 #include "machine/platforms.hpp"
 #include "machine/presets.hpp"
 
@@ -19,6 +20,7 @@ int main(int argc, char** argv) {
       argc, argv,
       "Figures 14-16: CAM D-grid throughput (simulated years/day) and "
       "phase costs (s/day)");
+  obsv::arm_cli(opt);
 
   CamConfig cfg;
   cfg.sample_steps = opt.quick ? 1 : 2;

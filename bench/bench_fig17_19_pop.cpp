@@ -8,6 +8,7 @@
 
 #include "apps/pop.hpp"
 #include "core/report.hpp"
+#include "obsv/export.hpp"
 #include "machine/platforms.hpp"
 #include "machine/presets.hpp"
 
@@ -20,6 +21,7 @@ int main(int argc, char** argv) {
       argc, argv,
       "Figures 17-19: POP 0.1-degree throughput (simulated years/day) and "
       "phase costs (s/day)");
+  obsv::arm_cli(opt);
 
   PopConfig cfg;
   cfg.sample_steps = 1;

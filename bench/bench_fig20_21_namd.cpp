@@ -7,6 +7,7 @@
 
 #include "apps/namd.hpp"
 #include "core/report.hpp"
+#include "obsv/export.hpp"
 #include "machine/presets.hpp"
 
 int main(int argc, char** argv) {
@@ -17,6 +18,7 @@ int main(int argc, char** argv) {
   using machine::ExecMode;
   const auto opt = BenchOptions::parse(
       argc, argv, "Figures 20-21: NAMD seconds per simulation timestep");
+  obsv::arm_cli(opt);
 
   const std::vector<int> counts =
       opt.quick ? std::vector<int>{64, 256}

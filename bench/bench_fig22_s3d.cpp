@@ -8,6 +8,7 @@
 
 #include "apps/s3d.hpp"
 #include "core/report.hpp"
+#include "obsv/export.hpp"
 #include "machine/presets.hpp"
 
 int main(int argc, char** argv) {
@@ -17,6 +18,7 @@ int main(int argc, char** argv) {
   const auto opt = BenchOptions::parse(
       argc, argv,
       "Figure 22: S3D weak scaling, microseconds per grid point per step");
+  obsv::arm_cli(opt);
 
   const std::vector<int> counts =
       opt.quick ? std::vector<int>{8, 64}

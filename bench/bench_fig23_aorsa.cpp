@@ -7,6 +7,7 @@
 
 #include "apps/aorsa.hpp"
 #include "core/report.hpp"
+#include "obsv/export.hpp"
 #include "machine/presets.hpp"
 
 int main(int argc, char** argv) {
@@ -16,6 +17,7 @@ int main(int argc, char** argv) {
   using machine::ExecMode;
   const auto opt = BenchOptions::parse(
       argc, argv, "Figure 23: AORSA grind time (minutes) by phase");
+  obsv::arm_cli(opt);
 
   AorsaConfig cfg;
   struct Point {

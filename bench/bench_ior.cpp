@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/report.hpp"
+#include "obsv/export.hpp"
 #include "core/units.hpp"
 #include "lustre/lustre.hpp"
 
@@ -16,6 +17,7 @@ int main(int argc, char** argv) {
   using namespace xts::units;
   const auto opt = BenchOptions::parse(
       argc, argv, "IOR-style sweep over the Lustre model (Fig 1, §2)");
+  obsv::arm_cli(opt);
 
   lustre::LustreConfig fs;  // 18 OSS x 4 OST, 250 MB/s each
   {

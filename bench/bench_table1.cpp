@@ -5,6 +5,7 @@
 #include <iostream>
 
 #include "core/report.hpp"
+#include "obsv/export.hpp"
 #include "core/units.hpp"
 #include "machine/presets.hpp"
 
@@ -13,6 +14,7 @@ int main(int argc, char** argv) {
   using namespace xts::units;
   const auto opt = BenchOptions::parse(
       argc, argv, "Table 1: XT3 / XT3 dual-core / XT4 system comparison");
+  obsv::arm_cli(opt);
 
   const auto systems = {machine::xt3_single_core(), machine::xt3_dual_core(),
                         machine::xt4()};

@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace produced by --trace=<file>.
+
+Checks:
+  1. The file is well-formed JSON with a traceEvents array and the
+     xtsim summary block.
+  2. For every traced message (async "b"/"e" pairs sharing an id), the
+     per-segment durations (tx wait, tx overhead, rendezvous, hops,
+     flow, rx wait, rx/copy) are gapless and sum to the simulated
+     delivery window (last end - first begin) within 1e-9 s.
+  3. Per-world link byte conservation: the bytes attributed to ejection
+     links equal FlowNetwork's total delivered bytes.
+
+Usage:
+  check_trace.py trace.json
+  check_trace.py --run <bench> [bench args...]   # runs with --trace
+"""
+
+import json
+import subprocess
+import sys
+import tempfile
+import os
+from collections import defaultdict
+
+TOL_US = 1e-3  # 1e-9 s, in trace microseconds
+
+
+def fail(msg):
+    print("check_trace: FAIL:", msg, file=sys.stderr)
+    sys.exit(1)
+
+
+def check(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail("no traceEvents in %s" % path)
+    summary = doc.get("xtsim")
+    if not isinstance(summary, dict):
+        fail("missing xtsim summary block")
+
+    # --- per-message span breakdown ----------------------------------
+    # Segments of one message share (pid, id); each "b" is immediately
+    # followed by its "e" in emission order.
+    open_b = {}
+    segs = defaultdict(list)  # (pid, id) -> [(t0, t1, name)]
+    for e in events:
+        ph = e.get("ph")
+        if ph not in ("b", "e"):
+            continue
+        key = (e["pid"], e["id"], e["name"])
+        if ph == "b":
+            if key in open_b:
+                fail("nested begin for %r" % (key,))
+            open_b[key] = e["ts"]
+        else:
+            if key not in open_b:
+                fail("end without begin for %r" % (key,))
+            t0 = open_b.pop(key)
+            if e["ts"] < t0 - TOL_US:
+                fail("negative duration for %r" % (key,))
+            segs[(e["pid"], e["id"])].append((t0, e["ts"], e["name"]))
+    if open_b:
+        fail("%d unmatched begin events" % len(open_b))
+
+    checked = 0
+    worst = 0.0
+    for (pid, mid), parts in segs.items():
+        parts.sort()
+        total = sum(t1 - t0 for t0, t1, _ in parts)
+        window = parts[-1][1] - parts[0][0]
+        err = abs(total - window)
+        worst = max(worst, err)
+        if err > TOL_US:
+            names = [p[2] for p in parts]
+            fail(
+                "message %s in world %s: segments %s sum to %.9g us "
+                "but the delivery window is %.9g us (err %.3g us)"
+                % (mid, pid, names, total, window, err)
+            )
+        # Segments must be gapless: each starts where the previous ended.
+        for (a0, a1, an), (b0, b1, bn) in zip(parts, parts[1:]):
+            if abs(b0 - a1) > TOL_US:
+                fail(
+                    "message %s in world %s: gap between %s and %s "
+                    "(%.9g us)" % (mid, pid, an, bn, b0 - a1)
+                )
+        checked += 1
+    if checked == 0:
+        fail("no traced messages found")
+
+    # --- link byte conservation --------------------------------------
+    worlds = summary.get("worlds", [])
+    if not worlds:
+        fail("xtsim block lists no worlds")
+    for w in worlds:
+        ej = w["ejection_bytes"]
+        delivered = w["net_delivered"]
+        tol = 1e-6 * max(1.0, abs(delivered))
+        if abs(ej - delivered) > tol:
+            fail(
+                "world %s: ejection-link bytes %.9g != network delivered "
+                "%.9g" % (w["world"], ej, delivered)
+            )
+        link_sum = sum(l["bytes"] for l in w["links"] if l["cls"] == "ej")
+        if abs(link_sum - ej) > tol:
+            fail(
+                "world %s: per-link ejection sum %.9g != summary %.9g"
+                % (w["world"], link_sum, ej)
+            )
+
+    print(
+        "check_trace: OK: %d messages span-checked (worst error %.3g us), "
+        "%d worlds byte-conserved, %d events"
+        % (checked, worst, len(worlds), len(events))
+    )
+
+
+def main(argv):
+    if len(argv) >= 2 and argv[1] == "--run":
+        if len(argv) < 3:
+            fail("--run needs a command")
+        fd, path = tempfile.mkstemp(suffix=".json", prefix="xtstrace_")
+        os.close(fd)
+        try:
+            cmd = argv[2:] + ["--trace=" + path]
+            proc = subprocess.run(cmd, stdout=subprocess.DEVNULL)
+            if proc.returncode != 0:
+                fail("bench exited with %d" % proc.returncode)
+            check(path)
+        finally:
+            os.unlink(path)
+    elif len(argv) == 2:
+        check(argv[1])
+    else:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+
+
+if __name__ == "__main__":
+    main(sys.argv)

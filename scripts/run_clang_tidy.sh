@@ -1,6 +1,7 @@
 #!/usr/bin/env sh
-# clang-tidy over the hot layers (src/core, src/network) with the
-# repo's .clang-tidy profile (performance-*, bugprone-*).
+# clang-tidy over the hot layers (src/core, src/network, src/vmpi,
+# src/obsv) with the repo's .clang-tidy profile (performance-*,
+# bugprone-*).
 #
 # Usage: scripts/run_clang_tidy.sh [build-dir]
 #
@@ -27,7 +28,7 @@ fi
 
 cd "$repo_root"
 # Sources only; headers are pulled in via HeaderFilterRegex.
-files=$(find src/core src/network -name '*.cpp' | sort)
+files=$(find src/core src/network src/vmpi src/obsv -name '*.cpp' | sort)
 echo "run_clang_tidy: checking:"
 echo "$files" | sed 's/^/  /'
 # shellcheck disable=SC2086

@@ -46,6 +46,7 @@ AorsaResult run_aorsa(const MachineConfig& m, ExecMode mode, int nranks,
     auto col_comm = c.subgroup(std::move(col_members));
 
     // ---- Ax=b: block-cyclic complex LU ----
+    auto ph = c.phase("aorsa.axb");
     for (int k = 0; k < steps; ++k) {
       const double remaining = n - k * nb;
       const int owner_col = k % pc;
@@ -69,7 +70,9 @@ AorsaResult run_aorsa(const MachineConfig& m, ExecMode mode, int nranks,
           remaining / pr, remaining / pc, nb, true));
     }
     co_await c.barrier();
+    ph.close();
     if (c.rank() == 0) axb_end = c.now();
+    ph = c.phase("aorsa.ql");
 
     // ---- QL operator: FFT-heavy, embarrassingly parallel with a
     // gather of velocity-space moments at the end.  Total cost

@@ -109,6 +109,7 @@ CamResult run_cam(const MachineConfig& m, ExecMode mode, int nranks,
     }
     for (int step = 0; step < cfg.sample_steps; ++step) {
       // ---- dynamics ----
+      auto dyn = c.phase("cam.dynamics");
       if (!use_2d) {
         // 1D latitude slabs: halo exchanges with north/south
         // neighbours in each of 4 sub-steps.
@@ -140,14 +141,19 @@ CamResult run_cam(const MachineConfig& m, ExecMode mode, int nranks,
           std::vector<double> remap_bytes(
               static_cast<std::size_t>(lat_group->size()),
               8.0 * my_points / lat_group->size());
+          auto tr = c.phase("cam.transpose");
           co_await lat_group->alltoallv_bytes(remap_bytes);
+          tr.close();
           co_await c.compute(dynamics_work(m, my_points / 2.0, vlen));
+          tr = c.phase("cam.transpose");
           co_await lat_group->alltoallv_bytes(std::move(remap_bytes));
+          tr.close();
         } else {
           co_await c.compute(dynamics_work(m, my_points / 2.0, vlen));
         }
       }
       co_await c.barrier();
+      dyn.close();
       if (c.rank() == 0) {
         dyn_time += c.now() - mark;
         mark = c.now();
@@ -156,6 +162,7 @@ CamResult run_cam(const MachineConfig& m, ExecMode mode, int nranks,
       // ---- physics ----
       // Load-balancing alltoallv (to chunked columns and back) plus the
       // land-model exchange: three small alltoallvs per step.
+      auto phys = c.phase("cam.physics");
       std::vector<double> lb_bytes(static_cast<std::size_t>(c.size()),
                                    8.0 * 4.0 * my_columns / c.size());
       co_await c.alltoallv_bytes(lb_bytes);
@@ -163,6 +170,7 @@ CamResult run_cam(const MachineConfig& m, ExecMode mode, int nranks,
       co_await c.alltoallv_bytes(lb_bytes);
       co_await c.alltoallv_bytes(std::move(lb_bytes));
       co_await c.barrier();
+      phys.close();
       if (c.rank() == 0) {
         phys_time += c.now() - mark;
         mark = c.now();

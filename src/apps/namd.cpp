@@ -66,6 +66,7 @@ NamdResult run_namd(const MachineConfig& m, ExecMode mode, int nranks,
 
     for (int step = 0; step < cfg.sample_steps; ++step) {
       // Patch-neighbour position multicast: ~6 proxies per patch.
+      auto ph = c.phase("namd.positions");
       const double proxy_bytes = 8.0 * 3.0 * local_atoms * 0.5;
       const vmpi::Tag base = 8192 + step * 16;
       std::vector<SimFutureV> pending;
@@ -78,10 +79,14 @@ NamdResult run_namd(const MachineConfig& m, ExecMode mode, int nranks,
         (void)co_await c.recv(from, base + k);
       }
       for (auto& f : pending) (void)co_await std::move(f);
+      ph.close();
 
       // Short-range forces + PME spreading overlap on the cores.
+      ph = c.phase("namd.forces");
       co_await c.compute(force_work(local_atoms));
       co_await c.compute(pme_spread_work(local_atoms));
+      ph.close();
+      ph = c.phase("namd.pme");
 
       // Charge-grid fan-in: every rank ships its B-spline grid
       // contributions to its PME rank.  This all-to-few funnel (and
@@ -122,6 +127,7 @@ NamdResult run_namd(const MachineConfig& m, ExecMode mode, int nranks,
         for (auto& f : outs) (void)co_await std::move(f);
       }
       if (c.rank() != my_pme) (void)co_await c.recv(my_pme, fan + 1);
+      ph.close();
       // Force interpolation results return to patches: small gathers.
       std::vector<double> energy(1, 1.0);
       (void)co_await c.allreduce_sum(std::move(energy));

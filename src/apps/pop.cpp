@@ -82,6 +82,7 @@ class Block {
 /// neighbours (physical boundary) leave zeros (Dirichlet).
 Task<void> halo_exchange(Comm& c, const Block& b, std::vector<double>& f,
                          vmpi::Tag base) {
+  auto ph = c.phase("pop.halo");
   struct Side {
     int nbr;
     int dir;  // tag offset; pairs (0,1) and (2,3) are opposites
@@ -325,6 +326,7 @@ PopResult run_pop(const MachineConfig& m, ExecMode mode, int nranks,
 
     for (int step = 0; step < cfg.sample_steps; ++step) {
       // ---- baroclinic: 3D compute + nearest-neighbour 3D halos ----
+      auto ph = c.phase("pop.baroclinic");
       co_await c.compute(baroclinic_work(pts3d));
       // 2-wide halos of 3 variables over nz levels, timing-sized.
       const double ew_bytes = 2.0 * 3.0 * cfg.nz * blk.lny() * 8.0;
@@ -343,12 +345,14 @@ PopResult run_pop(const MachineConfig& m, ExecMode mode, int nranks,
       }
       for (auto& f : pending) (void)co_await std::move(f);
       co_await c.barrier();
+      ph.close();
       if (c.rank() == 0) {
         times.baroclinic += c.now() - mark;
         mark = c.now();
       }
 
       // ---- barotropic: real distributed CG ----
+      ph = c.phase("pop.barotropic");
       for (int j = 0; j < blk.lny(); ++j)
         for (int i = 0; i < blk.lnx(); ++i)
           r[blk.at(i, j)] =
@@ -358,6 +362,7 @@ PopResult run_pop(const MachineConfig& m, ExecMode mode, int nranks,
                              cfg.chronopoulos_gear, cfg.allreduce, nullptr,
                              (1 << 22) + step * (1 << 12));
       co_await c.barrier();
+      ph.close();
       if (c.rank() == 0) {
         times.barotropic += c.now() - mark;
         mark = c.now();

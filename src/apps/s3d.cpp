@@ -93,6 +93,7 @@ S3dResult run_s3d(const MachineConfig& m, ExecMode mode, int nranks,
     for (int step = 0; step < cfg.sample_steps; ++step) {
       for (int stage = 0; stage < cfg.rk_stages; ++stage) {
         // Non-blocking ghost exchange: post all sends, then receive.
+        auto ex = c.phase("s3d.exchange");
         const vmpi::Tag base = 4096 + (step * 16 + stage) * 8;
         std::vector<SimFutureV> pending;
         for (int s = 0; s < 6; ++s) {
@@ -105,7 +106,10 @@ S3dResult run_s3d(const MachineConfig& m, ExecMode mode, int nranks,
           (void)co_await c.recv(nbr[s], base + (s ^ 1));
         }
         for (auto& f : pending) (void)co_await std::move(f);
+        ex.close();
+        auto rhs = c.phase("s3d.rhs");
         co_await c.compute(stage_work(local_points, cfg.nvars));
+        rhs.close();
       }
       // Diagnostics only: one tiny allreduce per step (paper: does not
       // influence parallel performance).

@@ -80,11 +80,20 @@ BenchOptions BenchOptions::parse(int argc, char** argv,
       opt.quick = true;
     } else if (arg == "--full") {
       opt.full = true;
+    } else if (arg == "--metrics") {
+      opt.metrics = true;
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      opt.trace_file = arg.substr(8);
+      if (opt.trace_file.empty())
+        throw UsageError("--trace= needs a file path");
     } else if (arg == "--help" || arg == "-h") {
       std::cout << blurb << "\n\nOptions:\n"
-                << "  --csv     also emit CSV blocks for replotting\n"
-                << "  --quick   reduced sweep (CI-sized)\n"
-                << "  --full    paper-scale sweep (slow)\n";
+                << "  --csv           also emit CSV blocks for replotting\n"
+                << "  --quick         reduced sweep (CI-sized)\n"
+                << "  --full          paper-scale sweep (slow)\n"
+                << "  --trace=FILE    write a chrome://tracing span trace\n"
+                << "  --metrics       print metrics + torus utilization "
+                   "tables at exit\n";
       std::exit(0);
     } else {
       throw UsageError("unknown option: " + arg);

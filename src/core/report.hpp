@@ -38,11 +38,15 @@ class Table {
 };
 
 /// Shared CLI handling for bench binaries: recognizes --csv, --quick,
-/// --full and --help.  Anything unrecognized raises UsageError.
+/// --full, --trace=<file>, --metrics and --help.  Anything unrecognized
+/// raises UsageError.  The observability flags are plain data here —
+/// benches hand them to obsv::arm_cli (core cannot depend on obsv).
 struct BenchOptions {
-  bool csv = false;    ///< also emit CSV blocks
-  bool quick = false;  ///< reduced sweep for CI
-  bool full = false;   ///< paper-scale sweep (slow)
+  bool csv = false;        ///< also emit CSV blocks
+  bool quick = false;      ///< reduced sweep for CI
+  bool full = false;       ///< paper-scale sweep (slow)
+  bool metrics = false;    ///< print metrics/utilization tables at exit
+  std::string trace_file;  ///< Chrome trace output path ("" = off)
 
   static BenchOptions parse(int argc, char** argv, const std::string& blurb);
 };

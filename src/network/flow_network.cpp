@@ -14,6 +14,9 @@ namespace {
 // core/resource.cpp).
 constexpr double kTimeEps = 1e-12;
 
+/// Cap on the per-class concurrent-flow series (see decimate_samples).
+constexpr std::size_t kMaxClassSamples = std::size_t{1} << 16;
+
 double completion_time_eps(double now) {
   const double ulp =
       std::nextafter(now, std::numeric_limits<double>::infinity()) - now;
@@ -45,7 +48,84 @@ FlowNetwork::FlowNetwork(Engine& engine, Torus3D topo, NetConfig cfg)
   residual_.assign(links, 0.0);
   active_share_.assign(links, 0);
   if (cfg_.incremental) link_flows_.resize(links);
+  stats_on_ = cfg_.link_stats;
+  if (stats_on_) stats_.resize(links);
   last_settle_ = engine_.now();
+}
+
+int FlowNetwork::link_class(LinkId link) const noexcept {
+  if (topo_.is_torus_link(link)) return static_cast<int>(link % 6);
+  return link < topo_.torus_link_count() + topo_.node_count() ? 6 : 7;
+}
+
+FlowNetwork::LinkStats FlowNetwork::link_stats(LinkId link) const {
+  if (link < 0 || link >= topo_.total_link_count())
+    throw UsageError("FlowNetwork::link_stats: bad link id");
+  if (!stats_on_)
+    throw UsageError("FlowNetwork::link_stats: NetConfig::link_stats off");
+  const LinkStatSlot& s = stats_[static_cast<std::size_t>(link)];
+  LinkStats out{s.bytes, s.busy_time, s.contended_time, s.peak_load};
+  // Close intervals still open at now() without mutating the slot.
+  const int load = link_load_[static_cast<std::size_t>(link)];
+  const SimTime now = engine_.now();
+  if (load >= 1) out.busy_time += now - s.busy_since;
+  if (load >= 2) out.contended_time += now - s.contended_since;
+  return out;
+}
+
+void FlowNetwork::note_class_sample(LinkId link, SimTime now) {
+  const auto cls = static_cast<std::size_t>(link_class(link));
+  if (!class_samples_.empty() &&
+      now - class_sample_t_[cls] < sample_min_dt_)
+    return;
+  class_samples_.push_back(
+      {now, static_cast<std::int32_t>(cls), class_load_[cls]});
+  class_sample_t_[cls] = now;
+  if (class_samples_.size() >= kMaxClassSamples) decimate_samples(now);
+}
+
+// The class-load series is for visualization; when it outgrows its
+// budget, halve its resolution (coarser minimum spacing, thin the
+// points already recorded) rather than growing without bound.
+void FlowNetwork::decimate_samples(SimTime now) {
+  sample_min_dt_ = std::max(sample_min_dt_ * 2.0,
+                            (now - class_samples_.front().t) /
+                                (kMaxClassSamples / 4.0));
+  std::array<SimTime, kLinkClasses> last;
+  last.fill(-std::numeric_limits<double>::infinity());
+  std::size_t kept = 0;
+  for (const ClassSample& s : class_samples_) {
+    const auto c = static_cast<std::size_t>(s.cls);
+    if (s.t - last[c] >= sample_min_dt_) {
+      last[c] = s.t;
+      class_samples_[kept++] = s;
+    }
+  }
+  class_samples_.resize(kept);
+  class_sample_t_ = last;
+}
+
+void FlowNetwork::note_load_inc(LinkId link) {
+  const auto li = static_cast<std::size_t>(link);
+  LinkStatSlot& s = stats_[li];
+  const int load = link_load_[li];
+  const SimTime now = engine_.now();
+  if (load == 1) s.busy_since = now;
+  if (load == 2) s.contended_since = now;
+  if (load > s.peak_load) s.peak_load = load;
+  ++class_load_[static_cast<std::size_t>(link_class(link))];
+  note_class_sample(link, now);
+}
+
+void FlowNetwork::note_load_dec(LinkId link) {
+  const auto li = static_cast<std::size_t>(link);
+  LinkStatSlot& s = stats_[li];
+  const int load = link_load_[li];
+  const SimTime now = engine_.now();
+  if (load == 0) s.busy_time += now - s.busy_since;
+  if (load == 1) s.contended_time += now - s.contended_since;
+  --class_load_[static_cast<std::size_t>(link_class(link))];
+  note_class_sample(link, now);
 }
 
 double FlowNetwork::link_capacity(LinkId link) const noexcept {
@@ -130,6 +210,7 @@ std::uint32_t FlowNetwork::add_flow(NodeId src, NodeId dst, double bytes) {
     const LinkId l = f.links[s];
     const auto li = static_cast<std::size_t>(l);
     ++link_load_[li];
+    if (stats_on_) note_load_inc(l);
     mark_link_dirty(l);
     if (cfg_.incremental) {
       auto& set = link_flows_[li];
@@ -180,6 +261,12 @@ void FlowNetwork::settle_flow(Flow& f, SimTime now) {
     const double served = std::min(f.remaining, f.rate * dt);
     f.remaining -= served;
     settled_delivered_ += served;
+    if (stats_on_) {
+      // Every byte a flow moves crosses each link of its route once,
+      // so per-link byte attribution is the same `served` everywhere.
+      for (const LinkId l : f.links)
+        stats_[static_cast<std::size_t>(l)].bytes += served;
+    }
   }
   f.last_settle = now;
 }
@@ -188,11 +275,16 @@ void FlowNetwork::finish_flow(std::uint32_t idx) {
   Flow& f = flows_[idx];
   // The sub-eps residue counts as delivered (conservation).
   settled_delivered_ += f.remaining;
+  const double residue = f.remaining;
   f.remaining = 0.0;
   for (std::uint32_t s = 0; s < f.links.size(); ++s) {
     const LinkId l = f.links[s];
     const auto li = static_cast<std::size_t>(l);
     --link_load_[li];
+    if (stats_on_) {
+      stats_[li].bytes += residue;
+      note_load_dec(l);
+    }
     mark_link_dirty(l);
     if (cfg_.incremental) {
       // Swap-erase this flow's entry; the moved entry's back-pointer

@@ -29,6 +29,7 @@
 /// recomputation for flows whose links' loads did not change since the
 /// last pass.
 
+#include <array>
 #include <coroutine>
 #include <cstddef>
 #include <cstdint>
@@ -63,6 +64,11 @@ struct NetConfig {
   bool incremental = true;
   /// LRU route-cache entries keyed on (src, dst); 0 disables caching.
   std::size_t route_cache_capacity = 4096;
+  /// Collect per-link usage statistics (bytes, busy/contended time,
+  /// peak load) and the per-class concurrent-flow series.  Off by
+  /// default: the only cost when disabled is a predictable branch in
+  /// the settle/add/finish paths.
+  bool link_stats = false;
 };
 
 class FlowNetwork {
@@ -138,6 +144,34 @@ class FlowNetwork {
     return route_cache_.misses();
   }
 
+  // -- per-link usage statistics (NetConfig::link_stats) -----------------
+
+  /// Totals for one link; open busy/contended intervals are closed at
+  /// now() by the accessor, so stats can be read mid-simulation.
+  struct LinkStats {
+    double bytes = 0.0;           ///< bytes served across this link
+    double busy_time = 0.0;       ///< time with >= 1 flow
+    double contended_time = 0.0;  ///< time with >= 2 flows sharing it
+    int peak_load = 0;            ///< max concurrent flows
+  };
+  /// One point of the per-class concurrent-flow time series
+  /// (adaptively decimated so long runs stay bounded).
+  struct ClassSample {
+    SimTime t = 0.0;
+    std::int32_t cls = 0;
+    std::int32_t load = 0;
+  };
+  /// Link class: 0..5 = torus x-/x+/y-/y+/z-/z+, 6 = injection,
+  /// 7 = ejection.
+  static constexpr int kLinkClasses = 8;
+  [[nodiscard]] int link_class(LinkId link) const noexcept;
+  [[nodiscard]] bool stats_enabled() const noexcept { return stats_on_; }
+  [[nodiscard]] LinkStats link_stats(LinkId link) const;
+  [[nodiscard]] const std::vector<ClassSample>& class_samples()
+      const noexcept {
+    return class_samples_;
+  }
+
  private:
   struct Flow {
     double remaining = 0.0;
@@ -178,6 +212,10 @@ class FlowNetwork {
                   std::coroutine_handle<> h);
   void mark_dirty();
   void mark_link_dirty(LinkId link);
+  void note_load_inc(LinkId link);
+  void note_load_dec(LinkId link);
+  void note_class_sample(LinkId link, SimTime now);
+  void decimate_samples(SimTime now);
   void settle_flow(Flow& f, SimTime now);
   void finish_flow(std::uint32_t idx);
   void fire_completions();
@@ -224,6 +262,22 @@ class FlowNetwork {
   std::vector<std::uint32_t> comp_flows_;  ///< scratch: max-min component
   std::vector<double> residual_;           ///< scratch: max-min filling
   std::vector<int> active_share_;          ///< scratch: max-min filling
+
+  // Link-usage statistics (allocated only when cfg_.link_stats).
+  struct LinkStatSlot {
+    double bytes = 0.0;
+    double busy_time = 0.0;
+    double contended_time = 0.0;
+    int peak_load = 0;
+    SimTime busy_since = 0.0;       ///< valid while load >= 1
+    SimTime contended_since = 0.0;  ///< valid while load >= 2
+  };
+  bool stats_on_ = false;
+  std::vector<LinkStatSlot> stats_;
+  std::array<int, kLinkClasses> class_load_{};
+  std::array<SimTime, kLinkClasses> class_sample_t_{};
+  std::vector<ClassSample> class_samples_;
+  double sample_min_dt_ = 0.0;  ///< doubles when the series overflows
 
   std::size_t active_count_ = 0;
   std::size_t peak_flows_ = 0;

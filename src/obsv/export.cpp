@@ -1,0 +1,324 @@
+#include "obsv/export.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace xts::obsv {
+
+namespace {
+
+// Only span names reach the JSON, and those are simple identifiers —
+// but escape defensively so a hostile phase name cannot corrupt the
+// file.
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// Simulated seconds -> Chrome microseconds, printed with enough digits
+// to round-trip a double exactly (the 1e-9 span-sum check depends on
+// this).
+std::string us(SimTime t) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", t * 1e6);
+  return buf;
+}
+
+std::string gnum(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+struct Emitter {
+  std::ostream& os;
+  bool first = true;
+
+  void event(const std::string& body) {
+    os << (first ? "\n  " : ",\n  ") << body;
+    first = false;
+  }
+};
+
+void emit_thread_meta(Emitter& em, std::uint32_t world, std::int32_t lane) {
+  const int tid = lane + 1;
+  const std::string name =
+      lane == kWorldLane ? std::string("world")
+                         : "rank " + std::to_string(lane);
+  em.event("{\"ph\":\"M\",\"pid\":" + std::to_string(world) +
+           ",\"tid\":" + std::to_string(tid) +
+           ",\"name\":\"thread_name\",\"args\":{\"name\":\"" + name +
+           "\"}}");
+  em.event("{\"ph\":\"M\",\"pid\":" + std::to_string(world) +
+           ",\"tid\":" + std::to_string(tid) +
+           ",\"name\":\"thread_sort_index\",\"args\":{\"sort_index\":" +
+           std::to_string(tid) + "}}");
+}
+
+}  // namespace
+
+void write_chrome_trace(const Session& session, std::ostream& os) {
+  const TraceSink& sink = session.sink();
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  Emitter em{os};
+
+  std::set<std::pair<std::uint32_t, std::int32_t>> lanes_seen;
+  sink.for_each([&](const TraceEvent& e) {
+    const std::string pid = std::to_string(e.world);
+    const std::string tid = std::to_string(e.lane + 1);
+    const std::string name = json_escape(sink.name(e.name));
+    const std::string cat(cat_name(e.cat));
+    lanes_seen.emplace(e.world, e.lane);
+    if (e.cat == Cat::kMessage && e.id != 0) {
+      // Per-message breakdown: async begin/end pairs grouped by the
+      // message id, so concurrent messages get their own sub-tracks
+      // instead of corrupting the rank lane.
+      char idbuf[24];
+      std::snprintf(idbuf, sizeof(idbuf), "\"0x%llx\"",
+                    static_cast<unsigned long long>(e.id));
+      const std::string common = ",\"cat\":\"" + cat + "\",\"id\":" +
+                                 idbuf + ",\"pid\":" + pid + ",\"tid\":" +
+                                 tid + ",\"name\":\"" + name + "\"";
+      em.event("{\"ph\":\"b\"" + common + ",\"ts\":" + us(e.t0) +
+               ",\"args\":{\"bytes\":" + gnum(e.a0) + "}}");
+      em.event("{\"ph\":\"e\"" + common + ",\"ts\":" + us(e.t1) + "}");
+    } else {
+      em.event("{\"ph\":\"X\",\"cat\":\"" + cat + "\",\"pid\":" + pid +
+               ",\"tid\":" + tid + ",\"name\":\"" + name +
+               "\",\"ts\":" + us(e.t0) + ",\"dur\":" + us(e.t1 - e.t0) +
+               ",\"args\":{\"a0\":" + gnum(e.a0) + ",\"a1\":" +
+               gnum(e.a1) + "}}");
+    }
+  });
+
+  for (const auto& [world, lane] : lanes_seen)
+    emit_thread_meta(em, world, lane);
+
+  for (const WorldSummary& w : session.summaries()) {
+    const std::string pid = std::to_string(w.world);
+    em.event("{\"ph\":\"M\",\"pid\":" + pid +
+             ",\"name\":\"process_name\",\"args\":{\"name\":\"world " +
+             pid + " (" + std::to_string(w.nranks) + " ranks)\"}}");
+    // Per-link-class concurrent-flow counts as one stacked counter
+    // track per world ("one lane per torus link class").
+    std::array<std::int32_t, kLinkClasses> load{};
+    for (const ClassSample& s : w.class_series) {
+      load[static_cast<std::size_t>(s.cls)] = s.load;
+      std::string args;
+      for (int c = 0; c < kLinkClasses; ++c) {
+        args += (c ? ",\"" : "\"");
+        args += std::string(kLinkClassNames[c]) + "\":" +
+                std::to_string(load[static_cast<std::size_t>(c)]);
+      }
+      em.event("{\"ph\":\"C\",\"pid\":" + pid +
+               ",\"name\":\"net.flows\",\"ts\":" + us(s.t) +
+               ",\"args\":{" + args + "}}");
+    }
+  }
+
+  os << "\n],\n\"xtsim\":{\"dropped\":" << sink.dropped()
+     << ",\"worlds\":[";
+  bool first_world = true;
+  for (const WorldSummary& w : session.summaries()) {
+    os << (first_world ? "\n  {" : ",\n  {");
+    first_world = false;
+    os << "\"world\":" << w.world << ",\"nranks\":" << w.nranks
+       << ",\"nodes\":" << w.nodes << ",\"end_time\":" << gnum(w.end_time)
+       << ",\"messages\":" << w.messages
+       << ",\"bytes_sent\":" << gnum(w.bytes_sent)
+       << ",\"net_delivered\":" << gnum(w.net_delivered)
+       << ",\"peak_flows\":" << w.peak_flows
+       << ",\"engine_events\":" << w.engine_events;
+    std::array<double, kLinkClasses> class_bytes{};
+    double ejection_bytes = 0.0;
+    for (const LinkUsage& l : w.links) {
+      class_bytes[static_cast<std::size_t>(l.cls)] += l.bytes;
+      if (l.cls == kLinkClasses - 1) ejection_bytes += l.bytes;
+    }
+    os << ",\"ejection_bytes\":" << gnum(ejection_bytes)
+       << ",\"class_bytes\":{";
+    for (int c = 0; c < kLinkClasses; ++c)
+      os << (c ? ",\"" : "\"") << kLinkClassNames[c]
+         << "\":" << gnum(class_bytes[static_cast<std::size_t>(c)]);
+    os << "},\"links\":[";
+    bool first_link = true;
+    for (const LinkUsage& l : w.links) {
+      os << (first_link ? "" : ",") << "{\"link\":" << l.link
+         << ",\"cls\":\"" << kLinkClassNames[static_cast<std::size_t>(l.cls)]
+         << "\",\"bytes\":" << gnum(l.bytes)
+         << ",\"busy\":" << gnum(l.busy_time)
+         << ",\"contended\":" << gnum(l.contended_time)
+         << ",\"peak\":" << l.peak_load << "}";
+      first_link = false;
+    }
+    os << "]}";
+  }
+  os << "\n]}}\n";
+}
+
+void write_chrome_trace_file(const Session& session,
+                             const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw UsageError("cannot open trace file: " + path);
+  write_chrome_trace(session, os);
+}
+
+Table metrics_table(const Registry& registry) {
+  Table t("metrics", {"family", "label", "kind", "count", "value", "mean",
+                      "p95", "max"});
+  for (const auto& [family, labels] : registry.counters())
+    for (const auto& [label, c] : labels)
+      t.add_row({family, label, "counter", "", Table::num(c.value(), 3), "",
+                 "", ""});
+  for (const auto& [family, labels] : registry.gauges())
+    for (const auto& [label, g] : labels)
+      t.add_row({family, label, "gauge", "", Table::num(g.value(), 3), "",
+                 "", Table::num(g.max(), 3)});
+  for (const auto& [family, labels] : registry.histograms())
+    for (const auto& [label, h] : labels) {
+      if (h.count() == 0) continue;
+      t.add_row({family, label, "histogram",
+                 Table::num(static_cast<long long>(h.count())),
+                 Table::num(h.sum(), 6), Table::num(h.mean(), 9),
+                 Table::num(h.percentile(0.95), 9),
+                 Table::num(h.max(), 9)});
+    }
+  return t;
+}
+
+Table link_table(const Session& session, std::size_t max_rows) {
+  Table t("link usage",
+          {"world", "link", "class", "bytes", "busy_s", "contended_s",
+           "peak"});
+  struct Row {
+    std::uint32_t world;
+    LinkUsage l;
+  };
+  std::vector<Row> rows;
+  for (const WorldSummary& w : session.summaries())
+    for (const LinkUsage& l : w.links) rows.push_back({w.world, l});
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    return a.l.bytes != b.l.bytes ? a.l.bytes > b.l.bytes
+                                  : a.l.link < b.l.link;
+  });
+  if (max_rows > 0 && rows.size() > max_rows) rows.resize(max_rows);
+  for (const Row& r : rows)
+    t.add_row({Table::num(static_cast<long long>(r.world)),
+               Table::num(static_cast<long long>(r.l.link)),
+               std::string(kLinkClassNames[static_cast<std::size_t>(
+                   r.l.cls)]),
+               Table::num(r.l.bytes, 0), Table::num(r.l.busy_time, 6),
+               Table::num(r.l.contended_time, 6),
+               Table::num(static_cast<long long>(r.l.peak_load))});
+  return t;
+}
+
+Table class_table(const Session& session) {
+  Table t("torus utilization",
+          {"world", "class", "links", "bytes", "busy_frac_mean",
+           "busy_frac_max", "contended_frac_max", "peak_load"});
+  for (const WorldSummary& w : session.summaries()) {
+    struct Agg {
+      int links = 0;
+      double bytes = 0.0, busy = 0.0, busy_max = 0.0, cont_max = 0.0;
+      int peak = 0;
+    };
+    std::array<Agg, kLinkClasses> agg{};
+    for (const LinkUsage& l : w.links) {
+      Agg& a = agg[static_cast<std::size_t>(l.cls)];
+      ++a.links;
+      a.bytes += l.bytes;
+      a.busy += l.busy_time;
+      a.busy_max = std::max(a.busy_max, l.busy_time);
+      a.cont_max = std::max(a.cont_max, l.contended_time);
+      a.peak = std::max(a.peak, l.peak_load);
+    }
+    const double dur = w.end_time > 0.0 ? w.end_time : 1.0;
+    for (int c = 0; c < kLinkClasses; ++c) {
+      const Agg& a = agg[static_cast<std::size_t>(c)];
+      if (a.links == 0) continue;
+      t.add_row({Table::num(static_cast<long long>(w.world)),
+                 std::string(kLinkClassNames[static_cast<std::size_t>(c)]),
+                 Table::num(static_cast<long long>(a.links)),
+                 Table::num(a.bytes, 0),
+                 Table::num(a.busy / a.links / dur, 4),
+                 Table::num(a.busy_max / dur, 4),
+                 Table::num(a.cont_max / dur, 4),
+                 Table::num(static_cast<long long>(a.peak))});
+    }
+  }
+  return t;
+}
+
+namespace {
+// atexit state: where to write the trace and whether to print tables.
+std::string& cli_trace_path() {
+  static std::string p;
+  return p;
+}
+bool cli_print_metrics = false;
+}  // namespace
+
+void flush_cli() {
+  Session* s = Session::active();
+  if (s == nullptr) return;
+  if (!cli_trace_path().empty()) {
+    write_chrome_trace_file(*s, cli_trace_path());
+    std::cerr << "trace: wrote " << s->sink().size() << " spans ("
+              << s->sink().dropped() << " dropped) to "
+              << cli_trace_path() << "\n";
+  }
+  if (cli_print_metrics) {
+    metrics_table(s->registry()).print(std::cout);
+    class_table(*s).print(std::cout);
+    link_table(*s, 10).print(std::cout);
+  }
+  cli_trace_path().clear();
+  cli_print_metrics = false;
+  Session::stop();
+}
+
+void arm_cli(const BenchOptions& opt) {
+  if (opt.trace_file.empty() && !opt.metrics) return;
+  Options o;
+  o.tracing = !opt.trace_file.empty();
+  o.metrics = true;  // metrics are cheap once observability is on
+  Session::start(o);
+  cli_trace_path() = opt.trace_file;
+  cli_print_metrics = opt.metrics;
+  static bool registered = false;
+  if (!registered) {
+    registered = true;
+    std::atexit(flush_cli);
+  }
+}
+
+}  // namespace xts::obsv

@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file export.hpp
+/// Exporters for the observability session:
+///
+///  - Chrome trace JSON (`chrome://tracing` / Perfetto): rank spans as
+///    complete ("X") events, per-message breakdowns as async ("b"/"e")
+///    pairs keyed by message id, per-link-class concurrent-flow counts
+///    as counter ("C") tracks, plus an `xtsim` metadata block with
+///    per-world link totals for conservation checking (`tools/xtstrace`
+///    and `scripts/check_trace.py` read it).
+///  - CSV/tables via the existing Table machinery: metric registry
+///    dump, per-link usage, per-class torus utilization rollup.
+///  - arm_cli(): one-line wiring for bench binaries — starts a session
+///    from `--trace=<file>` / `--metrics` flags and registers an
+///    atexit hook that writes the trace file and prints the tables.
+
+#include <iosfwd>
+#include <string>
+
+#include "core/report.hpp"
+#include "obsv/session.hpp"
+
+namespace xts::obsv {
+
+void write_chrome_trace(const Session& session, std::ostream& os);
+void write_chrome_trace_file(const Session& session,
+                             const std::string& path);
+
+/// Registry dump: family, label, kind, count, value, mean, p95, max.
+[[nodiscard]] Table metrics_table(const Registry& registry);
+
+/// Per-link usage across all recorded worlds, busiest first.
+/// `max_rows` 0 = all links that carried traffic.
+[[nodiscard]] Table link_table(const Session& session,
+                               std::size_t max_rows = 0);
+
+/// Torus utilization/congestion rollup: per world x link class —
+/// bytes, mean/max busy fraction, max contended fraction, peak load.
+[[nodiscard]] Table class_table(const Session& session);
+
+/// Start a session according to bench CLI flags (no-op if neither
+/// --trace nor --metrics was given) and register the exit-time flush.
+void arm_cli(const BenchOptions& opt);
+
+/// Write/print everything arm_cli promised, then stop the session.
+/// Called automatically at exit; exposed for tests.
+void flush_cli();
+
+}  // namespace xts::obsv

@@ -1,0 +1,61 @@
+#include "obsv/session.hpp"
+
+#include <utility>
+
+namespace xts::obsv {
+
+namespace {
+std::unique_ptr<Session>& slot() {
+  static std::unique_ptr<Session> s;
+  return s;
+}
+}  // namespace
+
+bool WorldObs::tracing() const noexcept { return session_->tracing(); }
+bool WorldObs::metrics() const noexcept { return session_->metrics(); }
+
+std::uint32_t WorldObs::intern(std::string_view name) {
+  return session_->sink().intern(name);
+}
+
+void WorldObs::span(std::int32_t lane, Cat cat, std::uint32_t name,
+                    SimTime t0, SimTime t1, std::uint64_t id, double a0,
+                    double a1) {
+  TraceEvent e;
+  e.t0 = t0;
+  e.t1 = t1;
+  e.id = id;
+  e.a0 = a0;
+  e.a1 = a1;
+  e.name = name;
+  e.world = world_;
+  e.lane = lane;
+  e.cat = cat;
+  session_->sink().emit(e);
+}
+
+Registry& WorldObs::registry() noexcept { return session_->registry(); }
+
+Session::Session(Options opt) : opt_(opt), sink_(opt.trace_capacity) {}
+
+Session* Session::active() noexcept { return slot().get(); }
+
+Session& Session::start(Options opt) {
+  slot() = std::make_unique<Session>(opt);
+  return *slot();
+}
+
+void Session::stop() { slot().reset(); }
+
+WorldObs* Session::register_world() {
+  const auto ordinal = static_cast<std::uint32_t>(worlds_.size());
+  worlds_.push_back(
+      std::unique_ptr<WorldObs>(new WorldObs(this, ordinal)));
+  return worlds_.back().get();
+}
+
+void Session::add_world_summary(WorldSummary s) {
+  summaries_.push_back(std::move(s));
+}
+
+}  // namespace xts::obsv

@@ -1,0 +1,140 @@
+#pragma once
+
+/// \file session.hpp
+/// Process-wide observability session.
+///
+/// Exactly one Session may be active at a time (the simulator is
+/// single-threaded, so no locking).  While a session is active, each
+/// World constructed registers itself and receives a WorldObs* handle;
+/// a null handle — the common case, no session — is the entire cost of
+/// the instrumentation when observability is off: every instrumented
+/// site guards on `if (obs_)`.
+///
+/// A World pushes a WorldSummary (per-link byte/busy/contention totals,
+/// message counts, end time) into the session when it is destroyed, so
+/// exporters can report network utilization even though benches build
+/// and tear down many Worlds before the process exits.
+///
+/// Lifetime rule: destroy all Worlds registered with a session before
+/// calling Session::stop() — WorldObs handles are owned by the session.
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "core/units.hpp"
+#include "obsv/metrics.hpp"
+#include "obsv/trace.hpp"
+
+namespace xts::obsv {
+
+struct Options {
+  bool tracing = false;  ///< collect spans into the TraceSink
+  bool metrics = false;  ///< collect registry metrics
+  std::size_t trace_capacity = TraceSink::kDefaultCapacity;
+};
+
+/// Torus link classes (matches net::FlowNetwork::link_class).
+inline constexpr int kLinkClasses = 8;
+inline constexpr std::string_view kLinkClassNames[kLinkClasses] = {
+    "x-", "x+", "y-", "y+", "z-", "z+", "inj", "ej"};
+
+/// Per-link usage totals captured from FlowNetwork at World teardown.
+struct LinkUsage {
+  std::int32_t link = 0;
+  std::int32_t cls = 0;  ///< 0..7, see kLinkClassNames
+  double bytes = 0.0;
+  double busy_time = 0.0;       ///< time with >= 1 flow
+  double contended_time = 0.0;  ///< time with >= 2 flows (max-min starvation)
+  int peak_load = 0;            ///< max concurrent flows
+};
+
+/// One (time, class, load) point of the per-class concurrent-flow
+/// series — rendered as Chrome counter tracks.
+struct ClassSample {
+  SimTime t = 0.0;
+  std::int32_t cls = 0;
+  std::int32_t load = 0;
+};
+
+struct WorldSummary {
+  std::uint32_t world = 0;  ///< ordinal assigned by register_world
+  int nranks = 0;
+  int nodes = 0;
+  SimTime end_time = 0.0;
+  std::uint64_t messages = 0;
+  double bytes_sent = 0.0;
+  double net_delivered = 0.0;  ///< FlowNetwork::total_delivered()
+  std::size_t peak_flows = 0;
+  std::uint64_t engine_events = 0;
+  std::vector<LinkUsage> links;  ///< links that carried traffic only
+  std::vector<ClassSample> class_series;
+};
+
+class Session;
+
+/// Per-world handle; a World holds `WorldObs* obs_` (null = disabled).
+class WorldObs {
+ public:
+  [[nodiscard]] bool tracing() const noexcept;
+  [[nodiscard]] bool metrics() const noexcept;
+  [[nodiscard]] std::uint32_t ordinal() const noexcept { return world_; }
+  [[nodiscard]] Session& session() noexcept { return *session_; }
+
+  /// Fresh per-message correlation id (never 0).
+  [[nodiscard]] std::uint64_t next_msg_id() noexcept { return ++msg_ids_; }
+
+  std::uint32_t intern(std::string_view name);
+  void span(std::int32_t lane, Cat cat, std::uint32_t name, SimTime t0,
+            SimTime t1, std::uint64_t id = 0, double a0 = 0.0,
+            double a1 = 0.0);
+  [[nodiscard]] Registry& registry() noexcept;
+
+ private:
+  friend class Session;
+  WorldObs(Session* session, std::uint32_t world) noexcept
+      : session_(session), world_(world) {}
+
+  Session* session_;
+  std::uint32_t world_;
+  std::uint64_t msg_ids_ = 0;
+};
+
+class Session {
+ public:
+  /// The active session, or nullptr (observability off).
+  [[nodiscard]] static Session* active() noexcept;
+  /// Start a session (replaces any active one).
+  static Session& start(Options opt);
+  /// End the active session, discarding its data.  No-op if none.
+  static void stop();
+
+  [[nodiscard]] const Options& options() const noexcept { return opt_; }
+  [[nodiscard]] bool tracing() const noexcept { return opt_.tracing; }
+  [[nodiscard]] bool metrics() const noexcept { return opt_.metrics; }
+  [[nodiscard]] TraceSink& sink() noexcept { return sink_; }
+  [[nodiscard]] const TraceSink& sink() const noexcept { return sink_; }
+  [[nodiscard]] Registry& registry() noexcept { return registry_; }
+  [[nodiscard]] const Registry& registry() const noexcept {
+    return registry_;
+  }
+
+  /// Register a World; the returned handle is owned by the session.
+  WorldObs* register_world();
+  void add_world_summary(WorldSummary s);
+  [[nodiscard]] const std::vector<WorldSummary>& summaries() const noexcept {
+    return summaries_;
+  }
+
+  explicit Session(Options opt);
+
+ private:
+  Options opt_;
+  TraceSink sink_;
+  Registry registry_;
+  std::vector<std::unique_ptr<WorldObs>> worlds_;
+  std::vector<WorldSummary> summaries_;
+};
+
+}  // namespace xts::obsv

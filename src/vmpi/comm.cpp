@@ -48,6 +48,39 @@ Comm::Comm(World& world, int world_rank,
 
 SimTime Comm::now() const noexcept { return world_.engine().now(); }
 
+SpanScope::SpanScope(World& world, int lane, std::string_view name,
+                     obsv::Cat cat)
+    : lane_(lane), cat_(cat) {
+  obsv::WorldObs* obs = world.obs();
+  if (obs == nullptr) return;
+  world_ = &world;
+  name_ = obs->intern(name);
+  t0_ = world.engine().now();
+}
+
+void SpanScope::close() {
+  if (world_ == nullptr) return;
+  obsv::WorldObs* obs = world_->obs();
+  const SimTime t1 = world_->engine().now();
+  if (obs->tracing()) obs->span(lane_, cat_, name_, t0_, t1);
+  if (obs->metrics()) {
+    const std::string& name = obs->session().sink().name(name_);
+    const char* family = cat_ == obsv::Cat::kCollective ? "coll.time"
+                         : cat_ == obsv::Cat::kCompute  ? "compute.time"
+                                                        : "phase.time";
+    obs->registry().histogram(family, name).add(t1 - t0_);
+  }
+  world_ = nullptr;
+}
+
+SpanScope Comm::phase(std::string_view name) {
+  return SpanScope(world_, world_rank_, name, obsv::Cat::kPhase);
+}
+
+SpanScope Comm::coll_scope(std::string_view name) {
+  return SpanScope(world_, world_rank_, name, obsv::Cat::kCollective);
+}
+
 std::unique_ptr<Comm> Comm::subgroup(std::vector<int> world_ranks) const {
   if (world_ranks.empty()) throw UsageError("subgroup: empty member list");
   const auto it =
@@ -87,7 +120,16 @@ Tag Comm::next_collective_tag(std::uint64_t round) const {
 }
 
 Task<void> Comm::compute(machine::Work w) {
-  return world_.node(world_rank_).execute(w);
+  // Fast path: no extra coroutine frame unless a session is tracing.
+  obsv::WorldObs* obs = world_.obs();
+  if (obs == nullptr || !(obs->tracing() || obs->metrics()))
+    return world_.node(world_rank_).execute(w);
+  return traced_compute(w);
+}
+
+Task<void> Comm::traced_compute(machine::Work w) {
+  auto scope = SpanScope(world_, world_rank_, "compute", obsv::Cat::kCompute);
+  co_await world_.node(world_rank_).execute(w);
 }
 
 Delay Comm::delay(SimTime dt) { return Delay(world_.engine(), dt); }
@@ -141,6 +183,7 @@ Task<Message> Comm::sendrecv_bytes(int send_to, int recv_from, Tag tag,
 // -- collectives --------------------------------------------------------------
 
 Task<void> Comm::barrier() {
+  auto coll = coll_scope("coll.barrier");
   const std::uint64_t seq = collective_seq_++;
   const int p = size();
   if (p == 1) co_return;
@@ -155,6 +198,7 @@ Task<void> Comm::barrier() {
 }
 
 Task<std::vector<double>> Comm::bcast(int root, std::vector<double> data) {
+  auto coll = coll_scope("coll.bcast");
   check_rank(root, "root");
   const std::uint64_t seq = collective_seq_++;
   const int p = size();
@@ -185,6 +229,7 @@ Task<std::vector<double>> Comm::bcast(int root, std::vector<double> data) {
 }
 
 Task<void> Comm::bcast_bytes(int root, double bytes) {
+  auto coll = coll_scope("coll.bcast");
   check_rank(root, "root");
   const std::uint64_t seq = collective_seq_++;
   const int p = size();
@@ -208,6 +253,7 @@ Task<void> Comm::bcast_bytes(int root, double bytes) {
 
 Task<std::vector<double>> Comm::reduce_sum(int root,
                                            std::vector<double> contrib) {
+  auto coll = coll_scope("coll.reduce");
   check_rank(root, "root");
   const std::uint64_t seq = collective_seq_++;
   const int p = size();
@@ -238,6 +284,7 @@ Task<std::vector<double>> Comm::reduce_sum(int root,
 
 Task<std::vector<double>> Comm::allreduce_sum(std::vector<double> contrib,
                                               AllreduceAlgo algo) {
+  auto coll = coll_scope("coll.allreduce");
   const int p = size();
   if (p == 1) co_return contrib;
   if (algo == AllreduceAlgo::kReduceBcast) {
@@ -306,6 +353,7 @@ Task<std::vector<double>> Comm::allreduce_sum(std::vector<double> contrib,
 }
 
 Task<std::vector<double>> Comm::allgather(std::vector<double> mine) {
+  auto coll = coll_scope("coll.allgather");
   const std::uint64_t seq = collective_seq_++;
   const int p = size();
   const std::size_t chunk = mine.size();
@@ -340,6 +388,7 @@ Task<std::vector<double>> Comm::allgather(std::vector<double> mine) {
 
 Task<std::vector<std::vector<double>>> Comm::alltoall(
     std::vector<std::vector<double>> chunks) {
+  auto coll = coll_scope("coll.alltoall");
   const int p = size();
   if (static_cast<int>(chunks.size()) != p)
     throw UsageError("alltoall: need exactly size() chunks");
@@ -365,6 +414,7 @@ Task<std::vector<std::vector<double>>> Comm::alltoall(
 }
 
 Task<std::vector<double>> Comm::gather(int root, std::vector<double> mine) {
+  auto coll = coll_scope("coll.gather");
   check_rank(root, "root");
   const std::uint64_t seq = collective_seq_++;
   const int p = size();
@@ -390,6 +440,7 @@ Task<std::vector<double>> Comm::gather(int root, std::vector<double> mine) {
 
 Task<std::vector<double>> Comm::scatter(int root, std::vector<double> data,
                                         std::size_t chunk) {
+  auto coll = coll_scope("coll.scatter");
   check_rank(root, "root");
   const std::uint64_t seq = collective_seq_++;
   const int p = size();
@@ -422,6 +473,7 @@ Task<std::vector<double>> Comm::scatter(int root, std::vector<double> data,
 
 Task<std::vector<double>> Comm::reduce_scatter_block(
     std::vector<double> contrib) {
+  auto coll = coll_scope("coll.reduce_scatter");
   const int p = size();
   if (contrib.size() % static_cast<std::size_t>(p) != 0)
     throw UsageError("reduce_scatter_block: size must divide by ranks");
@@ -451,6 +503,7 @@ Task<std::vector<double>> Comm::reduce_scatter_block(
 }
 
 Task<std::vector<double>> Comm::scan_sum(std::vector<double> contrib) {
+  auto coll = coll_scope("coll.scan");
   const std::uint64_t seq = collective_seq_++;
   const Tag tag = tags::internal(gid_ & 0xFFFFFF, seq, 0);
   // Chain scan: receive prefix from the left, add, pass to the right.
@@ -495,6 +548,7 @@ Task<std::unique_ptr<Comm>> Comm::split(int color, int key) {
 }
 
 Task<void> Comm::alltoallv_bytes(std::vector<double> bytes_to) {
+  auto coll = coll_scope("coll.alltoallv");
   const int p = size();
   if (static_cast<int>(bytes_to.size()) != p)
     throw UsageError("alltoallv_bytes: need exactly size() entries");

@@ -16,7 +16,10 @@
 /// must be called by every member of the group in the same order (as in
 /// MPI).
 
+#include <cstdint>
 #include <memory>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "core/task.hpp"
@@ -30,6 +33,44 @@ enum class AllreduceAlgo {
   kRecursiveDoubling,  ///< log P rounds, full vector each round
   kReduceBcast,        ///< binomial reduce to 0, binomial bcast
   kRabenseifner,       ///< reduce-scatter + allgather (large vectors)
+};
+
+/// RAII span over a rank-local region (application phase, collective,
+/// compute attribution).  A no-op unless an obsv::Session is active.
+/// Move-only; safe to hold across co_await (it lives in the coroutine
+/// frame) — the span closes when the scope is destroyed.
+class SpanScope {
+ public:
+  SpanScope() = default;
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+  SpanScope(SpanScope&& o) noexcept { *this = std::move(o); }
+  SpanScope& operator=(SpanScope&& o) noexcept {
+    if (this != &o) {
+      close();
+      world_ = o.world_;
+      lane_ = o.lane_;
+      name_ = o.name_;
+      cat_ = o.cat_;
+      t0_ = o.t0_;
+      o.world_ = nullptr;
+    }
+    return *this;
+  }
+  ~SpanScope() { close(); }
+
+  /// Emit the span now (idempotent; also called by the destructor).
+  void close();
+
+ private:
+  friend class Comm;
+  SpanScope(World& world, int lane, std::string_view name, obsv::Cat cat);
+
+  World* world_ = nullptr;
+  int lane_ = 0;
+  std::uint32_t name_ = 0;
+  obsv::Cat cat_ = obsv::Cat::kPhase;
+  SimTime t0_ = 0.0;
 };
 
 class Comm {
@@ -61,6 +102,11 @@ class Comm {
   /// Execute a work descriptor on this rank's core.
   [[nodiscard]] Task<void> compute(machine::Work w);
   [[nodiscard]] Delay delay(SimTime dt);
+
+  /// Open a named application phase on this rank (e.g. "cam.physics").
+  /// Keep the returned scope alive for the duration of the phase; when
+  /// observability is off this costs one null check.
+  [[nodiscard]] SpanScope phase(std::string_view name);
 
   // -- point-to-point (ranks are communicator-relative) -------------------
 
@@ -131,6 +177,8 @@ class Comm {
   [[nodiscard]] int to_world(int comm_rank) const;
   [[nodiscard]] Tag next_collective_tag(std::uint64_t round) const;
   void check_rank(int r, const char* what) const;
+  [[nodiscard]] SpanScope coll_scope(std::string_view name);
+  [[nodiscard]] Task<void> traced_compute(machine::Work w);
 
   /// One step of a collective: exchange with `partner` (send ours, recv
   /// theirs) — both sides must call symmetrically.

@@ -20,13 +20,49 @@ World::World(WorldConfig cfg) : cfg_(std::move(cfg)) {
   if (dims.count() < nnodes || dims.count() == 1) {
     dims = net::Torus3D::choose_dims(std::max(2, nnodes));
   }
+  if (obsv::Session* session = obsv::Session::active()) {
+    obs_ = session->register_world();
+    obs_session_ = session;
+  }
+
   net::NetConfig ncfg;
   ncfg.link_bw = cfg_.machine.nic.link_bw;
   ncfg.injection_bw = cfg_.machine.nic.injection_bw;
   ncfg.per_hop_latency = cfg_.machine.nic.per_hop_latency;
   ncfg.fairness = cfg_.fairness;
+  ncfg.link_stats = obs_ != nullptr;
   network_ =
       std::make_unique<net::FlowNetwork>(engine_, net::Torus3D(dims), ncfg);
+
+  if (obs_ != nullptr) {
+    if (obs_->tracing()) {
+      sid_.tx_wait = obs_->intern("msg.tx.wait");
+      sid_.tx = obs_->intern("msg.tx");
+      sid_.rendezvous = obs_->intern("msg.rendezvous");
+      sid_.hops = obs_->intern("msg.hops");
+      sid_.flow = obs_->intern("msg.flow");
+      sid_.rx_wait = obs_->intern("msg.rx.wait");
+      sid_.rx = obs_->intern("msg.rx");
+      sid_.copy = obs_->intern("msg.copy");
+      sid_.recv_wait = obs_->intern("recv.wait");
+      sid_.run = obs_->intern("world.run");
+    }
+    if (obs_->metrics()) {
+      // Resolve per-rank metric slots once; the hot path then only
+      // dereferences (the registry never relocates metric objects).
+      auto& reg = obs_->registry();
+      rank_msgs_.resize(static_cast<std::size_t>(cfg_.nranks));
+      rank_bytes_.resize(static_cast<std::size_t>(cfg_.nranks));
+      for (int r = 0; r < cfg_.nranks; ++r) {
+        const std::string label = std::to_string(r);
+        rank_msgs_[static_cast<std::size_t>(r)] =
+            &reg.counter("msg.count", label);
+        rank_bytes_[static_cast<std::size_t>(r)] =
+            &reg.counter("msg.bytes", label);
+      }
+      msg_latency_ = &reg.histogram("msg.latency");
+    }
+  }
 
   nodes_.reserve(static_cast<std::size_t>(nnodes));
   for (int i = 0; i < nnodes; ++i)
@@ -36,13 +72,45 @@ World::World(WorldConfig cfg) : cfg_(std::move(cfg)) {
 
   build_placement();
   inboxes_.resize(static_cast<std::size_t>(cfg_.nranks));
+  rank_done_.assign(static_cast<std::size_t>(cfg_.nranks), 1);
+  sends_inflight_.assign(static_cast<std::size_t>(cfg_.nranks), 0);
   group_counters_.resize(static_cast<std::size_t>(cfg_.nranks));
   world_comms_.reserve(static_cast<std::size_t>(cfg_.nranks));
   for (int r = 0; r < cfg_.nranks; ++r)
     world_comms_.push_back(std::make_unique<Comm>(*this, r));
 }
 
-World::~World() = default;
+World::~World() {
+  // A session outliving its worlds (the arm_cli pattern: flush at
+  // process exit) still gets every world's network usage this way.
+  if (obs_ != nullptr && obsv::Session::active() == obs_session_)
+    collect_summary();
+}
+
+void World::collect_summary() {
+  obsv::WorldSummary s;
+  s.world = obs_->ordinal();
+  s.nranks = cfg_.nranks;
+  s.nodes = node_count();
+  s.end_time = engine_.now();
+  s.messages = messages_delivered_;
+  s.bytes_sent = bytes_sent_;
+  s.net_delivered = network_->total_delivered();
+  s.peak_flows = network_->peak_flows();
+  s.engine_events = engine_.events_processed();
+  const int nlinks = network_->topology().total_link_count();
+  for (net::LinkId l = 0; l < nlinks; ++l) {
+    const auto st = network_->link_stats(l);
+    if (st.bytes <= 0.0 && st.busy_time <= 0.0 && st.peak_load == 0)
+      continue;
+    s.links.push_back({l, network_->link_class(l), st.bytes, st.busy_time,
+                       st.contended_time, st.peak_load});
+  }
+  s.class_series.reserve(network_->class_samples().size());
+  for (const auto& cs : network_->class_samples())
+    s.class_series.push_back({cs.t, cs.cls, cs.load});
+  obs_->session().add_world_summary(std::move(s));
+}
 
 void World::build_placement() {
   const int cores_active =
@@ -101,21 +169,76 @@ Comm& World::world_comm(int rank) {
 
 SimTime World::run(const RankProgram& program) {
   ranks_finished_ = 0;
+  rank_done_.assign(static_cast<std::size_t>(cfg_.nranks), 0);
+  const SimTime t0 = engine_.now();
   for (int r = 0; r < cfg_.nranks; ++r) {
     spawn(engine_, [](World& w, const RankProgram& prog, int rank)
                        -> Task<void> {
       co_await prog(w.world_comm(rank));
       ++w.ranks_finished_;
+      w.rank_done_[static_cast<std::size_t>(rank)] = 1;
     }(*this, program, r));
   }
   engine_.run();
-  if (ranks_finished_ != cfg_.nranks) {
-    throw SimError("World::run: deadlock — " +
-                   std::to_string(cfg_.nranks - ranks_finished_) + " of " +
-                   std::to_string(cfg_.nranks) +
-                   " ranks still blocked with no pending events");
-  }
+  if (obs_ != nullptr && obs_->tracing())
+    obs_->span(obsv::kWorldLane, obsv::Cat::kEngine, sid_.run, t0,
+               engine_.now(), 0, static_cast<double>(cfg_.nranks),
+               static_cast<double>(engine_.events_processed()));
+  if (ranks_finished_ != cfg_.nranks)
+    throw SimError(describe_deadlock());
   return engine_.now();
+}
+
+std::string World::describe_deadlock() const {
+  std::string msg = "World::run: deadlock — " +
+                    std::to_string(cfg_.nranks - ranks_finished_) + " of " +
+                    std::to_string(cfg_.nranks) +
+                    " ranks still blocked with no pending events:";
+  constexpr int kMaxListed = 8;
+  int listed = 0;
+  for (int r = 0; r < cfg_.nranks; ++r) {
+    if (rank_done_[static_cast<std::size_t>(r)]) continue;
+    if (listed == kMaxListed) {
+      msg += "\n  ... (" +
+             std::to_string(cfg_.nranks - ranks_finished_ - listed) +
+             " more)";
+      break;
+    }
+    ++listed;
+    const RankInbox& inbox = inboxes_[static_cast<std::size_t>(r)];
+    msg += "\n  rank " + std::to_string(r) + ": ";
+    if (inbox.posted.empty()) {
+      msg += "no posted recv (blocked in send/NIC/compute)";
+    } else {
+      msg += std::to_string(inbox.posted.size()) + " posted recv [";
+      std::size_t shown = 0;
+      for (const PostedRecv& p : inbox.posted) {
+        if (shown == 4) {
+          msg += ", ...";
+          break;
+        }
+        msg += shown ? ", " : "";
+        msg += "src=" + (p.src_filter == kAnySource
+                             ? std::string("any")
+                             : std::to_string(p.src_filter));
+        msg += " tag=" + (p.tag_filter == kAnyTag
+                              ? std::string("any")
+                              : tags::is_internal(p.tag_filter)
+                                    ? std::string("internal")
+                                    : std::to_string(p.tag_filter));
+        if (p.gid != 0) msg += " gid=" + std::to_string(p.gid);
+        ++shown;
+      }
+      msg += "]";
+    }
+    if (!inbox.unexpected.empty())
+      msg += "; " + std::to_string(inbox.unexpected.size()) +
+             " unexpected msgs queued";
+    const int inflight = sends_inflight_[static_cast<std::size_t>(r)];
+    if (inflight > 0)
+      msg += "; " + std::to_string(inflight) + " sends in flight";
+  }
+  return msg;
 }
 
 bool World::matches(const PostedRecv& r, const Message& m) const {
@@ -158,6 +281,14 @@ Task<Message> World::match_recv(int dst, std::uint64_t gid, int src_filter,
   }
   auto future = probe.promise.future();
   inbox.posted.push_back(std::move(probe));
+  if (obs_ != nullptr && obs_->tracing()) {
+    // Blocking receive: record the match wait on the receiver's lane.
+    const SimTime t0 = engine_.now();
+    Message m = co_await std::move(future);
+    obs_->span(dst, obsv::Cat::kMessage, sid_.recv_wait, t0, engine_.now(),
+               0, m.bytes);
+    co_return m;
+  }
   co_return co_await std::move(future);
 }
 
@@ -168,9 +299,18 @@ Task<SimFutureV> World::post_send(int src, int dst, int comm_src,
     throw UsageError("post_send: rank out of range");
   if (bytes < 0.0) throw UsageError("post_send: negative size");
   bytes_sent_ += bytes;
+  ++sends_inflight_[static_cast<std::size_t>(src)];
 
   const auto& nic = cfg_.machine.nic;
   machine::Node& snode = node(src);
+
+  // Trace state: mid correlates this message's spans; the spans are
+  // back-to-back segments covering post entry -> delivery, so their
+  // durations sum exactly to the simulated end-to-end time.
+  const bool tracing = obs_ != nullptr && obs_->tracing();
+  const SimTime posted_at = engine_.now();
+  std::uint64_t mid = 0;
+  if (tracing) mid = obs_->next_msg_id();
 
   // Sender CPU overhead, serialized through the node's NIC doorbell.
   // In VN mode a non-owner core's message is forwarded by the owner
@@ -178,34 +318,55 @@ Task<SimFutureV> World::post_send(int src, int dst, int comm_src,
   // section — which is exactly why two communicating cores more than
   // double small-message latency (Fig 2, Fig 12).
   (void)co_await snode.nic_lock().acquire();
+  const SimTime tx_start = engine_.now();
+  if (tracing)
+    obs_->span(src, obsv::Cat::kMessage, sid_.tx_wait, posted_at, tx_start,
+               mid, bytes);
   SimTime hold = nic.tx_overhead;
   if (core_of(src) != 0) hold += nic.vn_forward_delay;
   co_await Delay(engine_, hold);
   snode.nic_lock().release();
+  if (tracing)
+    obs_->span(src, obsv::Cat::kMessage, sid_.tx, tx_start, engine_.now(),
+               mid, bytes);
 
   SimPromiseV delivered(engine_);
   auto fut = delivered.future();
   spawn(engine_,
         transport(src, dst, Message{comm_src, tag, bytes, std::move(data), gid},
-                  std::move(delivered)));
+                  std::move(delivered), mid, posted_at));
   co_return fut;
 }
 
 Task<void> World::transport(int src, int dst, Message msg,
-                            SimPromiseV delivered) {
+                            SimPromiseV delivered, std::uint64_t mid,
+                            SimTime posted_at) {
   const auto& mcfg = cfg_.machine;
   const double bytes = msg.bytes;
   const net::NodeId snode = node_of(src);
   const net::NodeId dnode = node_of(dst);
+  const bool tracing = mid != 0;
+  // Segment start, advanced after every co_await: spawn and all
+  // event-loop handoffs are same-instant, so consecutive segments are
+  // gapless and their durations sum to delivery - post exactly.
+  SimTime seg = engine_.now();
 
   if (snode == dnode) {
     // Intra-node: memory copy through the shared controller.  §2: "one
     // core is responsible for all message passing" — a non-owner
     // receiver still pays the owner-core forwarding interrupt.
     (void)co_await node(src).memcpy_traffic(bytes);
+    if (tracing) {
+      obs_->span(src, obsv::Cat::kMessage, sid_.copy, seg, engine_.now(),
+                 mid, bytes);
+      seg = engine_.now();
+    }
     SimTime rx = mcfg.nic.rx_overhead * 0.5;
     if (core_of(dst) != 0) rx += mcfg.nic.vn_forward_delay;
     co_await Delay(engine_, rx);
+    if (tracing)
+      obs_->span(dst, obsv::Cat::kMessage, sid_.rx, seg, engine_.now(),
+                 mid, bytes);
   } else {
     // Rendezvous handshake for large messages: one control round-trip
     // before the payload moves.
@@ -213,11 +374,26 @@ Task<void> World::transport(int src, int dst, Message msg,
     if (bytes > mcfg.mpi.eager_threshold) {
       co_await Delay(engine_, 2.0 * oneway + mcfg.nic.tx_overhead +
                                   mcfg.nic.rx_overhead);
+      if (tracing) {
+        obs_->span(src, obsv::Cat::kMessage, sid_.rendezvous, seg,
+                   engine_.now(), mid, bytes);
+        seg = engine_.now();
+      }
     }
     co_await Delay(engine_, oneway);
+    if (tracing) {
+      obs_->span(src, obsv::Cat::kMessage, sid_.hops, seg, engine_.now(),
+                 mid, bytes);
+      seg = engine_.now();
+    }
     // transfer_flow parks this coroutine in the flow slot itself — no
     // promise shared-state allocation per message on the hot path.
     co_await network_->transfer_flow(snode, dnode, std::max(bytes, 8.0));
+    if (tracing) {
+      obs_->span(src, obsv::Cat::kMessage, sid_.flow, seg, engine_.now(),
+                 mid, bytes);
+      seg = engine_.now();
+    }
     // Receiver-side processing serializes through the destination
     // node's NIC doorbell too: Portals processing runs on the host
     // CPU, and in VN mode the owner core handles every arriving
@@ -226,12 +402,26 @@ Task<void> World::transport(int src, int dst, Message msg,
     // XT3's, per-core AND per-socket (Fig 11).
     machine::Node& dnode_ref = node(dst);
     (void)co_await dnode_ref.nic_lock().acquire();
+    if (tracing) {
+      obs_->span(dst, obsv::Cat::kMessage, sid_.rx_wait, seg, engine_.now(),
+                 mid, bytes);
+      seg = engine_.now();
+    }
     SimTime rx = mcfg.nic.rx_overhead;
     if (core_of(dst) != 0) rx += mcfg.nic.vn_forward_delay;
     co_await Delay(engine_, rx);
     dnode_ref.nic_lock().release();
+    if (tracing)
+      obs_->span(dst, obsv::Cat::kMessage, sid_.rx, seg, engine_.now(),
+                 mid, bytes);
   }
 
+  --sends_inflight_[static_cast<std::size_t>(src)];
+  if (obs_ != nullptr && obs_->metrics()) {
+    rank_msgs_[static_cast<std::size_t>(src)]->add();
+    rank_bytes_[static_cast<std::size_t>(src)]->add(bytes);
+    msg_latency_->add(engine_.now() - posted_at);
+  }
   deliver(dst, std::move(msg));
   delivered.set_value(Done{});
 }

@@ -21,9 +21,11 @@
 ///                 controller (§2: "messages between two cores on the
 ///                 same socket are handled through a memory copy").
 
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -33,6 +35,7 @@
 #include "machine/config.hpp"
 #include "machine/node.hpp"
 #include "network/flow_network.hpp"
+#include "obsv/session.hpp"
 #include "vmpi/message.hpp"
 
 namespace xts::vmpi {
@@ -53,7 +56,9 @@ struct WorldConfig {
   bool enable_trace = false;  ///< record every delivered message
 };
 
-/// One delivered message (trace mode).
+/// One delivered message (legacy trace mode).  Kept as a thin
+/// compatibility view over delivery; the span-level breakdown lives in
+/// the obsv::Session trace (see docs/OBSERVABILITY.md).
 struct TraceRecord {
   int src_world = 0;
   int dst_world = 0;
@@ -117,6 +122,9 @@ class World {
   [[nodiscard]] const std::vector<TraceRecord>& trace() const noexcept {
     return trace_;
   }
+  /// Observability handle — null unless an obsv::Session was active
+  /// when this World was constructed.
+  [[nodiscard]] obsv::WorldObs* obs() const noexcept { return obs_; }
 
  private:
   struct PostedRecv {
@@ -133,8 +141,12 @@ class World {
   void build_placement();
   void deliver(int dst, Message msg);
   [[nodiscard]] bool matches(const PostedRecv& r, const Message& m) const;
-  Task<void> transport(int src, int dst, Message msg,
-                       SimPromiseV delivered);
+  /// `mid` is the trace correlation id (0 when not tracing);
+  /// `posted_at` is when the sender entered post_send (latency metric).
+  Task<void> transport(int src, int dst, Message msg, SimPromiseV delivered,
+                       std::uint64_t mid, SimTime posted_at);
+  [[nodiscard]] std::string describe_deadlock() const;
+  void collect_summary();
 
   WorldConfig cfg_;
   Engine engine_;
@@ -148,6 +160,23 @@ class World {
   double bytes_sent_ = 0.0;
   std::vector<TraceRecord> trace_;
   int ranks_finished_ = 0;
+  // Always-on (cheap) blocked-rank bookkeeping for deadlock reporting.
+  std::vector<std::uint8_t> rank_done_;
+  std::vector<int> sends_inflight_;  ///< posted, not yet delivered (per src)
+
+  // Observability (null/empty unless a session is active).  The
+  // session owns obs_; obs_session_ lets the destructor detect that
+  // the session is gone without touching freed memory.
+  obsv::WorldObs* obs_ = nullptr;
+  obsv::Session* obs_session_ = nullptr;
+  struct SpanIds {
+    std::uint32_t tx_wait = 0, tx = 0, rendezvous = 0, hops = 0, flow = 0,
+                  rx_wait = 0, rx = 0, copy = 0, recv_wait = 0, run = 0;
+  };
+  SpanIds sid_{};
+  std::vector<obsv::Counter*> rank_msgs_;   ///< msg.count by src rank
+  std::vector<obsv::Counter*> rank_bytes_;  ///< msg.bytes by src rank
+  obsv::Histogram* msg_latency_ = nullptr;
 
   friend class Comm;
   // Per-(membership-hash, rank) creation counters for deterministic

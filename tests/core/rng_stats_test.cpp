@@ -99,6 +99,28 @@ TEST(SampleSet, PercentileValidation) {
   EXPECT_DOUBLE_EQ(s.percentile(0.5), 1.0);
 }
 
+TEST(SampleSet, PercentileEdgeCases) {
+  SampleSet empty;
+  EXPECT_THROW(empty.percentile(0.0), UsageError);
+  EXPECT_THROW(empty.percentile(1.0), UsageError);
+  EXPECT_THROW(empty.min(), UsageError);
+  EXPECT_THROW(empty.max(), UsageError);
+  EXPECT_EQ(empty.mean(), 0.0);  // mean of nothing is defined as 0
+
+  SampleSet one;
+  one.add(42.0);
+  EXPECT_DOUBLE_EQ(one.percentile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(one.percentile(0.5), 42.0);
+  EXPECT_DOUBLE_EQ(one.percentile(1.0), 42.0);
+
+  SampleSet two;
+  two.add(10.0);
+  two.add(20.0);
+  EXPECT_DOUBLE_EQ(two.percentile(0.0), 10.0);  // q=0 is the minimum
+  EXPECT_DOUBLE_EQ(two.percentile(1.0), 20.0);  // q=1 is the maximum
+  EXPECT_NEAR(two.percentile(0.5), 15.0, 1e-12);
+}
+
 TEST(SampleSet, AddAfterSortKeepsCorrectness) {
   SampleSet s;
   s.add(3.0);

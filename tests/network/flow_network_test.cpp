@@ -350,6 +350,61 @@ TEST(FlowNetwork, RouteCacheServesRepeatedPairs) {
   EXPECT_EQ(net.route_cache_hits(), 9u);
 }
 
+TEST(FlowNetwork, LinkStatsConserveBytes) {
+  Engine e;
+  NetConfig c = cfg();
+  c.link_stats = true;
+  const Torus3D topo({4, 4, 1});
+  FlowNetwork net(e, topo, c);
+  run_one_transfer(e, net, 0, 5, 64.0);
+  run_one_transfer(e, net, 3, 12, 1024.0);
+  run_one_transfer(e, net, 15, 2, 16.0);
+  ASSERT_TRUE(net.stats_enabled());
+  // Every route crosses exactly one ejection link, so ejection-class
+  // bytes must equal the network's delivered total; same for injection.
+  double inj = 0.0, ej = 0.0;
+  for (LinkId l = 0; l < topo.total_link_count(); ++l) {
+    const auto st = net.link_stats(l);
+    if (net.link_class(l) == 6) inj += st.bytes;
+    if (net.link_class(l) == 7) ej += st.bytes;
+  }
+  EXPECT_NEAR(ej, net.total_delivered(), 1e-6);
+  EXPECT_NEAR(inj, net.total_delivered(), 1e-6);
+}
+
+TEST(FlowNetwork, LinkStatsBusyAndContention) {
+  Engine e;
+  NetConfig c = cfg(8.0, 2.0);
+  c.link_stats = true;
+  FlowNetwork net(e, Torus3D({4, 1, 1}), c);
+  std::vector<SimTime> done(2, -1.0);
+  const NodeId dst[2] = {1, 3};
+  for (int i = 0; i < 2; ++i) {
+    spawn(e, [](Engine& eng, FlowNetwork& n, NodeId d, SimTime& out)
+                 -> Task<void> {
+      (void)co_await n.transfer(0, d, 4.0);
+      out = eng.now();
+    }(e, net, dst[i], done[static_cast<std::size_t>(i)]));
+  }
+  e.run();
+  // Both flows share node 0's injection link (link 24 on a 4x1x1
+  // torus) for the full 4 s: busy == contended == 4 s, peak load 2.
+  const LinkId inj0 = 24;
+  EXPECT_EQ(net.link_class(inj0), 6);
+  const auto st = net.link_stats(inj0);
+  EXPECT_NEAR(st.bytes, 8.0, 1e-9);
+  EXPECT_NEAR(st.busy_time, 4.0, 1e-9);
+  EXPECT_NEAR(st.contended_time, 4.0, 1e-9);
+  EXPECT_EQ(st.peak_load, 2);
+}
+
+TEST(FlowNetwork, LinkStatsOffByDefault) {
+  Engine e;
+  FlowNetwork net(e, Torus3D({2, 1, 1}), cfg());
+  EXPECT_FALSE(net.stats_enabled());
+  EXPECT_THROW((void)net.link_stats(0), UsageError);
+}
+
 TEST(FlowNetwork, RouteCacheCanBeDisabled) {
   Engine e;
   NetConfig c = cfg();

@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "machine/presets.hpp"
+#include "obsv/export.hpp"
+#include "obsv/session.hpp"
+#include "obsv/trace.hpp"
+#include "vmpi/comm.hpp"
+#include "vmpi/world.hpp"
+
+namespace xts::obsv {
+namespace {
+
+TraceEvent ev(SimTime t0, SimTime t1, std::uint32_t name) {
+  TraceEvent e;
+  e.t0 = t0;
+  e.t1 = t1;
+  e.name = name;
+  e.cat = Cat::kPhase;
+  return e;
+}
+
+TEST(TraceSink, InternDeduplicates) {
+  TraceSink sink(16);
+  const auto a = sink.intern("msg.tx");
+  const auto b = sink.intern("msg.rx");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(sink.intern("msg.tx"), a);
+  EXPECT_EQ(sink.name(a), "msg.tx");
+  EXPECT_EQ(sink.name(b), "msg.rx");
+}
+
+TEST(TraceSink, RingOverwritesOldestAndCountsDrops) {
+  TraceSink sink(4);
+  EXPECT_EQ(sink.capacity(), 4u);
+  for (int i = 0; i < 6; ++i)
+    sink.emit(ev(static_cast<double>(i), i + 1.0, 0));
+  EXPECT_EQ(sink.size(), 4u);
+  EXPECT_EQ(sink.dropped(), 2u);
+  // Oldest-first iteration over the retained window [2, 6).
+  std::vector<double> starts;
+  sink.for_each([&](const TraceEvent& e) { starts.push_back(e.t0); });
+  ASSERT_EQ(starts.size(), 4u);
+  EXPECT_DOUBLE_EQ(starts.front(), 2.0);
+  EXPECT_DOUBLE_EQ(starts.back(), 5.0);
+}
+
+TEST(TraceSink, ClearKeepsInternedNames) {
+  TraceSink sink(4);
+  const auto id = sink.intern("keep");
+  sink.emit(ev(0.0, 1.0, id));
+  sink.clear();
+  EXPECT_EQ(sink.size(), 0u);
+  EXPECT_EQ(sink.dropped(), 0u);
+  EXPECT_EQ(sink.name(id), "keep");
+}
+
+TEST(Session, LifecycleAndRegistration) {
+  EXPECT_EQ(Session::active(), nullptr);
+  Options opt;
+  opt.tracing = true;
+  Session& s = Session::start(opt);
+  EXPECT_EQ(Session::active(), &s);
+  WorldObs* w0 = s.register_world();
+  WorldObs* w1 = s.register_world();
+  EXPECT_EQ(w0->ordinal(), 0u);
+  EXPECT_EQ(w1->ordinal(), 1u);
+  EXPECT_TRUE(w0->tracing());
+  EXPECT_FALSE(w0->metrics());
+  EXPECT_NE(w0->next_msg_id(), 0u);
+  Session::stop();
+  EXPECT_EQ(Session::active(), nullptr);
+  Session::stop();  // idempotent
+}
+
+/// End-to-end: the per-message span segments recorded for a real World
+/// run must tile the delivery window exactly — their durations sum to
+/// delivered_at - posted_at within 1e-9 s (the tentpole's acceptance
+/// criterion, checked here without the JSON round trip).
+TEST(SessionE2E, MessageSpansTileDeliveryWindow) {
+  Options opt;
+  opt.tracing = true;
+  opt.metrics = true;
+  Session& session = Session::start(opt);
+  {
+    vmpi::WorldConfig cfg;
+    cfg.machine = machine::xt4();
+    cfg.nranks = 4;
+    cfg.enable_trace = true;  // legacy record path rides along
+    vmpi::World w(std::move(cfg));
+    ASSERT_NE(w.obs(), nullptr);
+    w.run([](vmpi::Comm& c) -> Task<void> {
+      auto ph = c.phase("test.phase");
+      const int partner = c.rank() ^ 1;
+      // One eager and one rendezvous-sized message each way.
+      co_await c.send_wait(partner, 7, 64.0);
+      (void)co_await c.recv(partner, 7);
+      co_await c.send_wait(partner, 8, 1.0e6);
+      (void)co_await c.recv(partner, 8);
+      co_await c.barrier();
+    });
+    EXPECT_EQ(w.messages_delivered(),
+              static_cast<std::uint64_t>(
+                  session.registry().counter_total("msg.count")));
+    EXPECT_EQ(session.registry().counter_labels("msg.count"), 4u);
+    EXPECT_EQ(session.registry().histogram("msg.latency").count(),
+              w.messages_delivered());
+
+    struct Window {
+      double covered = 0.0;
+      SimTime lo = 0.0, hi = 0.0;
+      bool seen = false;
+    };
+    std::map<std::uint64_t, Window> msgs;
+    bool saw_phase = false, saw_coll = false;
+    session.sink().for_each([&](const TraceEvent& e) {
+      EXPECT_GE(e.t1, e.t0);
+      if (e.cat == Cat::kMessage && e.id != 0) {
+        Window& win = msgs[e.id];
+        win.covered += e.t1 - e.t0;
+        win.lo = win.seen ? std::min(win.lo, e.t0) : e.t0;
+        win.hi = win.seen ? std::max(win.hi, e.t1) : e.t1;
+        win.seen = true;
+      } else if (e.cat == Cat::kPhase) {
+        saw_phase = saw_phase ||
+                    session.sink().name(e.name) == "test.phase";
+      } else if (e.cat == Cat::kCollective) {
+        saw_coll = true;
+      }
+    });
+    EXPECT_TRUE(saw_phase);
+    EXPECT_TRUE(saw_coll);
+    // 8 user messages + barrier-internal traffic, all traced.
+    EXPECT_GE(msgs.size(), 8u);
+    for (const auto& [id, win] : msgs)
+      EXPECT_NEAR(win.covered, win.hi - win.lo, 1e-9) << "msg " << id;
+    // Legacy TraceRecord view still works alongside the span trace.
+    EXPECT_EQ(w.trace().size(), w.messages_delivered());
+  }
+  // The World pushed its network summary on destruction: ejection-link
+  // bytes must equal what the flow network delivered.
+  ASSERT_EQ(session.summaries().size(), 1u);
+  const WorldSummary& s = session.summaries()[0];
+  double ejected = 0.0;
+  for (const LinkUsage& l : s.links)
+    if (l.cls == kLinkClasses - 1) ejected += l.bytes;
+  EXPECT_NEAR(ejected, s.net_delivered,
+              1e-6 * std::max(1.0, s.net_delivered));
+
+  std::ostringstream os;
+  write_chrome_trace(session, os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"xtsim\""), std::string::npos);
+  EXPECT_NE(json.find("test.phase"), std::string::npos);
+  Session::stop();
+}
+
+TEST(SessionE2E, WorldWithoutSessionHasNullObs) {
+  ASSERT_EQ(Session::active(), nullptr);
+  vmpi::WorldConfig cfg;
+  cfg.machine = machine::xt4();
+  cfg.nranks = 2;
+  vmpi::World w(std::move(cfg));
+  EXPECT_EQ(w.obs(), nullptr);
+  w.run([](vmpi::Comm& c) -> Task<void> {
+    auto ph = c.phase("noop");  // must be a cheap no-op, not a crash
+    if (c.rank() == 0) co_await c.send_wait(1, 0, 64.0);
+    else (void)co_await c.recv(0, 0);
+  });
+  EXPECT_EQ(w.messages_delivered(), 1u);
+}
+
+/// Deterministic replay: two identical traced runs produce the same
+/// span stream (names, lanes, exact timestamps).
+TEST(SessionE2E, TraceReplaysBitForBit) {
+  auto run = [] {
+    Options opt;
+    opt.tracing = true;
+    Session& session = Session::start(opt);
+    {
+      vmpi::WorldConfig cfg;
+      cfg.machine = machine::xt4();
+      cfg.nranks = 8;
+      vmpi::World w(std::move(cfg));
+      w.run([](vmpi::Comm& c) -> Task<void> {
+        co_await c.send_wait((c.rank() + 1) % c.size(), 0, 4096.0);
+        (void)co_await c.recv(vmpi::kAnySource, 0);
+        std::vector<double> v(2, 1.0);
+        (void)co_await c.allreduce_sum(std::move(v));
+      });
+    }
+    std::vector<TraceEvent> out = session.sink().snapshot();
+    Session::stop();
+    return out;
+  };
+  const auto a = run();
+  const auto b = run();
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_FALSE(a.empty());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].t0, b[i].t0) << i;
+    EXPECT_EQ(a[i].t1, b[i].t1) << i;
+    EXPECT_EQ(a[i].name, b[i].name) << i;
+    EXPECT_EQ(a[i].lane, b[i].lane) << i;
+    EXPECT_EQ(static_cast<int>(a[i].cat), static_cast<int>(b[i].cat)) << i;
+  }
+}
+
+}  // namespace
+}  // namespace xts::obsv

@@ -144,6 +144,29 @@ TEST(P2p, DeadlockIsDetectedNotHung) {
                SimError);
 }
 
+TEST(P2p, DeadlockErrorNamesBlockedRanksAndFilters) {
+  World w(make_cfg(3));
+  try {
+    w.run([&](Comm& c) -> Task<void> {
+      // Rank 2 finishes; 0 and 1 block on recvs nobody will satisfy.
+      if (c.rank() == 0) (void)co_await c.recv(1, 7);
+      else if (c.rank() == 1) (void)co_await c.recv(kAnySource, kAnyTag);
+    });
+    FAIL() << "expected SimError";
+  } catch (const SimError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("deadlock"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("2 of 3 ranks"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("rank 0: 1 posted recv [src=1 tag=7]"),
+              std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("rank 1: 1 posted recv [src=any tag=any]"),
+              std::string::npos)
+        << msg;
+    EXPECT_EQ(msg.find("rank 2"), std::string::npos) << msg;
+  }
+}
+
 TEST(P2p, InvalidRankThrows) {
   World w(make_cfg(2));
   EXPECT_THROW(w.run([&](Comm& c) -> Task<void> {
