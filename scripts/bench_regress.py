@@ -13,6 +13,12 @@ results/BENCH_simcore.json next to the frozen pre-optimization baseline:
       "speedup_vs_baseline": {name: current/baseline}
     }
 
+The benches run with no obsv session, so every span/metrics/profiling
+hook in the hot path is in its disabled (single null/bool check) state;
+the --check ratio gates double as the "observability off costs nothing
+measurable" regression test for the engine-throughput and flow-churn
+benches (ISSUE: profiling layer must be free when off).
+
 Modes:
   (default)        full run, update "current"/"reference", write JSON
   --smoke          quick subset (small args, min benchmark time); writes
@@ -101,7 +107,10 @@ def main():
 
     metrics = run_bench(binary, args.smoke)
     label = args.label or git_label(repo_root)
-    run = {"label": label, "metrics": metrics}
+    # The bench binary never starts an obsv session: these numbers are
+    # the tracing/profiling-disabled fast path, and the ratio checks
+    # below gate its overhead.
+    run = {"label": label, "obsv": "disabled", "metrics": metrics}
 
     doc = {"schema": 1}
     if os.path.exists(tracked):

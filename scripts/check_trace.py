@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
-"""Validate a Chrome trace produced by --trace=<file>.
+"""Validate a Chrome trace (--trace=) or an xtsim profile (--profile=).
 
-Checks:
+Trace checks:
   1. The file is well-formed JSON with a traceEvents array and the
      xtsim summary block.
   2. For every traced message (async "b"/"e" pairs sharing an id), the
@@ -11,9 +11,19 @@ Checks:
   3. Per-world link byte conservation: the bytes attributed to ejection
      links equal FlowNetwork's total delivered bytes.
 
+Profile checks ("xtsim_profile" JSON, detected automatically):
+  1. Schema: marker, worlds[], per-rank buckets, matrix, phases,
+     critical_path, attribution with scores summing to ~1.
+  2. Each rank's exclusive bucket sums tile the world's wall window to
+     1e-9 s; phase bucket totals partition total rank time.
+  3. Critical path: length <= wall window, its bucket breakdown sums to
+     its length, step chain is contiguous in time.
+  4. Matrix totals match the world's message/byte counts.
+
 Usage:
-  check_trace.py trace.json
-  check_trace.py --run <bench> [bench args...]   # runs with --trace
+  check_trace.py file.json                        # kind auto-detected
+  check_trace.py --run <bench> [args...]          # runs with --trace
+  check_trace.py --run-profile <bench> [args...]  # runs with --profile
 """
 
 import json
@@ -31,9 +41,130 @@ def fail(msg):
     sys.exit(1)
 
 
+TOL_S = 1e-9  # profile times are plain seconds
+
+BUCKETS = ("compute", "tx", "tx.wait", "rendezvous", "flow", "rx",
+           "rx.wait", "blocked", "collective", "idle")
+VERDICTS = ("compute-bound", "injection-bound", "contention-bound",
+            "wait-bound")
+
+
+def check_buckets(where, b):
+    if not isinstance(b, dict) or set(b) != set(BUCKETS):
+        fail("%s: bucket dict keys mismatch: %r" % (where, sorted(b)))
+    for name, v in b.items():
+        if not isinstance(v, (int, float)) or v < -TOL_S:
+            fail("%s: bucket %s is %r" % (where, name, v))
+    return sum(b.values())
+
+
+def check_attribution(where, a):
+    if a["verdict"] not in VERDICTS:
+        fail("%s: unknown verdict %r" % (where, a["verdict"]))
+    scores = [a[k] for k in ("compute_score", "injection_score",
+                             "contention_score", "wait_score")]
+    if any(s < -1e-12 or s > 1 + 1e-12 for s in scores):
+        fail("%s: attribution score out of [0,1]: %r" % (where, scores))
+    total = sum(scores)
+    if total > 0 and abs(total - 1.0) > 1e-6:
+        fail("%s: attribution scores sum to %.9g, not 1" % (where, total))
+
+
+def check_profile(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("xtsim_profile") != 1:
+        fail("%s: missing/unknown xtsim_profile version" % path)
+    worlds = doc.get("worlds")
+    if not isinstance(worlds, list) or not worlds:
+        fail("%s: profile lists no worlds" % path)
+
+    ranks_checked = 0
+    worst = 0.0
+    for w in worlds:
+        where = "world %s" % w["world"]
+        wall = w["wall"]
+        if wall < 0 or abs((w["t_end"] - w["t_start"]) - wall) > TOL_S:
+            fail("%s: wall %r inconsistent with window [%r, %r]"
+                 % (where, wall, w["t_start"], w["t_end"]))
+        if len(w["ranks"]) != w["nranks"]:
+            fail("%s: %d rank profiles for %d ranks"
+                 % (where, len(w["ranks"]), w["nranks"]))
+
+        # Per-rank exclusive buckets tile the wall window.
+        for r in w["ranks"]:
+            total = check_buckets("%s rank %s" % (where, r["rank"]),
+                                  r["buckets"])
+            err = abs(total - wall)
+            worst = max(worst, err)
+            if err > TOL_S:
+                fail("%s rank %s: buckets sum to %.12g but wall is %.12g "
+                     "(err %.3g s)" % (where, r["rank"], total, wall, err))
+            ranks_checked += 1
+
+        # Phase totals partition total rank time (each instant of each
+        # rank belongs to exactly one innermost phase, "" outside).
+        check_attribution(where, w["attribution"])
+        phase_total = 0.0
+        for ph in w["phases"]:
+            phase_total += check_buckets(
+                "%s phase %r" % (where, ph["name"]), ph["buckets"])
+            check_attribution("%s phase %r" % (where, ph["name"]),
+                              ph["attribution"])
+        budget = wall * w["nranks"]
+        if w["phases"] and abs(phase_total - budget) > TOL_S * max(
+                1, w["nranks"]):
+            fail("%s: phase totals sum to %.12g but nranks*wall is %.12g"
+                 % (where, phase_total, budget))
+
+        # Matrix totals.
+        msgs = sum(m["messages"] for m in w["matrix"])
+        byts = sum(m["bytes"] for m in w["matrix"])
+        if msgs != w["messages"]:
+            fail("%s: matrix msgs %d != total %d"
+                 % (where, msgs, w["messages"]))
+        if abs(byts - w["bytes"]) > 1e-6 * max(1.0, abs(w["bytes"])):
+            fail("%s: matrix bytes %.9g != total %.9g"
+                 % (where, byts, w["bytes"]))
+        for m in w["matrix"]:
+            if m["src"] == m["dst"]:
+                fail("%s: self-pair %d in matrix" % (where, m["src"]))
+            if m["messages"] < 1 or m["bytes"] < 0 or m["mean_latency"] < 0:
+                fail("%s: bad matrix cell %r" % (where, m))
+
+        # Critical path: bounded by the wall window, internally tiled.
+        cp = w["critical_path"]
+        if cp["length"] > wall + TOL_S:
+            fail("%s: critical path %.12g exceeds wall %.12g"
+                 % (where, cp["length"], wall))
+        if cp["length"] < -TOL_S:
+            fail("%s: negative critical path" % where)
+        cp_sum = check_buckets("%s critpath" % where, cp["buckets"])
+        if abs(cp_sum - cp["length"]) > TOL_S:
+            fail("%s: critical-path buckets sum to %.12g, length %.12g"
+                 % (where, cp_sum, cp["length"]))
+        steps = cp["steps"]
+        for a, b in zip(steps, steps[1:]):
+            if abs(b["t0"] - a["t1"]) > TOL_S:
+                fail("%s: critical-path gap between steps at %.12g -> %.12g"
+                     % (where, a["t1"], b["t0"]))
+        if steps:
+            span = steps[-1]["t1"] - steps[0]["t0"]
+            if abs(span - cp["length"]) > TOL_S:
+                fail("%s: steps span %.12g != path length %.12g"
+                     % (where, span, cp["length"]))
+
+    print("check_trace: OK: profile with %d worlds, %d rank profiles "
+          "tiled (worst error %.3g s), critical paths bounded"
+          % (len(worlds), ranks_checked, worst))
+
+
 def check(path):
     with open(path, "r", encoding="utf-8") as f:
         doc = json.load(f)
+    if isinstance(doc, dict) and "xtsim_profile" in doc:
+        # --profile= output: validate the profile schema instead.
+        return check_profile(path)
     events = doc.get("traceEvents")
     if not isinstance(events, list) or not events:
         fail("no traceEvents in %s" % path)
@@ -119,13 +250,14 @@ def check(path):
 
 
 def main(argv):
-    if len(argv) >= 2 and argv[1] == "--run":
+    if len(argv) >= 2 and argv[1] in ("--run", "--run-profile"):
         if len(argv) < 3:
-            fail("--run needs a command")
+            fail("%s needs a command" % argv[1])
+        flag = "--trace=" if argv[1] == "--run" else "--profile="
         fd, path = tempfile.mkstemp(suffix=".json", prefix="xtstrace_")
         os.close(fd)
         try:
-            cmd = argv[2:] + ["--trace=" + path]
+            cmd = argv[2:] + [flag + path]
             proc = subprocess.run(cmd, stdout=subprocess.DEVNULL)
             if proc.returncode != 0:
                 fail("bench exited with %d" % proc.returncode)

@@ -86,12 +86,18 @@ BenchOptions BenchOptions::parse(int argc, char** argv,
       opt.trace_file = arg.substr(8);
       if (opt.trace_file.empty())
         throw UsageError("--trace= needs a file path");
+    } else if (arg.rfind("--profile=", 0) == 0) {
+      opt.profile_file = arg.substr(10);
+      if (opt.profile_file.empty())
+        throw UsageError("--profile= needs a file path");
     } else if (arg == "--help" || arg == "-h") {
       std::cout << blurb << "\n\nOptions:\n"
                 << "  --csv           also emit CSV blocks for replotting\n"
                 << "  --quick         reduced sweep (CI-sized)\n"
                 << "  --full          paper-scale sweep (slow)\n"
                 << "  --trace=FILE    write a chrome://tracing span trace\n"
+                << "  --profile=FILE  write a profiling/attribution report "
+                   "(xtsim_profile JSON)\n"
                 << "  --metrics       print metrics + torus utilization "
                    "tables at exit\n";
       std::exit(0);

@@ -149,6 +149,10 @@ SimTime FlowNetwork::route_latency(NodeId src, NodeId dst) const {
          cfg_.per_hop_latency;
 }
 
+void FlowNetwork::route_for(NodeId src, NodeId dst, Route& out) {
+  get_route(src, dst, out);
+}
+
 void FlowNetwork::get_route(NodeId src, NodeId dst, Route& out) {
   if (!route_cache_.enabled()) {
     topo_.route_into(src, dst, out);

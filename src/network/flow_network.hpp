@@ -111,6 +111,12 @@ class FlowNetwork {
   /// First-byte latency of the minimal route (hop count x per-hop).
   [[nodiscard]] SimTime route_latency(NodeId src, NodeId dst) const;
 
+  /// Resolve the route src -> dst (injection, torus links, ejection)
+  /// through the LRU route cache — the same links flows are charged to.
+  /// Used by per-link attribution (obsv critical path); src == dst is a
+  /// caller error, as with Torus3D::route_into.
+  void route_for(NodeId src, NodeId dst, Route& out);
+
   [[nodiscard]] const Torus3D& topology() const noexcept { return topo_; }
   [[nodiscard]] const NetConfig& config() const noexcept { return cfg_; }
   [[nodiscard]] std::size_t active_flows() const noexcept {

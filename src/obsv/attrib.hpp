@@ -1,0 +1,81 @@
+#pragma once
+
+/// \file attrib.hpp
+/// Attribution reports over WorldProfileResults.
+///
+/// Turns the raw profile (obsv/profile.hpp) into the diagnosis the
+/// paper derives by hand: is a configuration compute-bound,
+/// injection-bound (NIC/HT overhead dominates exposed communication),
+/// contention-bound (torus links saturated — exposed flow time spent on
+/// contended links), or wait/imbalance-bound (ranks blocked on skewed
+/// peers or collectives)?  Scores are shares of total rank time and sum
+/// to ~1; the verdict is the argmax.  Exposed flow time is split
+/// between injection and contention by the fraction of torus-link busy
+/// time that was contended (>= 2 flows), taken from the matching
+/// WorldSummary.
+///
+/// write_profile emits a versioned "xtsim_profile" JSON document
+/// (validated by scripts/check_trace.py, consumed by `xtstrace
+/// profile|critpath|matrix`); profile_table renders the same data as
+/// text tables for --metrics-style terminal output.
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "obsv/profile.hpp"
+#include "obsv/session.hpp"
+
+namespace xts::obsv {
+
+enum class Verdict : std::uint8_t {
+  kCompute = 0,   ///< compute dominates
+  kInjection,     ///< per-message overhead + uncontended transfer
+  kContention,    ///< exposed flow time on contended torus links
+  kWait,          ///< blocked / collective skew / idle imbalance
+};
+
+inline constexpr std::string_view kVerdictNames[] = {
+    "compute-bound", "injection-bound", "contention-bound", "wait-bound"};
+
+[[nodiscard]] constexpr std::string_view to_string(Verdict v) noexcept {
+  return kVerdictNames[static_cast<std::size_t>(v)];
+}
+
+struct Attribution {
+  double compute_score = 0.0;
+  double injection_score = 0.0;
+  double contention_score = 0.0;
+  double wait_score = 0.0;
+  double contended_ratio = 0.0;  ///< torus contended/busy split weight
+  Verdict verdict = Verdict::kCompute;
+};
+
+/// Fraction of torus-link (classes x-..z+) busy time that was
+/// contended, from a WorldSummary; 0 when no torus link carried flows.
+[[nodiscard]] double contention_weight(const WorldSummary& s) noexcept;
+
+/// Classify one bucket total (a run, one rank, or one phase).
+/// `contended_ratio` splits the flow bucket between injection and
+/// contention.
+[[nodiscard]] Attribution attribute(const BucketArray& buckets,
+                                    double contended_ratio) noexcept;
+
+/// Whole-world attribution: bucket totals summed over ranks, contended
+/// ratio from the summary matching `p.world` (0 if none).
+[[nodiscard]] Attribution attribute_world(const Session& session,
+                                          const WorldProfileResult& p) noexcept;
+
+/// Versioned profile JSON ("xtsim_profile") for every world profiled in
+/// the session: per-rank and per-phase buckets, imbalance, matrix,
+/// critical path, and attribution verdicts.
+void write_profile(std::ostream& os, const Session& session);
+
+/// write_profile to a file; false (errno untouched) if it can't open.
+bool write_profile_file(const Session& session, const std::string& path);
+
+/// Human-readable attribution report (bucket shares, verdicts, top
+/// matrix pairs, critical-path summary) for terminal output.
+[[nodiscard]] std::string profile_table(const Session& session);
+
+}  // namespace xts::obsv

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/error.hpp"
+#include "obsv/attrib.hpp"
 
 namespace xts::obsv {
 
@@ -90,6 +91,13 @@ void write_chrome_trace(const Session& session, std::ostream& os) {
   os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   Emitter em{os};
 
+  // recv.wait carries the unblocking message's id (the profiler's
+  // dependency edge) but is *not* one of the gapless per-message
+  // segments — it overlaps the rx-side ones — so it stays a complete
+  // event on the rank lane rather than joining the async message track.
+  const std::uint32_t recv_wait_id =
+      const_cast<TraceSink&>(sink).intern("recv.wait");
+
   std::set<std::pair<std::uint32_t, std::int32_t>> lanes_seen;
   sink.for_each([&](const TraceEvent& e) {
     const std::string pid = std::to_string(e.world);
@@ -97,7 +105,7 @@ void write_chrome_trace(const Session& session, std::ostream& os) {
     const std::string name = json_escape(sink.name(e.name));
     const std::string cat(cat_name(e.cat));
     lanes_seen.emplace(e.world, e.lane);
-    if (e.cat == Cat::kMessage && e.id != 0) {
+    if (e.cat == Cat::kMessage && e.id != 0 && e.name != recv_wait_id) {
       // Per-message breakdown: async begin/end pairs grouped by the
       // message id, so concurrent messages get their own sub-tracks
       // instead of corrupting the rank lane.
@@ -279,8 +287,13 @@ Table class_table(const Session& session) {
 }
 
 namespace {
-// atexit state: where to write the trace and whether to print tables.
+// atexit state: where to write the trace/profile and whether to print
+// tables.
 std::string& cli_trace_path() {
+  static std::string p;
+  return p;
+}
+std::string& cli_profile_path() {
   static std::string p;
   return p;
 }
@@ -296,23 +309,35 @@ void flush_cli() {
               << s->sink().dropped() << " dropped) to "
               << cli_trace_path() << "\n";
   }
+  if (!cli_profile_path().empty()) {
+    if (write_profile_file(*s, cli_profile_path()))
+      std::cerr << "profile: wrote " << s->profiles().size()
+                << " world profile(s) to " << cli_profile_path() << "\n";
+    else
+      std::cerr << "profile: cannot write " << cli_profile_path() << "\n";
+  }
   if (cli_print_metrics) {
     metrics_table(s->registry()).print(std::cout);
     class_table(*s).print(std::cout);
     link_table(*s, 10).print(std::cout);
+    if (!s->profiles().empty()) std::cout << profile_table(*s);
   }
   cli_trace_path().clear();
+  cli_profile_path().clear();
   cli_print_metrics = false;
   Session::stop();
 }
 
 void arm_cli(const BenchOptions& opt) {
-  if (opt.trace_file.empty() && !opt.metrics) return;
+  if (opt.trace_file.empty() && opt.profile_file.empty() && !opt.metrics)
+    return;
   Options o;
   o.tracing = !opt.trace_file.empty();
+  o.profiling = !opt.profile_file.empty();
   o.metrics = true;  // metrics are cheap once observability is on
   Session::start(o);
   cli_trace_path() = opt.trace_file;
+  cli_profile_path() = opt.profile_file;
   cli_print_metrics = opt.metrics;
   static bool registered = false;
   if (!registered) {

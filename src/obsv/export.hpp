@@ -39,8 +39,10 @@ void write_chrome_trace_file(const Session& session,
 /// bytes, mean/max busy fraction, max contended fraction, peak load.
 [[nodiscard]] Table class_table(const Session& session);
 
-/// Start a session according to bench CLI flags (no-op if neither
-/// --trace nor --metrics was given) and register the exit-time flush.
+/// Start a session according to bench CLI flags (no-op if none of
+/// --trace / --profile / --metrics was given) and register the
+/// exit-time flush.  --profile=<file> enables profiling and writes the
+/// attribution JSON (obsv/attrib.hpp) on exit.
 void arm_cli(const BenchOptions& opt);
 
 /// Write/print everything arm_cli promised, then stop the session.

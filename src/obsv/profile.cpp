@@ -1,0 +1,460 @@
+#include "obsv/profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <utility>
+
+namespace xts::obsv {
+
+namespace {
+
+/// Walk cap: a backstop against malformed dependency cycles, far above
+/// any real path (one step per message hop on the chain).
+constexpr std::size_t kMaxPathSteps = std::size_t{1} << 20;
+
+/// Sweep event: a span boundary on one rank's timeline.  `phase` is
+/// the interned phase-name id + 1 for phase spans, 0 for bucket spans.
+struct SweepEvent {
+  SimTime t;
+  bool start;
+  Bucket bucket;
+  std::uint32_t phase;
+};
+
+/// Exclusive segment of one rank's folded timeline (critical-path
+/// slicing input).
+struct Segment {
+  SimTime t0;
+  SimTime t1;
+  Bucket bucket;
+};
+
+Imbalance spread(const std::vector<double>& v) {
+  Imbalance s;
+  if (v.empty()) return s;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    sum += v[i];
+    if (v[i] > s.max || s.argmax < 0) {
+      s.max = v[i];
+      s.argmax = static_cast<int>(i);
+    }
+  }
+  s.mean = sum / static_cast<double>(v.size());
+  double var = 0.0;
+  for (const double x : v) var += (x - s.mean) * (x - s.mean);
+  s.stddev = std::sqrt(var / static_cast<double>(v.size()));
+  return s;
+}
+
+std::vector<int> top_ranks(const std::vector<double>& score, int k) {
+  std::vector<int> order(score.size());
+  for (std::size_t i = 0; i < order.size(); ++i)
+    order[i] = static_cast<int>(i);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return score[static_cast<std::size_t>(a)] >
+           score[static_cast<std::size_t>(b)];
+  });
+  if (static_cast<int>(order.size()) > k) order.resize(static_cast<std::size_t>(k));
+  return order;
+}
+
+}  // namespace
+
+WorldProfile::WorldProfile(TraceSink& sink, std::uint32_t world)
+    : sink_(sink),
+      world_(world),
+      id_tx_wait_(sink.intern("msg.tx.wait")),
+      id_tx_(sink.intern("msg.tx")),
+      id_rendezvous_(sink.intern("msg.rendezvous")),
+      id_hops_(sink.intern("msg.hops")),
+      id_flow_(sink.intern("msg.flow")),
+      id_rx_wait_(sink.intern("msg.rx.wait")),
+      id_rx_(sink.intern("msg.rx")),
+      id_copy_(sink.intern("msg.copy")),
+      id_recv_wait_(sink.intern("recv.wait")),
+      id_run_(sink.intern("world.run")) {}
+
+void WorldProfile::message_span(std::int32_t lane, std::uint32_t name,
+                                SimTime t0, SimTime t1, std::uint64_t id,
+                                double a0) {
+  // recv.wait is the receiver blocked in matching — a rank-timeline
+  // bucket and a dependency edge, but not part of the message's gapless
+  // segment breakdown.
+  if (name == id_recv_wait_) {
+    spans_.push_back({t0, t1, lane, Bucket::kBlocked});
+    if (id != 0) deps_.push_back({t0, t1, lane, id});
+    return;
+  }
+
+  Bucket b;
+  bool sender_side = true;
+  if (name == id_tx_wait_) {
+    b = Bucket::kTxWait;
+  } else if (name == id_tx_) {
+    b = Bucket::kTx;
+  } else if (name == id_rendezvous_) {
+    b = Bucket::kRendezvous;
+  } else if (name == id_hops_ || name == id_flow_) {
+    b = Bucket::kFlow;
+  } else if (name == id_copy_) {
+    b = Bucket::kRx;  // intra-node memcpy, emitted on the source lane
+  } else if (name == id_rx_wait_) {
+    b = Bucket::kRxWait;
+    sender_side = false;
+  } else if (name == id_rx_) {
+    b = Bucket::kRx;
+    sender_side = false;
+  } else {
+    return;  // unknown message span name
+  }
+  spans_.push_back({t0, t1, lane, b});
+  if (id == 0) return;
+
+  MsgRec& m = inflight_[id];
+  m.seg[static_cast<std::size_t>(b)] += t1 - t0;
+  if (sender_side) {
+    m.src = lane;
+    if (name == id_tx_wait_) m.posted = t0;
+  } else {
+    m.dst = lane;
+  }
+  if (m.bytes == 0.0) m.bytes = a0;
+  if (name == id_rx_) {
+    // Delivery: fold into the matrix now (exact regardless of the
+    // record cap) and retire the record for critical-path lookup.
+    m.delivered = t1;
+    if (m.src >= 0 && m.dst >= 0) {
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(static_cast<std::uint32_t>(m.src))
+           << 32) |
+          static_cast<std::uint32_t>(m.dst);
+      MatrixEntry& cell = matrix_[key];
+      cell.src = m.src;
+      cell.dst = m.dst;
+      ++cell.messages;
+      cell.bytes += m.bytes;
+      cell.latency_sum += m.delivered - m.posted;
+    }
+    if (completed_.size() < kMaxMsgRecords)
+      completed_.emplace(id, m);
+    else
+      ++dropped_records_;
+    inflight_.erase(id);
+  }
+}
+
+void WorldProfile::on_span(std::int32_t lane, Cat cat, std::uint32_t name,
+                           SimTime t0, SimTime t1, std::uint64_t id,
+                           double a0) {
+  switch (cat) {
+    case Cat::kMessage:
+      message_span(lane, name, t0, t1, id, a0);
+      break;
+    case Cat::kCompute:
+      spans_.push_back({t0, t1, lane, Bucket::kCompute});
+      break;
+    case Cat::kCollective:
+      spans_.push_back({t0, t1, lane, Bucket::kCollective});
+      break;
+    case Cat::kPhase:
+      phase_spans_.push_back({t0, t1, lane, name});
+      break;
+    case Cat::kEngine:
+      if (name == id_run_) {
+        run_t0_ = saw_run_ ? std::min(run_t0_, t0) : t0;
+        run_t1_ = saw_run_ ? std::max(run_t1_, t1) : t1;
+        saw_run_ = true;
+      }
+      break;
+    case Cat::kNetwork:
+      break;
+  }
+}
+
+WorldProfileResult WorldProfile::finalize(int nranks,
+                                          const RouteFn& route_fn) {
+  WorldProfileResult r;
+  r.world = world_;
+  r.nranks = nranks;
+  r.dropped_records = dropped_records_;
+
+  // --- wall window: run spans when seen, else the span extent --------
+  SimTime lo = saw_run_ ? run_t0_ : 0.0;
+  SimTime hi = saw_run_ ? run_t1_ : 0.0;
+  bool seen = saw_run_;
+  auto widen = [&](SimTime t0, SimTime t1) {
+    lo = seen ? std::min(lo, t0) : t0;
+    hi = seen ? std::max(hi, t1) : t1;
+    seen = true;
+  };
+  for (const PSpan& s : spans_) widen(s.t0, s.t1);
+  for (const PhaseSpan& s : phase_spans_) widen(s.t0, s.t1);
+  if (!seen) return r;  // nothing recorded
+  r.t_start = lo;
+  r.t_end = hi;
+
+  // --- per-rank priority sweep --------------------------------------
+  // Bucket the rank's wall window exclusively: at each elementary
+  // interval the highest-priority active bucket wins, idle fills the
+  // rest.  Phase attribution follows the innermost active phase span.
+  std::vector<std::vector<SweepEvent>> events(
+      static_cast<std::size_t>(nranks));
+  for (const PSpan& s : spans_) {
+    if (s.lane < 0 || s.lane >= nranks || s.t1 <= s.t0) continue;
+    auto& ev = events[static_cast<std::size_t>(s.lane)];
+    ev.push_back({s.t0, true, s.bucket, 0});
+    ev.push_back({s.t1, false, s.bucket, 0});
+  }
+  for (const PhaseSpan& s : phase_spans_) {
+    if (s.lane < 0 || s.lane >= nranks || s.t1 <= s.t0) continue;
+    auto& ev = events[static_cast<std::size_t>(s.lane)];
+    ev.push_back({s.t0, true, Bucket::kIdle, s.name + 1});
+    ev.push_back({s.t1, false, Bucket::kIdle, s.name + 1});
+  }
+  spans_.clear();
+  spans_.shrink_to_fit();
+
+  r.ranks.resize(static_cast<std::size_t>(nranks));
+  // phase-name id -> per-rank bucket arrays (0 = outside any phase).
+  std::map<std::uint32_t, std::vector<BucketArray>> phase_acc;
+  // Folded exclusive segments per rank, for critical-path slicing.
+  std::vector<std::vector<Segment>> segments(
+      static_cast<std::size_t>(nranks));
+
+  // Rank holding the last recorded activity: the walk's anchor.
+  int last_rank = -1;
+  SimTime last_t = lo;
+
+  for (int rank = 0; rank < nranks; ++rank) {
+    auto& ev = events[static_cast<std::size_t>(rank)];
+    // Ends before starts on ties so zero-length gaps cannot leave a
+    // counter transiently negative-looking; then deterministic order.
+    std::stable_sort(ev.begin(), ev.end(),
+                     [](const SweepEvent& a, const SweepEvent& b) {
+                       if (a.t != b.t) return a.t < b.t;
+                       return !a.start && b.start;
+                     });
+    std::array<int, kBuckets> active{};
+    std::vector<std::uint32_t> phase_stack;
+    BucketArray& totals = r.ranks[static_cast<std::size_t>(rank)].buckets;
+    auto& segs = segments[static_cast<std::size_t>(rank)];
+    SimTime prev = lo;
+
+    auto account = [&](SimTime upto) {
+      if (upto <= prev) return;
+      Bucket win = Bucket::kIdle;
+      for (const Bucket b : kBucketPriority) {
+        if (active[static_cast<std::size_t>(b)] > 0) {
+          win = b;
+          break;
+        }
+      }
+      const double dt = upto - prev;
+      totals[static_cast<std::size_t>(win)] += dt;
+      const std::uint32_t ph = phase_stack.empty() ? 0 : phase_stack.back();
+      auto it = phase_acc.find(ph);
+      if (it == phase_acc.end())
+        it = phase_acc
+                 .emplace(ph, std::vector<BucketArray>(
+                                  static_cast<std::size_t>(nranks)))
+                 .first;
+      it->second[static_cast<std::size_t>(rank)]
+          [static_cast<std::size_t>(win)] += dt;
+      if (!segs.empty() && segs.back().bucket == win &&
+          segs.back().t1 == prev)
+        segs.back().t1 = upto;
+      else
+        segs.push_back({prev, upto, win});
+      prev = upto;
+    };
+
+    for (const SweepEvent& e : ev) {
+      account(e.t);
+      if (e.phase != 0) {
+        if (e.start) {
+          phase_stack.push_back(e.phase);
+        } else {
+          for (std::size_t i = phase_stack.size(); i > 0; --i) {
+            if (phase_stack[i - 1] == e.phase) {
+              phase_stack.erase(phase_stack.begin() +
+                                static_cast<std::ptrdiff_t>(i - 1));
+              break;
+            }
+          }
+        }
+      } else {
+        active[static_cast<std::size_t>(e.bucket)] += e.start ? 1 : -1;
+      }
+      if (e.t > last_t || last_rank < 0) {
+        last_t = e.t;
+        last_rank = rank;
+      }
+    }
+    account(hi);  // idle tail up to the common window end
+    ev.clear();
+    ev.shrink_to_fit();
+  }
+
+  // --- phase profiles + imbalance -----------------------------------
+  const int k = std::min(nranks, 8);
+  for (auto& [name_id, per_rank] : phase_acc) {
+    PhaseProfile p;
+    p.name = name_id == 0 ? std::string() : sink_.name(name_id - 1);
+    std::vector<double> rank_time(static_cast<std::size_t>(nranks), 0.0);
+    for (int rank = 0; rank < nranks; ++rank) {
+      const BucketArray& a = per_rank[static_cast<std::size_t>(rank)];
+      for (int b = 0; b < kBuckets; ++b) {
+        p.total[static_cast<std::size_t>(b)] +=
+            a[static_cast<std::size_t>(b)];
+        rank_time[static_cast<std::size_t>(rank)] +=
+            a[static_cast<std::size_t>(b)];
+      }
+    }
+    p.time = spread(rank_time);
+    p.stragglers = top_ranks(rank_time, k);
+    r.phases.push_back(std::move(p));
+  }
+
+  std::vector<double> series(static_cast<std::size_t>(nranks));
+  for (int b = 0; b < kBuckets; ++b) {
+    for (int rank = 0; rank < nranks; ++rank)
+      series[static_cast<std::size_t>(rank)] =
+          r.ranks[static_cast<std::size_t>(rank)]
+              .buckets[static_cast<std::size_t>(b)];
+    r.bucket_imbalance[static_cast<std::size_t>(b)] = spread(series);
+  }
+  std::vector<double> wait_score(static_cast<std::size_t>(nranks));
+  for (int rank = 0; rank < nranks; ++rank) {
+    const BucketArray& a = r.ranks[static_cast<std::size_t>(rank)].buckets;
+    wait_score[static_cast<std::size_t>(rank)] =
+        a[static_cast<std::size_t>(Bucket::kBlocked)] +
+        a[static_cast<std::size_t>(Bucket::kCollective)] +
+        a[static_cast<std::size_t>(Bucket::kIdle)];
+  }
+  r.stragglers = top_ranks(wait_score, k);
+
+  // --- communication matrix -----------------------------------------
+  r.matrix.reserve(matrix_.size());
+  for (const auto& [key, cell] : matrix_) {
+    (void)key;
+    r.matrix.push_back(cell);
+    r.messages += cell.messages;
+    r.bytes += cell.bytes;
+  }
+  std::sort(r.matrix.begin(), r.matrix.end(),
+            [](const MatrixEntry& a, const MatrixEntry& b) {
+              return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+            });
+
+  // --- critical path -------------------------------------------------
+  // Sort dependencies per rank by completion time for the walk.
+  std::vector<std::vector<Dep>> deps(static_cast<std::size_t>(nranks));
+  for (const Dep& d : deps_) {
+    if (d.lane >= 0 && d.lane < nranks)
+      deps[static_cast<std::size_t>(d.lane)].push_back(d);
+  }
+  for (auto& v : deps)
+    std::sort(v.begin(), v.end(),
+              [](const Dep& a, const Dep& b) { return a.t1 < b.t1; });
+
+  CritPath& cp = r.critical_path;
+  cp.t_end = last_rank >= 0 ? last_t : lo;
+  std::map<std::int32_t, CritLink> link_hits;
+  auto local_step = [&](int rank, SimTime a, SimTime b) {
+    if (b <= a) return;
+    CritStep st;
+    st.kind = CritStep::Kind::kLocal;
+    st.rank = rank;
+    st.t0 = a;
+    st.t1 = b;
+    for (const Segment& s : segments[static_cast<std::size_t>(rank)]) {
+      if (s.t1 <= a) continue;
+      if (s.t0 >= b) break;
+      st.buckets[static_cast<std::size_t>(s.bucket)] +=
+          std::min(b, s.t1) - std::max(a, s.t0);
+    }
+    cp.steps.push_back(st);
+  };
+
+  if (last_rank >= 0) {
+    int rank = last_rank;
+    SimTime t = last_t;
+    while (t > lo) {
+      if (cp.steps.size() >= kMaxPathSteps) {
+        cp.truncated = true;
+        break;
+      }
+      const auto& rd = deps[static_cast<std::size_t>(rank)];
+      // Latest blocking recv on this rank completing at or before t.
+      const auto it = std::upper_bound(
+          rd.begin(), rd.end(), t,
+          [](SimTime v, const Dep& d) { return v < d.t1; });
+      if (it == rd.begin()) {
+        local_step(rank, lo, t);
+        t = lo;
+        break;
+      }
+      const Dep& d = *(it - 1);
+      local_step(rank, d.t1, t);
+      const auto mit = completed_.find(d.mid);
+      if (mit == completed_.end() || mit->second.posted >= d.t1 ||
+          mit->second.src < 0) {
+        // No usable message record (capped or incomplete): the blocked
+        // interval itself stays on this rank's timeline.
+        local_step(rank, d.t0, d.t1);
+        t = d.t0;
+        continue;
+      }
+      const MsgRec& m = mit->second;
+      CritStep st;
+      st.kind = CritStep::Kind::kMessage;
+      st.rank = m.src;
+      st.other = m.dst;
+      st.t0 = m.posted;
+      st.t1 = d.t1;
+      st.bytes = m.bytes;
+      st.buckets = m.seg;
+      cp.steps.push_back(st);
+      ++cp.messages;
+      if (route_fn) {
+        route_fn(m.src, m.dst, [&](std::int32_t link, int cls) {
+          CritLink& hit = link_hits[link];
+          hit.link = link;
+          hit.cls = cls;
+          ++hit.count;
+        });
+      }
+      rank = m.src;
+      t = m.posted;
+    }
+    cp.t_start = t;
+    std::reverse(cp.steps.begin(), cp.steps.end());
+    for (const CritStep& st : cp.steps) {
+      for (int b = 0; b < kBuckets; ++b)
+        cp.buckets[static_cast<std::size_t>(b)] +=
+            st.buckets[static_cast<std::size_t>(b)];
+      if (cp.ranks.empty() || cp.ranks.back() != st.rank)
+        cp.ranks.push_back(st.rank);
+      // A message step visits its source then its destination.
+      if (st.kind == CritStep::Kind::kMessage &&
+          cp.ranks.back() != st.other)
+        cp.ranks.push_back(st.other);
+    }
+    cp.length = cp.t_end - cp.t_start;
+    cp.links.reserve(link_hits.size());
+    for (const auto& [link, hit] : link_hits) {
+      (void)link;
+      cp.links.push_back(hit);
+    }
+    std::stable_sort(cp.links.begin(), cp.links.end(),
+                     [](const CritLink& a, const CritLink& b) {
+                       return a.count > b.count;
+                     });
+  }
+
+  return r;
+}
+
+}  // namespace xts::obsv

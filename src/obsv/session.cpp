@@ -14,6 +14,10 @@ std::unique_ptr<Session>& slot() {
 bool WorldObs::tracing() const noexcept { return session_->tracing(); }
 bool WorldObs::metrics() const noexcept { return session_->metrics(); }
 
+bool WorldObs::spans_enabled() const noexcept {
+  return session_->tracing() || prof_ != nullptr;
+}
+
 std::uint32_t WorldObs::intern(std::string_view name) {
   return session_->sink().intern(name);
 }
@@ -21,6 +25,8 @@ std::uint32_t WorldObs::intern(std::string_view name) {
 void WorldObs::span(std::int32_t lane, Cat cat, std::uint32_t name,
                     SimTime t0, SimTime t1, std::uint64_t id, double a0,
                     double a1) {
+  if (prof_) prof_->on_span(lane, cat, name, t0, t1, id, a0);
+  if (!session_->tracing()) return;
   TraceEvent e;
   e.t0 = t0;
   e.t1 = t1;
@@ -35,6 +41,12 @@ void WorldObs::span(std::int32_t lane, Cat cat, std::uint32_t name,
 }
 
 Registry& WorldObs::registry() noexcept { return session_->registry(); }
+
+void WorldObs::finalize_profile(int nranks, const RouteFn& route_fn) {
+  if (!prof_) return;
+  session_->add_world_profile(prof_->finalize(nranks, route_fn));
+  prof_.reset();
+}
 
 Session::Session(Options opt) : opt_(opt), sink_(opt.trace_capacity) {}
 
@@ -51,11 +63,18 @@ WorldObs* Session::register_world() {
   const auto ordinal = static_cast<std::uint32_t>(worlds_.size());
   worlds_.push_back(
       std::unique_ptr<WorldObs>(new WorldObs(this, ordinal)));
-  return worlds_.back().get();
+  WorldObs* obs = worlds_.back().get();
+  if (opt_.profiling)
+    obs->prof_ = std::make_unique<WorldProfile>(sink_, ordinal);
+  return obs;
 }
 
 void Session::add_world_summary(WorldSummary s) {
   summaries_.push_back(std::move(s));
+}
+
+void Session::add_world_profile(WorldProfileResult p) {
+  profiles_.push_back(std::move(p));
 }
 
 }  // namespace xts::obsv

@@ -25,13 +25,15 @@
 
 #include "core/units.hpp"
 #include "obsv/metrics.hpp"
+#include "obsv/profile.hpp"
 #include "obsv/trace.hpp"
 
 namespace xts::obsv {
 
 struct Options {
-  bool tracing = false;  ///< collect spans into the TraceSink
-  bool metrics = false;  ///< collect registry metrics
+  bool tracing = false;    ///< collect spans into the TraceSink
+  bool metrics = false;    ///< collect registry metrics
+  bool profiling = false;  ///< accumulate per-world profiles (obsv/profile.hpp)
   std::size_t trace_capacity = TraceSink::kDefaultCapacity;
 };
 
@@ -79,6 +81,10 @@ class WorldObs {
  public:
   [[nodiscard]] bool tracing() const noexcept;
   [[nodiscard]] bool metrics() const noexcept;
+  [[nodiscard]] bool profiling() const noexcept { return prof_ != nullptr; }
+  /// True when span emission sites must fire (tracing or profiling) —
+  /// the gate used by World/Comm instrumentation.
+  [[nodiscard]] bool spans_enabled() const noexcept;
   [[nodiscard]] std::uint32_t ordinal() const noexcept { return world_; }
   [[nodiscard]] Session& session() noexcept { return *session_; }
 
@@ -91,6 +97,10 @@ class WorldObs {
             double a1 = 0.0);
   [[nodiscard]] Registry& registry() noexcept;
 
+  /// Fold the accumulated profile into the session's results (called
+  /// by World::collect_summary).  No-op when profiling is off.
+  void finalize_profile(int nranks, const RouteFn& route_fn);
+
  private:
   friend class Session;
   WorldObs(Session* session, std::uint32_t world) noexcept
@@ -99,6 +109,7 @@ class WorldObs {
   Session* session_;
   std::uint32_t world_;
   std::uint64_t msg_ids_ = 0;
+  std::unique_ptr<WorldProfile> prof_;  ///< null unless Options::profiling
 };
 
 class Session {
@@ -113,6 +124,7 @@ class Session {
   [[nodiscard]] const Options& options() const noexcept { return opt_; }
   [[nodiscard]] bool tracing() const noexcept { return opt_.tracing; }
   [[nodiscard]] bool metrics() const noexcept { return opt_.metrics; }
+  [[nodiscard]] bool profiling() const noexcept { return opt_.profiling; }
   [[nodiscard]] TraceSink& sink() noexcept { return sink_; }
   [[nodiscard]] const TraceSink& sink() const noexcept { return sink_; }
   [[nodiscard]] Registry& registry() noexcept { return registry_; }
@@ -126,6 +138,11 @@ class Session {
   [[nodiscard]] const std::vector<WorldSummary>& summaries() const noexcept {
     return summaries_;
   }
+  void add_world_profile(WorldProfileResult p);
+  [[nodiscard]] const std::vector<WorldProfileResult>& profiles()
+      const noexcept {
+    return profiles_;
+  }
 
   explicit Session(Options opt);
 
@@ -135,6 +152,7 @@ class Session {
   Registry registry_;
   std::vector<std::unique_ptr<WorldObs>> worlds_;
   std::vector<WorldSummary> summaries_;
+  std::vector<WorldProfileResult> profiles_;
 };
 
 }  // namespace xts::obsv

@@ -62,7 +62,7 @@ void SpanScope::close() {
   if (world_ == nullptr) return;
   obsv::WorldObs* obs = world_->obs();
   const SimTime t1 = world_->engine().now();
-  if (obs->tracing()) obs->span(lane_, cat_, name_, t0_, t1);
+  if (obs->spans_enabled()) obs->span(lane_, cat_, name_, t0_, t1);
   if (obs->metrics()) {
     const std::string& name = obs->session().sink().name(name_);
     const char* family = cat_ == obsv::Cat::kCollective ? "coll.time"
@@ -120,9 +120,9 @@ Tag Comm::next_collective_tag(std::uint64_t round) const {
 }
 
 Task<void> Comm::compute(machine::Work w) {
-  // Fast path: no extra coroutine frame unless a session is tracing.
+  // Fast path: no extra coroutine frame unless a session is observing.
   obsv::WorldObs* obs = world_.obs();
-  if (obs == nullptr || !(obs->tracing() || obs->metrics()))
+  if (obs == nullptr || !(obs->spans_enabled() || obs->metrics()))
     return world_.node(world_rank_).execute(w);
   return traced_compute(w);
 }

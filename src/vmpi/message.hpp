@@ -24,6 +24,7 @@ struct Message {
   double bytes = 0.0;
   std::vector<double> data;   ///< optional payload
   std::uint64_t gid = 0;      ///< communicator group id (matching context)
+  std::uint64_t mid = 0;      ///< obsv correlation id (0 = not observed)
 };
 
 namespace tags {

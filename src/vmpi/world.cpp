@@ -35,7 +35,7 @@ World::World(WorldConfig cfg) : cfg_(std::move(cfg)) {
       std::make_unique<net::FlowNetwork>(engine_, net::Torus3D(dims), ncfg);
 
   if (obs_ != nullptr) {
-    if (obs_->tracing()) {
+    if (obs_->spans_enabled()) {
       sid_.tx_wait = obs_->intern("msg.tx.wait");
       sid_.tx = obs_->intern("msg.tx");
       sid_.rendezvous = obs_->intern("msg.rendezvous");
@@ -110,6 +110,23 @@ void World::collect_summary() {
   for (const auto& cs : network_->class_samples())
     s.class_series.push_back({cs.t, cs.cls, cs.load});
   obs_->session().add_world_summary(std::move(s));
+
+  // Fold the accumulated profile (no-op when profiling is off).  The
+  // route resolver charges each critical-path message to the links of
+  // its minimal route, via the network's route cache; intra-node pairs
+  // never touch the network.
+  net::Route route;
+  obs_->finalize_profile(
+      cfg_.nranks,
+      [this, &route](int src, int dst, const obsv::LinkVisitor& visit) {
+        const net::NodeId a = node_of(src);
+        const net::NodeId b = node_of(dst);
+        if (a == b) return;
+        route.clear();
+        network_->route_for(a, b, route);
+        for (const net::LinkId l : route)
+          visit(l, network_->link_class(l));
+      });
 }
 
 void World::build_placement() {
@@ -180,7 +197,7 @@ SimTime World::run(const RankProgram& program) {
     }(*this, program, r));
   }
   engine_.run();
-  if (obs_ != nullptr && obs_->tracing())
+  if (obs_ != nullptr && obs_->spans_enabled())
     obs_->span(obsv::kWorldLane, obsv::Cat::kEngine, sid_.run, t0,
                engine_.now(), 0, static_cast<double>(cfg_.nranks),
                static_cast<double>(engine_.events_processed()));
@@ -281,12 +298,14 @@ Task<Message> World::match_recv(int dst, std::uint64_t gid, int src_filter,
   }
   auto future = probe.promise.future();
   inbox.posted.push_back(std::move(probe));
-  if (obs_ != nullptr && obs_->tracing()) {
-    // Blocking receive: record the match wait on the receiver's lane.
+  if (obs_ != nullptr && obs_->spans_enabled()) {
+    // Blocking receive: record the match wait on the receiver's lane,
+    // correlated with the message that ended it (the profiler's
+    // critical-path dependency edge).
     const SimTime t0 = engine_.now();
     Message m = co_await std::move(future);
     obs_->span(dst, obsv::Cat::kMessage, sid_.recv_wait, t0, engine_.now(),
-               0, m.bytes);
+               m.mid, m.bytes);
     co_return m;
   }
   co_return co_await std::move(future);
@@ -307,7 +326,7 @@ Task<SimFutureV> World::post_send(int src, int dst, int comm_src,
   // Trace state: mid correlates this message's spans; the spans are
   // back-to-back segments covering post entry -> delivery, so their
   // durations sum exactly to the simulated end-to-end time.
-  const bool tracing = obs_ != nullptr && obs_->tracing();
+  const bool tracing = obs_ != nullptr && obs_->spans_enabled();
   const SimTime posted_at = engine_.now();
   std::uint64_t mid = 0;
   if (tracing) mid = obs_->next_msg_id();
@@ -333,7 +352,8 @@ Task<SimFutureV> World::post_send(int src, int dst, int comm_src,
   SimPromiseV delivered(engine_);
   auto fut = delivered.future();
   spawn(engine_,
-        transport(src, dst, Message{comm_src, tag, bytes, std::move(data), gid},
+        transport(src, dst,
+                  Message{comm_src, tag, bytes, std::move(data), gid, mid},
                   std::move(delivered), mid, posted_at));
   co_return fut;
 }

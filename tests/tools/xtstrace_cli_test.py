@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""CLI contract test for tools/xtstrace.
+
+Usage: xtstrace_cli_test.py <python> <xtstrace> <bench>
+
+Runs <bench> --quick once with --trace and once with --profile, then
+checks that every subcommand works on the right file kind and that the
+tool exits nonzero (with a diagnostic) on unknown subcommands, missing
+files, malformed JSON, and files of the wrong kind.
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+
+failures = []
+
+
+def run(args, **kw):
+    return subprocess.run(args, capture_output=True, text=True, **kw)
+
+
+def expect(name, proc, rc_ok, needle=None, stream="stdout"):
+    ok = (proc.returncode == 0) if rc_ok else (proc.returncode != 0)
+    text = proc.stdout if stream == "stdout" else proc.stderr
+    if ok and needle is not None and needle not in text:
+        ok = False
+        why = "missing %r in %s" % (needle, stream)
+    else:
+        why = "exit code %d" % proc.returncode
+    status = "ok" if ok else "FAIL"
+    print("%-38s %s (%s)" % (name, status, why))
+    if not ok:
+        failures.append(name)
+        sys.stderr.write(proc.stdout + proc.stderr)
+
+
+def main():
+    if len(sys.argv) != 4:
+        sys.exit("usage: xtstrace_cli_test.py <python> <xtstrace> <bench>")
+    python, xtstrace, bench = sys.argv[1:4]
+    xts = [python, xtstrace]
+
+    with tempfile.TemporaryDirectory(prefix="xtstrace_cli_") as tmp:
+        trace = os.path.join(tmp, "trace.json")
+        profile = os.path.join(tmp, "profile.json")
+        bad = os.path.join(tmp, "bad.json")
+        with open(bad, "w", encoding="utf-8") as f:
+            f.write("{not json")
+        for flag, path in (("--trace=", trace), ("--profile=", profile)):
+            proc = run([bench, "--quick", flag + path])
+            if proc.returncode != 0:
+                sys.exit("bench failed with %s: %s"
+                         % (flag, proc.stderr[-500:]))
+
+        # Right subcommand on the right file kind.
+        expect("summary on trace", run(xts + ["summary", trace]), True,
+               "worlds:")
+        expect("top-links on trace", run(xts + ["top-links", trace]),
+               True, "cls")
+        expect("profile on profile", run(xts + ["profile", profile]), True,
+               "scores:")
+        expect("critpath on profile", run(xts + ["critpath", profile]),
+               True, "critical path")
+        expect("matrix on profile", run(xts + ["matrix", profile]), True,
+               "src")
+
+        # Error contract: nonzero exit plus a diagnostic.
+        expect("unknown subcommand", run(xts + ["frobnicate", trace]),
+               False)
+        expect("no arguments", run(xts), False)
+        expect("missing file",
+               run(xts + ["summary", os.path.join(tmp, "nope.json")]),
+               False)
+        expect("malformed json", run(xts + ["profile", bad]), False)
+        expect("profile cmd on trace file", run(xts + ["profile", trace]),
+               False)
+        expect("trace cmd on profile file", run(xts + ["summary", profile]),
+               False)
+
+    if failures:
+        sys.exit("xtstrace_cli_test: %d check(s) failed: %s"
+                 % (len(failures), ", ".join(failures)))
+    print("xtstrace_cli_test: OK")
+
+
+if __name__ == "__main__":
+    main()
