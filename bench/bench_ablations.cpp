@@ -8,8 +8,13 @@
 ///  3. Quad-core socket (the stated upgrade path) on the quadrants.
 ///  4. Allreduce algorithm choice on the POP barotropic phase — the
 ///     paper notes Cray's VN-mode MPI_Allreduce optimization.
+///
+/// Each section's independent points run through runner::sweep, so the
+/// whole ablation suite parallelizes across host cores at --jobs=N.
 
+#include <functional>
 #include <iostream>
+#include <utility>
 #include <vector>
 
 #include "apps/pop.hpp"
@@ -18,6 +23,7 @@
 #include "core/units.hpp"
 #include "hpcc/hpcc.hpp"
 #include "machine/presets.hpp"
+#include "runner/sweep.hpp"
 
 int main(int argc, char** argv) {
   using namespace xts;
@@ -29,50 +35,81 @@ int main(int argc, char** argv) {
 
   // --- 1. VN forwarding delay sweep ---
   {
+    const std::vector<double> delays = {0.0, 1.0, 2.5, 5.0, 10.0};
+    struct R {
+      hpcc::NetResult lat;
+      double gups = 0.0;
+    };
+    std::vector<std::function<R()>> points;
+    for (const double fd : delays)
+      points.emplace_back([fd] {
+        auto m = machine::xt4();
+        m.nic.vn_forward_delay = fd * us;
+        return R{hpcc::net_latency(m, ExecMode::kVN, 32),
+                 hpcc::mpira_gups(m, ExecMode::kVN, 32)};
+      });
+    const auto results = runner::sweep(std::move(points), opt.jobs);
+
     Table t("Ablation: VN NIC forwarding delay -> VN-mode MPI latency",
             {"forward_delay_us", "PPmax_us", "RandRing_us", "MPI-RA GUPS"});
-    for (const double fd : {0.0, 1.0, 2.5, 5.0, 10.0}) {
-      auto m = machine::xt4();
-      m.nic.vn_forward_delay = fd * us;
-      const auto lat = hpcc::net_latency(m, ExecMode::kVN, 32);
-      const double gups = hpcc::mpira_gups(m, ExecMode::kVN, 32);
-      t.add_row({Table::num(fd, 1), Table::num(lat.pp_max / us, 2),
-                 Table::num(lat.random_ring / us, 2),
-                 Table::num(gups, 4)});
-    }
+    for (std::size_t i = 0; i < delays.size(); ++i)
+      t.add_row({Table::num(delays[i], 1),
+                 Table::num(results[i].lat.pp_max / us, 2),
+                 Table::num(results[i].lat.random_ring / us, 2),
+                 Table::num(results[i].gups, 4)});
     emit(t, opt);
   }
 
   // --- 2. Memory generation sweep ---
   {
-    Table t("Ablation: memory generation -> locality quadrants (per core)",
-            {"memory", "STREAM SP GB/s", "STREAM EP GB/s", "RA SP GUPS",
-             "FFT SP GFLOPS"});
     auto ddr400 = machine::xt4();
     ddr400.name = "XT4-DDR-400";
     ddr400.memory = machine::xt3_dual_core().memory;
-    for (const auto& m :
-         {ddr400, machine::xt4(), machine::xt4_ddr2_800()}) {
-      const auto st = hpcc::stream_triad_gbs(m);
-      const auto ra = hpcc::random_access_gups(m);
-      const auto ff = hpcc::fft_gflops(m);
-      t.add_row({m.name, Table::num(st.sp, 2), Table::num(st.ep, 2),
-                 Table::num(ra.sp, 4), Table::num(ff.sp, 3)});
-    }
+    const std::vector<machine::MachineConfig> machines = {
+        ddr400, machine::xt4(), machine::xt4_ddr2_800()};
+    struct R {
+      hpcc::SpEp st, ra, ff;
+    };
+    std::vector<std::function<R()>> points;
+    for (const auto& m : machines)
+      points.emplace_back([&m] {
+        return R{hpcc::stream_triad_gbs(m), hpcc::random_access_gups(m),
+                 hpcc::fft_gflops(m)};
+      });
+    const auto results = runner::sweep(std::move(points), opt.jobs);
+
+    Table t("Ablation: memory generation -> locality quadrants (per core)",
+            {"memory", "STREAM SP GB/s", "STREAM EP GB/s", "RA SP GUPS",
+             "FFT SP GFLOPS"});
+    for (std::size_t i = 0; i < machines.size(); ++i)
+      t.add_row({machines[i].name, Table::num(results[i].st.sp, 2),
+                 Table::num(results[i].st.ep, 2),
+                 Table::num(results[i].ra.sp, 4),
+                 Table::num(results[i].ff.sp, 3)});
     emit(t, opt);
   }
 
   // --- 3. Quad-core upgrade path ---
   {
+    const std::vector<machine::MachineConfig> machines = {
+        machine::xt4(), machine::xt4_quad_core()};
+    struct R {
+      hpcc::SpEp dg, st, ra;
+    };
+    std::vector<std::function<R()>> points;
+    for (const auto& m : machines)
+      points.emplace_back([&m] {
+        return R{hpcc::dgemm_gflops(m), hpcc::stream_triad_gbs(m),
+                 hpcc::random_access_gups(m)};
+      });
+    const auto results = runner::sweep(std::move(points), opt.jobs);
+
     Table t("Ablation: dual vs quad core socket (per-core EP values)",
             {"socket", "DGEMM GFLOPS", "STREAM GB/s", "RA GUPS"});
-    for (const auto& m : {machine::xt4(), machine::xt4_quad_core()}) {
-      const auto dg = hpcc::dgemm_gflops(m);
-      const auto st = hpcc::stream_triad_gbs(m);
-      const auto ra = hpcc::random_access_gups(m);
-      t.add_row({m.name, Table::num(dg.ep, 2), Table::num(st.ep, 2),
-                 Table::num(ra.ep, 4)});
-    }
+    for (std::size_t i = 0; i < machines.size(); ++i)
+      t.add_row({machines[i].name, Table::num(results[i].dg.ep, 2),
+                 Table::num(results[i].st.ep, 2),
+                 Table::num(results[i].ra.ep, 4)});
     emit(t, opt);
   }
 
@@ -84,47 +121,63 @@ int main(int argc, char** argv) {
     cfg.nx = 900;
     cfg.ny = 600;
     const int n = opt.quick ? 64 : 256;
+    const std::vector<std::pair<const char*, vmpi::AllreduceAlgo>> algos = {
+        {"recursive-doubling", vmpi::AllreduceAlgo::kRecursiveDoubling},
+        {"reduce+bcast", vmpi::AllreduceAlgo::kReduceBcast},
+    };
+    std::vector<std::function<double()>> points;
+    for (const auto& [name, algo] : algos)
+      points.emplace_back([cfg, algo, n]() mutable {
+        cfg.allreduce = algo;
+        return apps::run_pop(machine::xt4(), ExecMode::kVN, n, cfg)
+            .barotropic_seconds_per_day;
+      });
+    const auto results = runner::sweep(std::move(points), opt.jobs);
+
     Table t("Ablation: allreduce algorithm -> POP barotropic (s/day)",
             {"algorithm", "VN barotropic"});
-    cfg.allreduce = vmpi::AllreduceAlgo::kRecursiveDoubling;
-    t.add_row({"recursive-doubling",
-               Table::num(apps::run_pop(machine::xt4(), ExecMode::kVN, n,
-                                        cfg)
-                              .barotropic_seconds_per_day,
-                          2)});
-    cfg.allreduce = vmpi::AllreduceAlgo::kReduceBcast;
-    t.add_row({"reduce+bcast",
-               Table::num(apps::run_pop(machine::xt4(), ExecMode::kVN, n,
-                                        cfg)
-                              .barotropic_seconds_per_day,
-                          2)});
+    for (std::size_t i = 0; i < algos.size(); ++i)
+      t.add_row({algos[i].first, Table::num(results[i], 2)});
     emit(t, opt);
   }
   // --- 5. OS jitter: the case for Catamount ---
   {
     using namespace xts::vmpi;
+    const std::vector<int> ns = {16, 64, opt.quick ? 128 : 256};
+    const auto timed = [](const machine::MachineConfig& m, int n) {
+      WorldConfig wc;
+      wc.machine = m;
+      wc.nranks = n;
+      World w(std::move(wc));
+      return w.run([](Comm& c) -> Task<void> {
+        // 32 BSP supersteps: compute then allreduce.
+        machine::Work step;
+        step.flops = 5.2e6;  // ~1 ms of compute
+        for (int i = 0; i < 32; ++i) {
+          co_await c.compute(step);
+          std::vector<double> v(1, 1.0);
+          (void)co_await c.allreduce_sum(std::move(v));
+        }
+      });
+    };
+    std::vector<std::function<double()>> points;
+    std::vector<double> weights;
+    for (const int n : ns) {
+      points.emplace_back([&timed, n] { return timed(machine::xt4(), n); });
+      points.emplace_back([&timed, n] {
+        return timed(machine::with_os_noise(machine::xt4()), n);
+      });
+      weights.push_back(static_cast<double>(n));
+      weights.push_back(static_cast<double>(n));
+    }
+    const auto results = runner::sweep(std::move(points), opt.jobs, weights);
+
     Table t("Ablation: OS jitter -> bulk-synchronous slowdown vs ranks",
             {"ranks", "Catamount (s)", "full-OS jitter (s)", "slowdown"});
-    for (const int n : {16, 64, opt.quick ? 128 : 256}) {
-      auto timed = [&](const machine::MachineConfig& m) {
-        WorldConfig wc;
-        wc.machine = m;
-        wc.nranks = n;
-        World w(std::move(wc));
-        return w.run([](Comm& c) -> Task<void> {
-          // 32 BSP supersteps: compute then allreduce.
-          machine::Work step;
-          step.flops = 5.2e6;  // ~1 ms of compute
-          for (int i = 0; i < 32; ++i) {
-            co_await c.compute(step);
-            std::vector<double> v(1, 1.0);
-            (void)co_await c.allreduce_sum(std::move(v));
-          }
-        });
-      };
-      const double clean = timed(machine::xt4());
-      const double noisy = timed(machine::with_os_noise(machine::xt4()));
-      t.add_row({Table::num(static_cast<long long>(n)),
+    for (std::size_t i = 0; i < ns.size(); ++i) {
+      const double clean = results[2 * i];
+      const double noisy = results[2 * i + 1];
+      t.add_row({Table::num(static_cast<long long>(ns[i])),
                  Table::num(clean, 4), Table::num(noisy, 4),
                  Table::num(noisy / clean, 2)});
     }
@@ -133,28 +186,38 @@ int main(int argc, char** argv) {
   // --- 6. Network fairness model: min-share vs exact max-min ---
   {
     using namespace xts::vmpi;
+    const std::vector<int> ns = {32, 64};
+    const auto timed = [](net::Fairness f, int n) {
+      WorldConfig wc;
+      wc.machine = machine::xt4();
+      wc.mode = ExecMode::kSN;
+      wc.nranks = n;
+      wc.fairness = f;
+      World w(std::move(wc));
+      return w.run([](Comm& c) -> Task<void> {
+        // A bandwidth-heavy random-ish alltoallv: where the two
+        // policies can differ.
+        std::vector<double> bytes(static_cast<std::size_t>(c.size()),
+                                  512.0 * 1024.0);
+        co_await c.alltoallv_bytes(std::move(bytes));
+      });
+    };
+    std::vector<std::function<double()>> points;
+    std::vector<double> weights;
+    for (const int n : ns) {
+      for (const auto f : {net::Fairness::kMinShare, net::Fairness::kMaxMin}) {
+        points.emplace_back([&timed, f, n] { return timed(f, n); });
+        weights.push_back(static_cast<double>(n));
+      }
+    }
+    const auto results = runner::sweep(std::move(points), opt.jobs, weights);
+
     Table t("Ablation: flow-rate policy -> contended-exchange time",
             {"ranks", "min-share (ms)", "max-min (ms)"});
-    for (const int n : {32, 64}) {
-      auto timed = [&](net::Fairness f) {
-        WorldConfig wc;
-        wc.machine = machine::xt4();
-        wc.mode = ExecMode::kSN;
-        wc.nranks = n;
-        wc.fairness = f;
-        World w(std::move(wc));
-        return w.run([](Comm& c) -> Task<void> {
-          // A bandwidth-heavy random-ish alltoallv: where the two
-          // policies can differ.
-          std::vector<double> bytes(static_cast<std::size_t>(c.size()),
-                                    512.0 * 1024.0);
-          co_await c.alltoallv_bytes(std::move(bytes));
-        });
-      };
-      t.add_row({Table::num(static_cast<long long>(n)),
-                 Table::num(timed(net::Fairness::kMinShare) * 1e3, 2),
-                 Table::num(timed(net::Fairness::kMaxMin) * 1e3, 2)});
-    }
+    for (std::size_t i = 0; i < ns.size(); ++i)
+      t.add_row({Table::num(static_cast<long long>(ns[i])),
+                 Table::num(results[2 * i] * 1e3, 2),
+                 Table::num(results[2 * i + 1] * 1e3, 2)});
     emit(t, opt);
   }
   std::cout << "These ablations isolate the design parameters behind the\n"

@@ -2,13 +2,16 @@
 /// Figure 3: HPCC network bandwidth (ping-pong + rings) on XT3,
 /// XT4-SN and XT4-VN.
 
+#include <functional>
 #include <iostream>
+#include <vector>
 
 #include "core/report.hpp"
 #include "obsv/export.hpp"
 #include "core/units.hpp"
 #include "hpcc/hpcc.hpp"
 #include "machine/presets.hpp"
+#include "runner/sweep.hpp"
 
 int main(int argc, char** argv) {
   using namespace xts;
@@ -24,17 +27,26 @@ int main(int argc, char** argv) {
     ExecMode mode;
     int ranks;
   };
-  const Row rows[] = {
+  const std::vector<Row> rows = {
       {"XT3", machine::xt3_single_core(), ExecMode::kSN, n},
       {"XT4-SN", machine::xt4(), ExecMode::kSN, n},
       {"XT4-VN", machine::xt4(), ExecMode::kVN, 2 * n},
   };
 
+  std::vector<std::function<hpcc::NetResult()>> points;
+  std::vector<double> weights;
+  for (const Row& r : rows) {
+    points.emplace_back(
+        [&r] { return hpcc::net_bandwidth(r.m, r.mode, r.ranks); });
+    weights.push_back(static_cast<double>(r.ranks));
+  }
+  const auto results = runner::sweep(std::move(points), opt.jobs, weights);
+
   Table t("Figure 3: Network bandwidth (GB/s)",
           {"system", "PPmin", "PPavg", "PPmax", "Nat.Ring", "Rand.Ring"});
-  for (const auto& r : rows) {
-    const auto res = hpcc::net_bandwidth(r.m, r.mode, r.ranks);
-    t.add_row({r.name, Table::num(res.pp_min / units::GB_per_s, 2),
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& res = results[i];
+    t.add_row({rows[i].name, Table::num(res.pp_min / units::GB_per_s, 2),
                Table::num(res.pp_avg / units::GB_per_s, 2),
                Table::num(res.pp_max / units::GB_per_s, 2),
                Table::num(res.natural_ring / units::GB_per_s, 2),

@@ -9,11 +9,13 @@
 #include <functional>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "core/report.hpp"
 #include "obsv/export.hpp"
 #include "hpcc/hpcc.hpp"
 #include "machine/presets.hpp"
+#include "runner/sweep.hpp"
 
 namespace {
 
@@ -21,17 +23,20 @@ using xts::Table;
 using xts::hpcc::SpEp;
 using xts::machine::MachineConfig;
 
-void figure(const std::string& title,
-            const std::function<SpEp(const MachineConfig&)>& bench,
-            const xts::BenchOptions& opt, int digits) {
-  const auto xt3 = bench(xts::machine::xt3_single_core());
-  const auto x4 = bench(xts::machine::xt4());
-  Table t(title, {"system", "SP", "EP"});
+struct Figure {
+  const char* title;
+  SpEp (*bench)(const MachineConfig&);
+  int digits;
+};
+
+void render(const Figure& fig, const SpEp& xt3, const SpEp& x4,
+            const xts::BenchOptions& opt) {
+  Table t(fig.title, {"system", "SP", "EP"});
   const auto add = [&](const char* name, const SpEp& r, bool vn) {
     // XT4-SN reports EP with one rank per node (no intra-node
     // sharing): identical to SP by construction.
-    t.add_row({name, Table::num(r.sp, digits),
-               Table::num(vn ? r.ep : r.sp, digits)});
+    t.add_row({name, Table::num(r.sp, fig.digits),
+               Table::num(vn ? r.ep : r.sp, fig.digits)});
   };
   add("XT3", xt3, false);
   add("XT4-SN", x4, false);
@@ -49,12 +54,26 @@ int main(int argc, char** argv) {
       "(GUPS), STREAM Triad (GB/s)");
   obsv::arm_cli(opt);
 
-  figure("Figure 4: SP/EP FFT (GFLOPS)", hpcc::fft_gflops, opt, 3);
-  figure("Figure 5: SP/EP DGEMM (GFLOPS)", hpcc::dgemm_gflops, opt, 3);
-  figure("Figure 6: SP/EP RandomAccess (GUPS)", hpcc::random_access_gups,
-         opt, 4);
-  figure("Figure 7: SP/EP STREAM Triad (GB/s)", hpcc::stream_triad_gbs, opt,
-         3);
+  const std::vector<Figure> figures = {
+      {"Figure 4: SP/EP FFT (GFLOPS)", hpcc::fft_gflops, 3},
+      {"Figure 5: SP/EP DGEMM (GFLOPS)", hpcc::dgemm_gflops, 3},
+      {"Figure 6: SP/EP RandomAccess (GUPS)", hpcc::random_access_gups, 4},
+      {"Figure 7: SP/EP STREAM Triad (GB/s)", hpcc::stream_triad_gbs, 3},
+  };
+  const auto xt3 = machine::xt3_single_core();
+  const auto xt4 = machine::xt4();
+
+  // Two points per figure (XT3 and XT4); XT4-SN/VN are derived from the
+  // same SpEp result, matching the paper's presentation.
+  std::vector<std::function<SpEp()>> points;
+  for (const Figure& fig : figures) {
+    points.emplace_back([&fig, &xt3] { return fig.bench(xt3); });
+    points.emplace_back([&fig, &xt4] { return fig.bench(xt4); });
+  }
+  const auto results = runner::sweep(std::move(points), opt.jobs);
+
+  for (std::size_t i = 0; i < figures.size(); ++i)
+    render(figures[i], results[2 * i], results[2 * i + 1], opt);
   std::cout
       << "paper: FFT +25% XT3->XT4 largely from memory; DGEMM tracks the\n"
          "clock; RA EP per-core is half of SP; STREAM second core adds "

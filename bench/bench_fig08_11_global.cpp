@@ -3,6 +3,11 @@
 /// MPI RandomAccess — swept over core/socket counts on XT3, XT4-SN and
 /// XT4-VN (plotted per cores for SN, per cores AND sockets for VN,
 /// exactly as in the paper).
+///
+/// All four figures' points are submitted as one parallel sweep
+/// (runner/sweep.hpp) so a --full regeneration scales with host cores;
+/// results come back in submission order, so the tables are identical
+/// at any --jobs=N.
 
 #include <functional>
 #include <iostream>
@@ -12,6 +17,7 @@
 #include "obsv/export.hpp"
 #include "hpcc/hpcc.hpp"
 #include "machine/presets.hpp"
+#include "runner/sweep.hpp"
 
 namespace {
 
@@ -22,28 +28,16 @@ using xts::machine::MachineConfig;
 using GlobalBench =
     std::function<double(const MachineConfig&, ExecMode, int)>;
 
-void figure(const std::string& title, const GlobalBench& bench,
-            const std::vector<int>& counts, const xts::BenchOptions& opt,
-            int digits) {
-  Table t(title,
-          {"cores/sockets", "XT3", "XT4-SN", "XT4-VN(cores)",
-           "XT4-VN(sockets)"});
-  const auto xt3 = xts::machine::xt3_single_core();
-  const auto xt4 = xts::machine::xt4();
-  for (const int n : counts) {
-    // VN(cores): n ranks on n/2 nodes.  VN(sockets): 2n ranks on n
-    // nodes — the "same socket count" comparison of Figs 8-11.
-    const double v_xt3 = bench(xt3, ExecMode::kSN, n);
-    const double v_sn = bench(xt4, ExecMode::kSN, n);
-    const double v_vn_cores = bench(xt4, ExecMode::kVN, n);
-    const double v_vn_sockets = bench(xt4, ExecMode::kVN, 2 * n);
-    t.add_row({Table::num(static_cast<long long>(n)),
-               Table::num(v_xt3, digits), Table::num(v_sn, digits),
-               Table::num(v_vn_cores, digits),
-               Table::num(v_vn_sockets, digits)});
-  }
-  emit(t, opt);
-}
+struct Figure {
+  const char* title;
+  GlobalBench bench;
+  int digits;
+};
+
+// Column variants per count row: XT3, XT4-SN, XT4-VN(cores) at n ranks
+// and XT4-VN(sockets) at 2n ranks — the "same socket count" comparison
+// of Figs 8-11.
+constexpr int kVariants = 4;
 
 }  // namespace
 
@@ -60,13 +54,60 @@ int main(int argc, char** argv) {
                 : (opt.full ? std::vector<int>{64, 128, 256, 512, 1024}
                             : std::vector<int>{32, 64, 128, 256});
 
-  figure("Figure 8: Global HPL (TFLOPS)", hpcc::hpl_tflops, counts, opt, 3);
-  figure("Figure 9: Global MPI-FFT (GFLOPS)", hpcc::mpifft_gflops, counts,
-         opt, 1);
-  figure("Figure 10: Global PTRANS (GB/s)", hpcc::ptrans_gbs, counts, opt,
-         1);
-  figure("Figure 11: Global MPI RandomAccess (GUPS)", hpcc::mpira_gups,
-         counts, opt, 4);
+  const std::vector<Figure> figures = {
+      {"Figure 8: Global HPL (TFLOPS)", hpcc::hpl_tflops, 3},
+      {"Figure 9: Global MPI-FFT (GFLOPS)", hpcc::mpifft_gflops, 1},
+      {"Figure 10: Global PTRANS (GB/s)", hpcc::ptrans_gbs, 1},
+      {"Figure 11: Global MPI RandomAccess (GUPS)", hpcc::mpira_gups, 4},
+  };
+
+  const auto xt3 = machine::xt3_single_core();
+  const auto xt4 = machine::xt4();
+
+  // One point per (figure, count, variant), submitted figure-major so
+  // the result layout below is a simple stride walk.
+  std::vector<std::function<double()>> points;
+  std::vector<double> weights;  // rank count ~ simulation cost
+  points.reserve(figures.size() * counts.size() * kVariants);
+  for (const Figure& fig : figures) {
+    for (const int n : counts) {
+      const GlobalBench& bench = fig.bench;
+      points.emplace_back([&bench, &xt3, n] {
+        return bench(xt3, ExecMode::kSN, n);
+      });
+      points.emplace_back([&bench, &xt4, n] {
+        return bench(xt4, ExecMode::kSN, n);
+      });
+      points.emplace_back([&bench, &xt4, n] {
+        return bench(xt4, ExecMode::kVN, n);
+      });
+      points.emplace_back([&bench, &xt4, n] {
+        return bench(xt4, ExecMode::kVN, 2 * n);
+      });
+      for (int v = 0; v < kVariants - 1; ++v)
+        weights.push_back(static_cast<double>(n));
+      weights.push_back(static_cast<double>(2 * n));
+    }
+  }
+
+  const std::vector<double> values =
+      runner::sweep(std::move(points), opt.jobs, weights);
+
+  std::size_t at = 0;
+  for (const Figure& fig : figures) {
+    Table t(fig.title,
+            {"cores/sockets", "XT3", "XT4-SN", "XT4-VN(cores)",
+             "XT4-VN(sockets)"});
+    for (const int n : counts) {
+      t.add_row({Table::num(static_cast<long long>(n)),
+                 Table::num(values[at], fig.digits),
+                 Table::num(values[at + 1], fig.digits),
+                 Table::num(values[at + 2], fig.digits),
+                 Table::num(values[at + 3], fig.digits)});
+      at += kVariants;
+    }
+    emit(t, opt);
+  }
   std::cout
       << "paper: HPL nearly clock-proportional per core; MPI-FFT VN\n"
          "per-core suffers from the NIC bottleneck; PTRANS per-socket\n"

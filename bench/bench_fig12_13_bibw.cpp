@@ -4,6 +4,7 @@
 /// pairs ("i-(i+2), i=0,1 (VN)"), on single-core XT3, dual-core XT3 and
 /// XT4.
 
+#include <functional>
 #include <iostream>
 #include <vector>
 
@@ -12,6 +13,7 @@
 #include "core/units.hpp"
 #include "hpcc/hpcc.hpp"
 #include "machine/presets.hpp"
+#include "runner/sweep.hpp"
 
 int main(int argc, char** argv) {
   using namespace xts;
@@ -26,41 +28,60 @@ int main(int argc, char** argv) {
   for (double b = 8.0; b <= (opt.quick ? 1.0 * MB : 16.0 * MB); b *= 4.0)
     sizes.push_back(b);
 
-  Table t("Figures 12-13: Bidirectional MPI bandwidth (GB/s per pair)",
-          {"bytes", "XT3-SC 1pair", "XT3-DC 1pair", "XT4 1pair",
-           "XT3-DC 2pair", "XT4 2pair"});
   const auto xt3sc = machine::xt3_single_core();
   const auto xt3dc = machine::xt3_dual_core();
   const auto xt4 = machine::xt4();
+
+  // Five variants per message size, plus the two small-message latency
+  // points for the companion table; weight by bytes moved.
+  struct Variant {
+    const machine::MachineConfig* m;
+    ExecMode mode;
+    int pairs;
+  };
+  const std::vector<Variant> variants = {
+      {&xt3sc, ExecMode::kSN, 1}, {&xt3dc, ExecMode::kVN, 1},
+      {&xt4, ExecMode::kVN, 1},   {&xt3dc, ExecMode::kVN, 2},
+      {&xt4, ExecMode::kVN, 2},
+  };
+  std::vector<std::function<hpcc::BiBw()>> points;
+  std::vector<double> weights;
   for (const double b : sizes) {
-    const auto sc1 = hpcc::bidirectional_bandwidth(xt3sc, ExecMode::kSN, 1, b);
-    const auto dc1 = hpcc::bidirectional_bandwidth(xt3dc, ExecMode::kVN, 1, b);
-    const auto x41 = hpcc::bidirectional_bandwidth(xt4, ExecMode::kVN, 1, b);
-    const auto dc2 = hpcc::bidirectional_bandwidth(xt3dc, ExecMode::kVN, 2, b);
-    const auto x42 = hpcc::bidirectional_bandwidth(xt4, ExecMode::kVN, 2, b);
+    for (const Variant& v : variants) {
+      points.emplace_back([v, b] {
+        return hpcc::bidirectional_bandwidth(*v.m, v.mode, v.pairs, b);
+      });
+      weights.push_back(b * v.pairs);
+    }
+  }
+  for (const int pairs : {1, 2}) {
+    points.emplace_back([&xt4, pairs] {
+      return hpcc::bidirectional_bandwidth(xt4, ExecMode::kVN, pairs, 8.0);
+    });
+    weights.push_back(8.0 * pairs);
+  }
+  const auto results = runner::sweep(std::move(points), opt.jobs, weights);
+
+  Table t("Figures 12-13: Bidirectional MPI bandwidth (GB/s per pair)",
+          {"bytes", "XT3-SC 1pair", "XT3-DC 1pair", "XT4 1pair",
+           "XT3-DC 2pair", "XT4 2pair"});
+  std::size_t at = 0;
+  for (const double b : sizes) {
     t.add_row({Table::num(static_cast<long long>(b)),
-               Table::num(sc1.per_pair_bw / GB_per_s, 3),
-               Table::num(dc1.per_pair_bw / GB_per_s, 3),
-               Table::num(x41.per_pair_bw / GB_per_s, 3),
-               Table::num(dc2.per_pair_bw / GB_per_s, 3),
-               Table::num(x42.per_pair_bw / GB_per_s, 3)});
+               Table::num(results[at].per_pair_bw / GB_per_s, 3),
+               Table::num(results[at + 1].per_pair_bw / GB_per_s, 3),
+               Table::num(results[at + 2].per_pair_bw / GB_per_s, 3),
+               Table::num(results[at + 3].per_pair_bw / GB_per_s, 3),
+               Table::num(results[at + 4].per_pair_bw / GB_per_s, 3)});
+    at += variants.size();
   }
   emit(t, opt);
 
   Table lat("Figures 12-13 companion: small-message one-way time (us)",
             {"config", "time"});
-  lat.add_row({"XT4 1pair",
-               Table::num(hpcc::bidirectional_bandwidth(xt4, ExecMode::kVN, 1,
-                                                        8.0)
-                                  .one_way_time /
-                              us,
-                          2)});
-  lat.add_row({"XT4 2pair",
-               Table::num(hpcc::bidirectional_bandwidth(xt4, ExecMode::kVN, 2,
-                                                        8.0)
-                                  .one_way_time /
-                              us,
-                          2)});
+  lat.add_row({"XT4 1pair", Table::num(results[at].one_way_time / us, 2)});
+  lat.add_row(
+      {"XT4 2pair", Table::num(results[at + 1].one_way_time / us, 2)});
   emit(lat, opt);
   std::cout << "paper: XT4 >= 1.8x dual-core XT3 above 100 KB; two pairs\n"
                "get exactly half each; 2-pair latency over 2x 1-pair\n";

@@ -2,6 +2,7 @@
 /// Figures 14-16: CAM throughput on XT3 vs XT4 (SN/VN), cross-platform
 /// comparison, and the dynamics/physics phase split.
 
+#include <functional>
 #include <iostream>
 #include <vector>
 
@@ -10,10 +11,12 @@
 #include "obsv/export.hpp"
 #include "machine/platforms.hpp"
 #include "machine/presets.hpp"
+#include "runner/sweep.hpp"
 
 int main(int argc, char** argv) {
   using namespace xts;
   using apps::CamConfig;
+  using apps::CamResult;
   using apps::run_cam;
   using machine::ExecMode;
   const auto opt = BenchOptions::parse(
@@ -30,27 +33,66 @@ int main(int argc, char** argv) {
                                                960}
                             : std::vector<int>{32, 64, 96, 120, 240, 480});
 
+  const auto xt3sc = machine::xt3_single_core();
+  const auto xt3dc = machine::xt3_dual_core();
+  const auto xt4 = machine::xt4();
+  const auto x1e = machine::cray_x1e();
+  const auto es = machine::earth_simulator();
+  const auto p690 = machine::ibm_p690();
+  const auto p575 = machine::ibm_p575();
+  const auto sp = machine::ibm_sp();
+
+  // Points per count: Fig 14's four systems, Fig 15's six platforms,
+  // Fig 16's three phase-split runs (13 per task count), swept in one
+  // pool and sliced back out below.  Weight by task count.
+  struct P {
+    const machine::MachineConfig* m;
+    ExecMode mode;
+  };
+  const std::vector<P> per_count = {
+      // Figure 14
+      {&xt3sc, ExecMode::kSN},
+      {&xt3dc, ExecMode::kVN},
+      {&xt4, ExecMode::kSN},
+      {&xt4, ExecMode::kVN},
+      // Figure 15 (XT4 runs VN, other platforms SN)
+      {&xt4, ExecMode::kVN},
+      {&x1e, ExecMode::kSN},
+      {&es, ExecMode::kSN},
+      {&p690, ExecMode::kSN},
+      {&p575, ExecMode::kSN},
+      {&sp, ExecMode::kSN},
+      // Figure 16
+      {&xt4, ExecMode::kSN},
+      {&xt4, ExecMode::kVN},
+      {&p575, ExecMode::kSN},
+  };
+  std::vector<std::function<CamResult()>> points;
+  std::vector<double> weights;
+  for (const int n : counts) {
+    for (const P& p : per_count) {
+      points.emplace_back(
+          [p, n, &cfg] { return run_cam(*p.m, p.mode, n, cfg); });
+      weights.push_back(static_cast<double>(n));
+    }
+  }
+  const auto results = runner::sweep(std::move(points), opt.jobs, weights);
+  const std::size_t stride = per_count.size();
+  const auto row = [&](std::size_t ci, std::size_t pi) -> const CamResult& {
+    return results[ci * stride + pi];
+  };
+
   // --- Figure 14: XT3 vs XT4, SN vs VN ---
   {
     Table t("Figure 14: CAM throughput on XT4 vs XT3 (sim years/day)",
             {"tasks", "XT3-SC(SN)", "XT3-DC(VN)", "XT4-SN", "XT4-VN"});
-    for (const int n : counts) {
+    for (std::size_t ci = 0; ci < counts.size(); ++ci) {
       t.add_row(
-          {Table::num(static_cast<long long>(n)),
-           Table::num(run_cam(machine::xt3_single_core(), ExecMode::kSN, n,
-                              cfg)
-                          .simulated_years_per_day(),
-                      2),
-           Table::num(run_cam(machine::xt3_dual_core(), ExecMode::kVN, n,
-                              cfg)
-                          .simulated_years_per_day(),
-                      2),
-           Table::num(run_cam(machine::xt4(), ExecMode::kSN, n, cfg)
-                          .simulated_years_per_day(),
-                      2),
-           Table::num(run_cam(machine::xt4(), ExecMode::kVN, n, cfg)
-                          .simulated_years_per_day(),
-                      2)});
+          {Table::num(static_cast<long long>(counts[ci])),
+           Table::num(row(ci, 0).simulated_years_per_day(), 2),
+           Table::num(row(ci, 1).simulated_years_per_day(), 2),
+           Table::num(row(ci, 2).simulated_years_per_day(), 2),
+           Table::num(row(ci, 3).simulated_years_per_day(), 2)});
     }
     emit(t, opt);
   }
@@ -59,18 +101,12 @@ int main(int argc, char** argv) {
   {
     Table t("Figure 15: CAM throughput across platforms (sim years/day)",
             {"tasks", "XT4-VN", "X1E", "EarthSim", "p690", "p575", "IBM-SP"});
-    for (const int n : counts) {
-      auto row = std::vector<std::string>{
-          Table::num(static_cast<long long>(n))};
-      for (const auto& m :
-           {machine::xt4(), machine::cray_x1e(), machine::earth_simulator(),
-            machine::ibm_p690(), machine::ibm_p575(), machine::ibm_sp()}) {
-        const auto mode =
-            m.name == "XT4" ? ExecMode::kVN : ExecMode::kSN;
-        row.push_back(Table::num(
-            run_cam(m, mode, n, cfg).simulated_years_per_day(), 2));
-      }
-      t.add_row(std::move(row));
+    for (std::size_t ci = 0; ci < counts.size(); ++ci) {
+      auto r = std::vector<std::string>{
+          Table::num(static_cast<long long>(counts[ci]))};
+      for (std::size_t pi = 4; pi < 10; ++pi)
+        r.push_back(Table::num(row(ci, pi).simulated_years_per_day(), 2));
+      t.add_row(std::move(r));
     }
     emit(t, opt);
   }
@@ -80,11 +116,11 @@ int main(int argc, char** argv) {
     Table t("Figure 16: CAM seconds/simulated-day by phase",
             {"tasks", "XT4-SN dyn", "XT4-SN phys", "XT4-VN dyn",
              "XT4-VN phys", "p575 dyn", "p575 phys"});
-    for (const int n : counts) {
-      const auto sn = run_cam(machine::xt4(), ExecMode::kSN, n, cfg);
-      const auto vn = run_cam(machine::xt4(), ExecMode::kVN, n, cfg);
-      const auto ibm = run_cam(machine::ibm_p575(), ExecMode::kSN, n, cfg);
-      t.add_row({Table::num(static_cast<long long>(n)),
+    for (std::size_t ci = 0; ci < counts.size(); ++ci) {
+      const auto& sn = row(ci, 10);
+      const auto& vn = row(ci, 11);
+      const auto& ibm = row(ci, 12);
+      t.add_row({Table::num(static_cast<long long>(counts[ci])),
                  Table::num(sn.dynamics_seconds_per_day, 1),
                  Table::num(sn.physics_seconds_per_day, 1),
                  Table::num(vn.dynamics_seconds_per_day, 1),

@@ -3,6 +3,7 @@
 /// cross-platform/C-G comparison, and the baroclinic/barotropic phase
 /// split.
 
+#include <functional>
 #include <iostream>
 #include <vector>
 
@@ -11,10 +12,12 @@
 #include "obsv/export.hpp"
 #include "machine/platforms.hpp"
 #include "machine/presets.hpp"
+#include "runner/sweep.hpp"
 
 int main(int argc, char** argv) {
   using namespace xts;
   using apps::PopConfig;
+  using apps::PopResult;
   using apps::run_pop;
   using machine::ExecMode;
   const auto opt = BenchOptions::parse(
@@ -30,33 +33,68 @@ int main(int argc, char** argv) {
     cfg.nx = 900;  // reduced grid for CI; default runs the true 0.1 grid
     cfg.ny = 600;
   }
+  PopConfig cg = cfg;
+  cg.chronopoulos_gear = true;
   const std::vector<int> counts =
       opt.quick ? std::vector<int>{64, 128}
                 : (opt.full
                        ? std::vector<int>{256, 512, 1024, 2048, 4096, 8192}
                        : std::vector<int>{128, 256, 512, 1024, 2048});
 
+  const auto xt3sc = machine::xt3_single_core();
+  const auto xt3dc = machine::xt3_dual_core();
+  const auto xt4 = machine::xt4();
+  const auto x1e = machine::cray_x1e();
+  const auto p575 = machine::ibm_p575();
+
+  // Points per count: Fig 17's four systems, Fig 18's four columns and
+  // Fig 19's three phase-split runs (11 per task count), one sweep.
+  struct P {
+    const machine::MachineConfig* m;
+    ExecMode mode;
+    const PopConfig* cfg;
+  };
+  const std::vector<P> per_count = {
+      // Figure 17
+      {&xt3sc, ExecMode::kSN, &cfg},
+      {&xt3dc, ExecMode::kVN, &cfg},
+      {&xt4, ExecMode::kSN, &cfg},
+      {&xt4, ExecMode::kVN, &cfg},
+      // Figure 18
+      {&xt4, ExecMode::kVN, &cfg},
+      {&xt4, ExecMode::kVN, &cg},
+      {&x1e, ExecMode::kSN, &cfg},
+      {&p575, ExecMode::kSN, &cfg},
+      // Figure 19
+      {&xt4, ExecMode::kSN, &cfg},
+      {&xt4, ExecMode::kVN, &cfg},
+      {&xt4, ExecMode::kVN, &cg},
+  };
+  std::vector<std::function<PopResult()>> points;
+  std::vector<double> weights;
+  for (const int n : counts) {
+    for (const P& p : per_count) {
+      points.emplace_back(
+          [p, n] { return run_pop(*p.m, p.mode, n, *p.cfg); });
+      weights.push_back(static_cast<double>(n));
+    }
+  }
+  const auto results = runner::sweep(std::move(points), opt.jobs, weights);
+  const std::size_t stride = per_count.size();
+  const auto row = [&](std::size_t ci, std::size_t pi) -> const PopResult& {
+    return results[ci * stride + pi];
+  };
+
   // --- Figure 17: XT3 vs XT4 ---
   {
     Table t("Figure 17: POP throughput on XT4 vs XT3 (sim years/day)",
             {"tasks", "XT3-SC(SN)", "XT3-DC(VN)", "XT4-SN", "XT4-VN"});
-    for (const int n : counts) {
-      t.add_row(
-          {Table::num(static_cast<long long>(n)),
-           Table::num(run_pop(machine::xt3_single_core(), ExecMode::kSN, n,
-                              cfg)
-                          .simulated_years_per_day(),
-                      2),
-           Table::num(run_pop(machine::xt3_dual_core(), ExecMode::kVN, n,
-                              cfg)
-                          .simulated_years_per_day(),
-                      2),
-           Table::num(run_pop(machine::xt4(), ExecMode::kSN, n, cfg)
-                          .simulated_years_per_day(),
-                      2),
-           Table::num(run_pop(machine::xt4(), ExecMode::kVN, n, cfg)
-                          .simulated_years_per_day(),
-                      2)});
+    for (std::size_t ci = 0; ci < counts.size(); ++ci) {
+      t.add_row({Table::num(static_cast<long long>(counts[ci])),
+                 Table::num(row(ci, 0).simulated_years_per_day(), 2),
+                 Table::num(row(ci, 1).simulated_years_per_day(), 2),
+                 Table::num(row(ci, 2).simulated_years_per_day(), 2),
+                 Table::num(row(ci, 3).simulated_years_per_day(), 2)});
     }
     emit(t, opt);
   }
@@ -65,23 +103,12 @@ int main(int argc, char** argv) {
   {
     Table t("Figure 18: POP throughput, platforms + C-G (sim years/day)",
             {"tasks", "XT4-VN", "XT4-VN+C-G", "X1E", "p575"});
-    PopConfig cg = cfg;
-    cg.chronopoulos_gear = true;
-    for (const int n : counts) {
-      t.add_row(
-          {Table::num(static_cast<long long>(n)),
-           Table::num(run_pop(machine::xt4(), ExecMode::kVN, n, cfg)
-                          .simulated_years_per_day(),
-                      2),
-           Table::num(run_pop(machine::xt4(), ExecMode::kVN, n, cg)
-                          .simulated_years_per_day(),
-                      2),
-           Table::num(run_pop(machine::cray_x1e(), ExecMode::kSN, n, cfg)
-                          .simulated_years_per_day(),
-                      2),
-           Table::num(run_pop(machine::ibm_p575(), ExecMode::kSN, n, cfg)
-                          .simulated_years_per_day(),
-                      2)});
+    for (std::size_t ci = 0; ci < counts.size(); ++ci) {
+      t.add_row({Table::num(static_cast<long long>(counts[ci])),
+                 Table::num(row(ci, 4).simulated_years_per_day(), 2),
+                 Table::num(row(ci, 5).simulated_years_per_day(), 2),
+                 Table::num(row(ci, 6).simulated_years_per_day(), 2),
+                 Table::num(row(ci, 7).simulated_years_per_day(), 2)});
     }
     emit(t, opt);
   }
@@ -91,13 +118,11 @@ int main(int argc, char** argv) {
     Table t("Figure 19: POP seconds/simulated-day by phase (XT4)",
             {"tasks", "SN baroclinic", "SN barotropic", "VN baroclinic",
              "VN barotropic", "VN+C-G barotropic"});
-    PopConfig cg = cfg;
-    cg.chronopoulos_gear = true;
-    for (const int n : counts) {
-      const auto sn = run_pop(machine::xt4(), ExecMode::kSN, n, cfg);
-      const auto vn = run_pop(machine::xt4(), ExecMode::kVN, n, cfg);
-      const auto vncg = run_pop(machine::xt4(), ExecMode::kVN, n, cg);
-      t.add_row({Table::num(static_cast<long long>(n)),
+    for (std::size_t ci = 0; ci < counts.size(); ++ci) {
+      const auto& sn = row(ci, 8);
+      const auto& vn = row(ci, 9);
+      const auto& vncg = row(ci, 10);
+      t.add_row({Table::num(static_cast<long long>(counts[ci])),
                  Table::num(sn.baroclinic_seconds_per_day, 1),
                  Table::num(sn.barotropic_seconds_per_day, 1),
                  Table::num(vn.baroclinic_seconds_per_day, 1),

@@ -2,6 +2,7 @@
 /// Figures 20-21: NAMD time per simulation step, XT3 vs XT4 for the 1M
 /// and 3M atom systems, and the SN vs VN comparison.
 
+#include <functional>
 #include <iostream>
 #include <vector>
 
@@ -9,6 +10,7 @@
 #include "core/report.hpp"
 #include "obsv/export.hpp"
 #include "machine/presets.hpp"
+#include "runner/sweep.hpp"
 
 int main(int argc, char** argv) {
   using namespace xts;
@@ -26,52 +28,60 @@ int main(int argc, char** argv) {
                                                4096, 8192}
                             : std::vector<int>{64, 128, 256, 512, 1024});
 
+  const auto xt3dc = machine::xt3_dual_core();
+  const auto xt4 = machine::xt4();
+  const auto sys1m = namd_1m_atoms();
+  const auto sys3m = namd_3m_atoms();
+
+  // Points per count: Fig 20's four columns then Fig 21's four (8 per
+  // task count).  Weight by task count.
+  struct P {
+    const machine::MachineConfig* m;
+    ExecMode mode;
+    const apps::NamdConfig* sys;
+  };
+  const std::vector<P> per_count = {
+      // Figure 20 (VN mode)
+      {&xt3dc, ExecMode::kVN, &sys1m},
+      {&xt4, ExecMode::kVN, &sys1m},
+      {&xt3dc, ExecMode::kVN, &sys3m},
+      {&xt4, ExecMode::kVN, &sys3m},
+      // Figure 21 (XT4, SN vs VN)
+      {&xt4, ExecMode::kSN, &sys1m},
+      {&xt4, ExecMode::kVN, &sys1m},
+      {&xt4, ExecMode::kSN, &sys3m},
+      {&xt4, ExecMode::kVN, &sys3m},
+  };
+  std::vector<std::function<double()>> points;
+  std::vector<double> weights;
+  for (const int n : counts) {
+    for (const P& p : per_count) {
+      points.emplace_back([p, n] {
+        return run_namd(*p.m, p.mode, n, *p.sys).seconds_per_step;
+      });
+      weights.push_back(static_cast<double>(n));
+    }
+  }
+  const auto results = runner::sweep(std::move(points), opt.jobs, weights);
+  const std::size_t stride = per_count.size();
+  const auto cell = [&](std::size_t ci, std::size_t pi) {
+    return Table::num(results[ci * stride + pi], 4);
+  };
+
   {
     Table t("Figure 20: NAMD s/step, XT4 vs XT3 (VN mode)",
             {"tasks", "XT3(1M)", "XT4(1M)", "XT3(3M)", "XT4(3M)"});
-    for (const int n : counts) {
-      t.add_row({Table::num(static_cast<long long>(n)),
-                 Table::num(run_namd(machine::xt3_dual_core(), ExecMode::kVN,
-                                     n, namd_1m_atoms())
-                                .seconds_per_step,
-                            4),
-                 Table::num(run_namd(machine::xt4(), ExecMode::kVN, n,
-                                     namd_1m_atoms())
-                                .seconds_per_step,
-                            4),
-                 Table::num(run_namd(machine::xt3_dual_core(), ExecMode::kVN,
-                                     n, namd_3m_atoms())
-                                .seconds_per_step,
-                            4),
-                 Table::num(run_namd(machine::xt4(), ExecMode::kVN, n,
-                                     namd_3m_atoms())
-                                .seconds_per_step,
-                            4)});
-    }
+    for (std::size_t ci = 0; ci < counts.size(); ++ci)
+      t.add_row({Table::num(static_cast<long long>(counts[ci])), cell(ci, 0),
+                 cell(ci, 1), cell(ci, 2), cell(ci, 3)});
     emit(t, opt);
   }
   {
     Table t("Figure 21: NAMD s/step, SN vs VN (XT4)",
             {"tasks", "1M(SN)", "1M(VN)", "3M(SN)", "3M(VN)"});
-    for (const int n : counts) {
-      t.add_row({Table::num(static_cast<long long>(n)),
-                 Table::num(run_namd(machine::xt4(), ExecMode::kSN, n,
-                                     namd_1m_atoms())
-                                .seconds_per_step,
-                            4),
-                 Table::num(run_namd(machine::xt4(), ExecMode::kVN, n,
-                                     namd_1m_atoms())
-                                .seconds_per_step,
-                            4),
-                 Table::num(run_namd(machine::xt4(), ExecMode::kSN, n,
-                                     namd_3m_atoms())
-                                .seconds_per_step,
-                            4),
-                 Table::num(run_namd(machine::xt4(), ExecMode::kVN, n,
-                                     namd_3m_atoms())
-                                .seconds_per_step,
-                            4)});
-    }
+    for (std::size_t ci = 0; ci < counts.size(); ++ci)
+      t.add_row({Table::num(static_cast<long long>(counts[ci])), cell(ci, 4),
+                 cell(ci, 5), cell(ci, 6), cell(ci, 7)});
     emit(t, opt);
   }
   std::cout << "paper: XT4 ~5% over XT3; SN/VN gap ~10% or less; 1M-atom\n"

@@ -3,6 +3,7 @@
 /// vs XT4, plus the SN/VN ablation the paper uses to attribute the 30%
 /// VN penalty to memory-bandwidth contention.
 
+#include <functional>
 #include <iostream>
 #include <vector>
 
@@ -10,6 +11,7 @@
 #include "core/report.hpp"
 #include "obsv/export.hpp"
 #include "machine/presets.hpp"
+#include "runner/sweep.hpp"
 
 int main(int argc, char** argv) {
   using namespace xts;
@@ -26,20 +28,33 @@ int main(int argc, char** argv) {
                        ? std::vector<int>{1, 8, 64, 512, 1000, 4096, 8000}
                        : std::vector<int>{1, 8, 27, 64, 216, 512});
 
+  const auto xt3dc = machine::xt3_dual_core();
+  const auto xt4 = machine::xt4();
+  struct P {
+    const machine::MachineConfig* m;
+    ExecMode mode;
+  };
+  const std::vector<P> per_count = {
+      {&xt3dc, ExecMode::kVN}, {&xt4, ExecMode::kVN}, {&xt4, ExecMode::kSN}};
+  std::vector<std::function<double()>> points;
+  std::vector<double> weights;
+  for (const int n : counts) {
+    for (const P& p : per_count) {
+      points.emplace_back(
+          [p, n] { return run_s3d(*p.m, p.mode, n).us_per_point_per_step; });
+      weights.push_back(static_cast<double>(n));
+    }
+  }
+  const auto results = runner::sweep(std::move(points), opt.jobs, weights);
+
   Table t("Figure 22: S3D cost per grid point per step (us), 50^3/task",
           {"cores", "XT3(VN)", "XT4(VN)", "XT4(SN)"});
+  std::size_t at = 0;
   for (const int n : counts) {
-    t.add_row(
-        {Table::num(static_cast<long long>(n)),
-         Table::num(run_s3d(machine::xt3_dual_core(), ExecMode::kVN, n)
-                        .us_per_point_per_step,
-                    1),
-         Table::num(
-             run_s3d(machine::xt4(), ExecMode::kVN, n).us_per_point_per_step,
-             1),
-         Table::num(
-             run_s3d(machine::xt4(), ExecMode::kSN, n).us_per_point_per_step,
-             1)});
+    t.add_row({Table::num(static_cast<long long>(n)),
+               Table::num(results[at], 1), Table::num(results[at + 1], 1),
+               Table::num(results[at + 2], 1)});
+    at += per_count.size();
   }
   emit(t, opt);
   std::cout << "paper: weak scaling nearly flat; VN ~30% over SN from\n"

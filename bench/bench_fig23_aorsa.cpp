@@ -2,6 +2,7 @@
 /// Figure 23: AORSA strong-scaling grind times (Ax=b, QL operator,
 /// total) at 4k XT3 and 4k/8k/16k/22.5k XT4 cores.
 
+#include <functional>
 #include <iostream>
 #include <vector>
 
@@ -9,6 +10,7 @@
 #include "core/report.hpp"
 #include "obsv/export.hpp"
 #include "machine/presets.hpp"
+#include "runner/sweep.hpp"
 
 int main(int argc, char** argv) {
   using namespace xts;
@@ -42,11 +44,20 @@ int main(int argc, char** argv) {
       {"22.5k XT3/4", machine::xt4(), 22500 / scale},
   };
 
+  std::vector<std::function<apps::AorsaResult()>> work;
+  std::vector<double> weights;
+  for (const Point& p : points) {
+    work.emplace_back(
+        [&p, &cfg] { return run_aorsa(p.m, ExecMode::kVN, p.cores, cfg); });
+    weights.push_back(static_cast<double>(p.cores));
+  }
+  const auto results = runner::sweep(std::move(work), opt.jobs, weights);
+
   Table t("Figure 23: AORSA grind time (minutes)",
           {"config", "Ax=b", "Calc QL operator", "Total", "solver TFLOPS"});
-  for (const auto& p : points) {
-    const auto r = run_aorsa(p.m, ExecMode::kVN, p.cores, cfg);
-    t.add_row({p.label, Table::num(r.axb_minutes, 1),
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& r = results[i];
+    t.add_row({points[i].label, Table::num(r.axb_minutes, 1),
                Table::num(r.ql_minutes, 1), Table::num(r.total_minutes, 1),
                Table::num(r.solver_tflops, 2)});
   }

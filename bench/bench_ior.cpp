@@ -4,6 +4,7 @@
 /// keywords).  Sweeps stripe count and client count; shows the
 /// single-MDS metadata bottleneck the paper calls out.
 
+#include <functional>
 #include <iostream>
 #include <vector>
 
@@ -11,6 +12,7 @@
 #include "obsv/export.hpp"
 #include "core/units.hpp"
 #include "lustre/lustre.hpp"
+#include "runner/sweep.hpp"
 
 int main(int argc, char** argv) {
   using namespace xts;
@@ -20,16 +22,38 @@ int main(int argc, char** argv) {
   obsv::arm_cli(opt);
 
   lustre::LustreConfig fs;  // 18 OSS x 4 OST, 250 MB/s each
+
+  const std::vector<int> stripe_counts = {1, 2, 4, 8, 16, 32, 64};
+  const std::vector<int> client_counts = {8, 32, 128, opt.quick ? 256 : 512};
+
+  // One point per stripe-count row, then one per client-count row;
+  // weight by clients x bytes moved.
+  std::vector<std::function<lustre::IorResult()>> points;
+  std::vector<double> weights;
+  for (const int sc : stripe_counts) {
+    lustre::IorConfig io;
+    io.clients = opt.quick ? 16 : 64;
+    io.block_bytes = (opt.quick ? 16.0 : 64.0) * MiB;
+    io.stripe_count = sc;
+    points.emplace_back([&fs, io] { return run_ior(fs, io); });
+    weights.push_back(io.clients * io.block_bytes);
+  }
+  for (const int clients : client_counts) {
+    lustre::IorConfig io;
+    io.clients = clients;
+    io.block_bytes = 8.0 * MiB;
+    io.stripe_count = 4;
+    points.emplace_back([&fs, io] { return run_ior(fs, io); });
+    weights.push_back(io.clients * io.block_bytes);
+  }
+  const auto results = runner::sweep(std::move(points), opt.jobs, weights);
+
   {
     Table t("IOR: aggregate write bandwidth vs stripe count (64 clients)",
             {"stripe_count", "write GB/s", "read GB/s"});
-    for (const int sc : {1, 2, 4, 8, 16, 32, 64}) {
-      lustre::IorConfig io;
-      io.clients = opt.quick ? 16 : 64;
-      io.block_bytes = (opt.quick ? 16.0 : 64.0) * MiB;
-      io.stripe_count = sc;
-      const auto r = run_ior(fs, io);
-      t.add_row({Table::num(static_cast<long long>(sc)),
+    for (std::size_t i = 0; i < stripe_counts.size(); ++i) {
+      const auto& r = results[i];
+      t.add_row({Table::num(static_cast<long long>(stripe_counts[i])),
                  Table::num(r.write_gbs, 2), Table::num(r.read_gbs, 2)});
     }
     emit(t, opt);
@@ -37,13 +61,9 @@ int main(int argc, char** argv) {
   {
     Table t("IOR: metadata (create) phase vs clients, file-per-process",
             {"clients", "create seconds", "write GB/s"});
-    for (const int clients : {8, 32, 128, opt.quick ? 256 : 512}) {
-      lustre::IorConfig io;
-      io.clients = clients;
-      io.block_bytes = 8.0 * MiB;
-      io.stripe_count = 4;
-      const auto r = run_ior(fs, io);
-      t.add_row({Table::num(static_cast<long long>(clients)),
+    for (std::size_t i = 0; i < client_counts.size(); ++i) {
+      const auto& r = results[stripe_counts.size() + i];
+      t.add_row({Table::num(static_cast<long long>(client_counts[i])),
                  Table::num(r.create_seconds, 3),
                  Table::num(r.write_gbs, 2)});
     }

@@ -2,12 +2,17 @@
 /// Regenerates Table 1 of the paper: configuration comparison of the
 /// XT3, dual-core XT3 and XT4 systems at ORNL.
 
+#include <array>
+#include <functional>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "core/report.hpp"
 #include "obsv/export.hpp"
 #include "core/units.hpp"
 #include "machine/presets.hpp"
+#include "runner/sweep.hpp"
 
 int main(int argc, char** argv) {
   using namespace xts;
@@ -16,35 +21,43 @@ int main(int argc, char** argv) {
       argc, argv, "Table 1: XT3 / XT3 dual-core / XT4 system comparison");
   obsv::arm_cli(opt);
 
-  const auto systems = {machine::xt3_single_core(), machine::xt3_dual_core(),
-                        machine::xt4()};
+  const std::vector<machine::MachineConfig> systems = {
+      machine::xt3_single_core(), machine::xt3_dual_core(), machine::xt4()};
   // Socket counts from §3 (system description): 56 XT3 cabinets with
   // 5,212 sockets; 68 XT4 cabinets add 6,296 sockets.
   const int sockets[] = {5212, 5212, 6296};
 
+  // One sweep point per system, each producing its table column.
+  using Column = std::array<std::string, 8>;
+  std::vector<std::function<Column()>> points;
+  for (std::size_t i = 0; i < systems.size(); ++i) {
+    const auto& m = systems[i];
+    const int nsock = sockets[i];
+    const bool seastar2 = i == 2;
+    points.emplace_back([&m, nsock, seastar2] {
+      return Column{
+          Table::num(m.core.clock_hz / GHz, 1),
+          Table::num(static_cast<long long>(m.cores_per_node)),
+          Table::num(static_cast<long long>(nsock)),
+          Table::num(static_cast<long long>(nsock * m.cores_per_node)),
+          Table::num(m.memory.peak_bw / GB_per_s, 1),
+          Table::num(static_cast<double>(m.bytes_per_core) / GiB, 0),
+          Table::num(2.0 * m.nic.injection_bw / GB_per_s, 1),
+          seastar2 ? "Cray SeaStar2" : "Cray SeaStar",
+      };
+    });
+  }
+  const auto cols = runner::sweep(std::move(points), opt.jobs);
+
+  const std::array<const char*, 8> props = {
+      "Processor clock (GHz)",      "Cores per socket",
+      "Processor sockets",          "Processor cores",
+      "Memory bandwidth (GB/s)",    "Memory capacity (GB/core)",
+      "Network injection (GB/s bidir)", "Interconnect"};
   Table t("Table 1: Comparison of XT3, XT3 dual core, and XT4 systems",
           {"property", "XT3", "XT3-DC", "XT4"});
-  std::vector<std::vector<std::string>> cols;
-  int i = 0;
-  std::vector<std::string> clock{"Processor clock (GHz)"},
-      cores{"Cores per socket"}, nsock{"Processor sockets"},
-      ncore{"Processor cores"}, mem{"Memory bandwidth (GB/s)"},
-      cap{"Memory capacity (GB/core)"}, inj{"Network injection (GB/s bidir)"},
-      link{"Interconnect"};
-  for (const auto& m : systems) {
-    clock.push_back(Table::num(m.core.clock_hz / GHz, 1));
-    cores.push_back(Table::num(static_cast<long long>(m.cores_per_node)));
-    nsock.push_back(Table::num(static_cast<long long>(sockets[i])));
-    ncore.push_back(
-        Table::num(static_cast<long long>(sockets[i] * m.cores_per_node)));
-    mem.push_back(Table::num(m.memory.peak_bw / GB_per_s, 1));
-    cap.push_back(Table::num(static_cast<double>(m.bytes_per_core) / GiB, 0));
-    inj.push_back(Table::num(2.0 * m.nic.injection_bw / GB_per_s, 1));
-    link.push_back(i < 2 ? "Cray SeaStar" : "Cray SeaStar2");
-    ++i;
-  }
-  for (auto& row : {clock, cores, nsock, ncore, mem, cap, inj, link})
-    t.add_row(row);
+  for (std::size_t r = 0; r < props.size(); ++r)
+    t.add_row({props[r], cols[0][r], cols[1][r], cols[2][r]});
   emit(t, opt);
   return 0;
 }

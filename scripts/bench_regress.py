@@ -19,6 +19,11 @@ the --check ratio gates double as the "observability off costs nothing
 measurable" regression test for the engine-throughput and flow-churn
 benches (ISSUE: profiling layer must be free when off).
 
+The file also carries a "sweep-wallclock" series (--sweep): wall-clock
+of the figs 8-11 sweep bench at --jobs=1 vs --jobs=N (the parallel
+sweep runner), appended per run so the serial/parallel ratio is
+tracked over PRs alongside the events/sec metrics.
+
 Modes:
   (default)        full run, update "current"/"reference", write JSON
   --smoke          quick subset (small args, min benchmark time); writes
@@ -27,6 +32,9 @@ Modes:
                    fails if a metric collapses below SMOKE_MIN_RATIO x
                    reference — used by the `check-perf` target and the
                    perf-smoke ctest label
+  --sweep          time build/bench/bench_fig08_11_global (--quick by
+                   default, SWEEP_ARGS to override) at --jobs=1 and
+                   --jobs=N and append to the "sweep-wallclock" series
   --save-baseline  overwrite the stored baseline with this run
   --check          additionally fail (exit 1) if any metric drops below
                    MIN_RATIO x its reference value
@@ -37,6 +45,7 @@ import json
 import os
 import subprocess
 import sys
+import time
 
 MIN_RATIO = 0.70  # --check: tolerated fraction of the reference number
 # Smoke runs are short and often share the box with other work, so the
@@ -68,6 +77,36 @@ def run_bench(binary, smoke):
     return metrics
 
 
+SWEEP_BENCH = "bench_fig08_11_global"
+SWEEP_ARGS = ["--quick"]
+SWEEP_HISTORY = 50  # entries kept in the sweep-wallclock series
+
+
+def time_bench(cmd):
+    t0 = time.perf_counter()
+    subprocess.run(cmd, stdout=subprocess.DEVNULL, check=True)
+    return time.perf_counter() - t0
+
+
+def run_sweep_wallclock(build_dir, label):
+    """Time the figs 8-11 sweep at --jobs=1 vs --jobs=N (host cores)."""
+    binary = os.path.join(build_dir, "bench", SWEEP_BENCH)
+    if not os.path.exists(binary):
+        sys.exit(f"sweep bench not found: {binary} (build {SWEEP_BENCH})")
+    jobs = os.cpu_count() or 1
+    serial = time_bench([binary, "--jobs=1"] + SWEEP_ARGS)
+    parallel = time_bench([binary, f"--jobs={jobs}"] + SWEEP_ARGS)
+    return {
+        "label": label,
+        "bench": SWEEP_BENCH,
+        "args": SWEEP_ARGS,
+        "host_cores": jobs,
+        "jobs1_s": round(serial, 4),
+        "jobsN_s": round(parallel, 4),
+        "speedup": round(serial / parallel, 3) if parallel > 0 else None,
+    }
+
+
 def git_label(repo_root):
     try:
         rev = subprocess.run(
@@ -86,6 +125,8 @@ def main():
                     help="output JSON (default results/BENCH_simcore.json, "
                          "or results/BENCH_simcore.tmp with --smoke)")
     ap.add_argument("--smoke", action="store_true")
+    ap.add_argument("--sweep", action="store_true",
+                    help="append a sweep-wallclock entry (jobs=1 vs jobs=N)")
     ap.add_argument("--save-baseline", action="store_true")
     ap.add_argument("--check", action="store_true")
     ap.add_argument("--label", default=None,
@@ -93,9 +134,32 @@ def main():
     args = ap.parse_args()
 
     repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-    binary = os.path.join(args.build_dir, "bench", "bench_simulator_native")
-    if not os.path.isabs(binary):
-        binary = os.path.join(repo_root, binary)
+    build_dir = args.build_dir
+    if not os.path.isabs(build_dir):
+        build_dir = os.path.join(repo_root, build_dir)
+
+    if args.sweep:
+        tracked = os.path.join(repo_root, "results", "BENCH_simcore.json")
+        entry = run_sweep_wallclock(build_dir,
+                                    args.label or git_label(repo_root))
+        doc = {"schema": 1}
+        if os.path.exists(tracked):
+            with open(tracked) as f:
+                doc = json.load(f)
+        series = doc.setdefault("sweep-wallclock", [])
+        series.append(entry)
+        del series[:-SWEEP_HISTORY]
+        with open(tracked, "w") as f:
+            json.dump(doc, f, indent=2)
+            f.write("\n")
+        print(f"sweep-wallclock: {entry['bench']} {' '.join(entry['args'])}: "
+              f"jobs=1 {entry['jobs1_s']:.2f}s, "
+              f"jobs={entry['host_cores']} {entry['jobsN_s']:.2f}s "
+              f"({entry['speedup']}x); wrote "
+              f"{os.path.relpath(tracked, repo_root)}")
+        return
+
+    binary = os.path.join(build_dir, "bench", "bench_simulator_native")
     if not os.path.exists(binary):
         sys.exit(f"bench binary not found: {binary} (build the "
                  f"bench_simulator_native target first)")

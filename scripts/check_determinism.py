@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Serial-vs-parallel determinism gate for the sweep runner.
+
+Runs a bench binary twice — once at --jobs=1 and once at --jobs=N
+(default 8) — with identical remaining arguments, and requires:
+
+  1. stdout byte-identical (tables, CSV blocks, closing notes);
+  2. the --metrics tables (appended to stdout at exit) identical, since
+     the run adds --metrics to both invocations;
+  3. the --profile= attribution JSON byte-identical after stripping the
+     wall-clock "generated_wall_s" style fields that legitimately vary
+     (the profile is keyed by simulated time, so everything else must
+     match exactly).
+
+Usage:
+  check_determinism.py --run <bench> [bench args...]
+  check_determinism.py --run <bench> --jobs-parallel 4 -- --quick
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+# Wall-clock-derived keys that may differ between runs of the same
+# simulation; everything else in the profile must match byte-for-byte.
+VOLATILE_KEYS = {"generated_wall_s", "wall_clock_s", "host"}
+
+
+def fail(msg):
+    print("check_determinism: FAIL:", msg, file=sys.stderr)
+    sys.exit(1)
+
+
+def scrub(obj):
+    if isinstance(obj, dict):
+        return {k: scrub(v) for k, v in sorted(obj.items())
+                if k not in VOLATILE_KEYS}
+    if isinstance(obj, list):
+        return [scrub(v) for v in obj]
+    return obj
+
+
+def run_once(bench, args, jobs, profile_path):
+    cmd = [bench, f"--jobs={jobs}", "--metrics",
+           f"--profile={profile_path}"] + args
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        fail(f"{' '.join(cmd)} exited {proc.returncode}:\n{proc.stderr}")
+    return proc.stdout
+
+
+def main(argv):
+    if len(argv) < 2 or argv[0] != "--run":
+        print(__doc__)
+        return 2
+    bench = argv[1]
+    rest = argv[2:]
+    jobs_parallel = 8
+    if rest and rest[0] == "--jobs-parallel":
+        jobs_parallel = int(rest[1])
+        rest = rest[2:]
+    if rest and rest[0] == "--":
+        rest = rest[1:]
+
+    with tempfile.TemporaryDirectory() as tmp:
+        p1 = os.path.join(tmp, "serial.json")
+        pn = os.path.join(tmp, "parallel.json")
+        out1 = run_once(bench, rest, 1, p1)
+        outn = run_once(bench, rest, jobs_parallel, pn)
+
+        if out1 != outn:
+            import difflib
+            diff = "\n".join(difflib.unified_diff(
+                out1.splitlines(), outn.splitlines(),
+                "jobs=1", f"jobs={jobs_parallel}", lineterm=""))
+            fail("stdout differs between --jobs=1 and "
+                 f"--jobs={jobs_parallel}:\n{diff[:4000]}")
+
+        with open(p1) as f:
+            prof1 = json.load(f)
+        with open(pn) as f:
+            profn = json.load(f)
+        if scrub(prof1) != scrub(profn):
+            fail("--profile= artifacts differ between --jobs=1 and "
+                 f"--jobs={jobs_parallel}")
+
+    name = os.path.basename(bench)
+    print(f"check_determinism: OK: {name} {' '.join(rest)} is byte-identical "
+          f"at --jobs=1 and --jobs={jobs_parallel} (stdout + metrics + "
+          "profile)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Race-detection gate for the parallel sweep runner.
+#
+# Configures a ThreadSanitizer build (-DXTSIM_SAN=thread), builds the
+# sweep unit suite, and runs every test carrying the tsan_smoke label:
+# the runner/shard tests, which drive worker pools, concurrent shard
+# recording and the absorb merge under TSan.  Any data race aborts the
+# run (TSAN_OPTIONS halt_on_error), failing the gate.  (The jobs=1-vs-
+# jobs=8 bench determinism ctests stay in the regular build: two full
+# bench runs per test are too slow under TSan's ~10x slowdown.)
+#
+# Usage: scripts/check_threads.sh [build-dir]   # default: build-tsan
+set -euo pipefail
+build="${1:-build-tsan}"
+
+cmake -B "$build" -S . -DXTSIM_SAN=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$build" -j"$(nproc)" --target test_runner_sweep
+TSAN_OPTIONS="halt_on_error=1" ctest --test-dir "$build" -L tsan_smoke \
+  --output-on-failure
+echo "check_threads: OK: tsan_smoke suite clean under ThreadSanitizer"

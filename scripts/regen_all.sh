@@ -1,9 +1,20 @@
 #!/usr/bin/env bash
 # Regenerate every table and figure of the paper into results/.
-# Usage: scripts/regen_all.sh [--quick|--full] [build-dir]
+# Usage: scripts/regen_all.sh [--quick|--full] [--jobs=N] [build-dir]
+# --jobs=N is forwarded to every bench (parallel sweep runner); the
+# default lets each bench pick the host's core count.  Output is
+# identical at any N.
 set -euo pipefail
-mode="${1:---default}"
-build="${2:-build}"
+mode="--default"
+jobs=""
+build="build"
+for arg in "$@"; do
+  case "$arg" in
+    --quick|--full) mode="$arg" ;;
+    --jobs=*)       jobs="$arg" ;;
+    *)              build="$arg" ;;
+  esac
+done
 flag=""
 case "$mode" in
   --quick) flag="--quick" ;;
@@ -16,7 +27,7 @@ for b in "$build"/bench/bench_*; do
   case "$name" in
     *_native) continue ;;  # google-benchmark micro-benches: run directly
   esac
-  echo "== $name $flag"
-  "$b" $flag --csv | tee "results/$name.txt"
+  echo "== $name $flag $jobs"
+  "$b" $flag $jobs --csv | tee "results/$name.txt"
 done
 echo "Wrote results/*.txt"

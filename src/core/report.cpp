@@ -82,6 +82,14 @@ BenchOptions BenchOptions::parse(int argc, char** argv,
       opt.full = true;
     } else if (arg == "--metrics") {
       opt.metrics = true;
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      const std::string v = arg.substr(7);
+      char* end = nullptr;
+      const long j = std::strtol(v.c_str(), &end, 10);
+      if (v.empty() || end == nullptr || *end != '\0' || j < 1 ||
+          j > 4096)
+        throw UsageError("--jobs= needs an integer in [1, 4096]");
+      opt.jobs = static_cast<int>(j);
     } else if (arg.rfind("--trace=", 0) == 0) {
       opt.trace_file = arg.substr(8);
       if (opt.trace_file.empty())
@@ -95,6 +103,9 @@ BenchOptions BenchOptions::parse(int argc, char** argv,
                 << "  --csv           also emit CSV blocks for replotting\n"
                 << "  --quick         reduced sweep (CI-sized)\n"
                 << "  --full          paper-scale sweep (slow)\n"
+                << "  --jobs=N        run N sweep points concurrently "
+                   "(default: host cores;\n"
+                   "                  output is identical at any N)\n"
                 << "  --trace=FILE    write a chrome://tracing span trace\n"
                 << "  --profile=FILE  write a profiling/attribution report "
                    "(xtsim_profile JSON)\n"

@@ -38,15 +38,16 @@ class Table {
 };
 
 /// Shared CLI handling for bench binaries: recognizes --csv, --quick,
-/// --full, --trace=<file>, --metrics, --profile=<file> and --help.
-/// Anything unrecognized raises UsageError.  The observability flags
-/// are plain data here — benches hand them to obsv::arm_cli (core
-/// cannot depend on obsv).
+/// --full, --jobs=N, --trace=<file>, --metrics, --profile=<file> and
+/// --help.  Anything unrecognized raises UsageError.  The observability
+/// flags are plain data here — benches hand them to obsv::arm_cli, and
+/// --jobs to runner::sweep (core cannot depend on obsv/runner).
 struct BenchOptions {
   bool csv = false;        ///< also emit CSV blocks
   bool quick = false;      ///< reduced sweep for CI
   bool full = false;       ///< paper-scale sweep (slow)
   bool metrics = false;    ///< print metrics/utilization tables at exit
+  int jobs = 0;            ///< sweep parallelism; 0 = hardware concurrency
   std::string trace_file;  ///< Chrome trace output path ("" = off)
   std::string profile_file;  ///< attribution profile JSON path ("" = off)
 

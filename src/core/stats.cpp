@@ -21,6 +21,23 @@ void RunningStats::add(double x) noexcept {
   m2_ += delta * (x - mean_);
 }
 
+void RunningStats::merge(const RunningStats& o) noexcept {
+  if (o.n_ == 0) return;
+  if (n_ == 0) {
+    *this = o;
+    return;
+  }
+  min_ = std::min(min_, o.min_);
+  max_ = std::max(max_, o.max_);
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(o.n_);
+  const double delta = o.mean_ - mean_;
+  mean_ += delta * nb / (na + nb);
+  m2_ += o.m2_ + delta * delta * na * nb / (na + nb);
+  n_ += o.n_;
+  sum_ += o.sum_;
+}
+
 double RunningStats::variance() const noexcept {
   return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
 }

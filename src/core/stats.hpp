@@ -13,6 +13,10 @@ namespace xts {
 class RunningStats {
  public:
   void add(double x) noexcept;
+  /// Fold another accumulator in (Chan et al. parallel combine).  Used
+  /// to merge per-shard metrics after a parallel sweep; merge order
+  /// must be deterministic for reproducible means/variances.
+  void merge(const RunningStats& o) noexcept;
 
   [[nodiscard]] std::size_t count() const noexcept { return n_; }
   [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
@@ -37,6 +41,11 @@ class SampleSet {
   void add(double x) {
     samples_.push_back(x);
     sorted_ = false;
+  }
+  /// Append another set's samples (shard merge; keeps exact percentiles).
+  void merge(const SampleSet& o) {
+    samples_.insert(samples_.end(), o.samples_.begin(), o.samples_.end());
+    if (!o.samples_.empty()) sorted_ = false;
   }
   void reserve(std::size_t n) { samples_.reserve(n); }
 

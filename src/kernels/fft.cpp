@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <numbers>
+#include <vector>
 
 #include "core/error.hpp"
 
@@ -25,18 +26,25 @@ void fft_impl(std::span<Complex> a, bool inverse) {
   const std::size_t n = a.size();
   if (!is_pow2(n)) throw UsageError("fft: size must be a power of two");
   bit_reverse_permute(a);
+  // Precomputed n/2-point twiddle table for the final stage; stage
+  // `len` strides through it at n/len.  Each entry comes straight from
+  // cos/sin, so there is no accumulated error from the old w *= wlen
+  // running product, and the inner loop loses the complex multiply.
+  const double base =
+      (inverse ? 2.0 : -2.0) * std::numbers::pi / static_cast<double>(n);
+  std::vector<Complex> twiddle(n / 2);
+  for (std::size_t j = 0; j < twiddle.size(); ++j) {
+    const double angle = base * static_cast<double>(j);
+    twiddle[j] = Complex(std::cos(angle), std::sin(angle));
+  }
   for (std::size_t len = 2; len <= n; len <<= 1) {
-    const double angle =
-        (inverse ? 2.0 : -2.0) * std::numbers::pi / static_cast<double>(len);
-    const Complex wlen(std::cos(angle), std::sin(angle));
+    const std::size_t stride = n / len;
     for (std::size_t i = 0; i < n; i += len) {
-      Complex w(1.0, 0.0);
       for (std::size_t j = 0; j < len / 2; ++j) {
         const Complex u = a[i + j];
-        const Complex v = a[i + j + len / 2] * w;
+        const Complex v = a[i + j + len / 2] * twiddle[j * stride];
         a[i + j] = u + v;
         a[i + j + len / 2] = u - v;
-        w *= wlen;
       }
     }
   }

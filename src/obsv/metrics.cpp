@@ -49,6 +49,15 @@ std::size_t Registry::counter_labels(std::string_view family) const {
   return fit == counters_.end() ? 0 : fit->second.size();
 }
 
+void Registry::merge(const Registry& o) {
+  for (const auto& [family, labels] : o.counters_)
+    for (const auto& [label, c] : labels) counter(family, label).merge(c);
+  for (const auto& [family, labels] : o.gauges_)
+    for (const auto& [label, g] : labels) gauge(family, label).merge(g);
+  for (const auto& [family, labels] : o.histograms_)
+    for (const auto& [label, h] : labels) histogram(family, label).merge(h);
+}
+
 void Registry::clear() {
   counters_.clear();
   gauges_.clear();

@@ -26,6 +26,7 @@ class Counter {
  public:
   void add(double d = 1.0) noexcept { value_ += d; }
   [[nodiscard]] double value() const noexcept { return value_; }
+  void merge(const Counter& o) noexcept { value_ += o.value_; }
 
  private:
   double value_ = 0.0;
@@ -41,6 +42,14 @@ class Gauge {
   }
   [[nodiscard]] double value() const noexcept { return value_; }
   [[nodiscard]] double max() const noexcept { return max_; }
+  /// Fold a later shard in: its last value wins (matching serial
+  /// last-write semantics when shards merge in sweep order).
+  void merge(const Gauge& o) noexcept {
+    if (!o.seen_) return;
+    value_ = o.value_;
+    max_ = seen_ ? (o.max_ > max_ ? o.max_ : max_) : o.max_;
+    seen_ = true;
+  }
 
  private:
   double value_ = 0.0;
@@ -66,6 +75,10 @@ class Histogram {
     return samples_.percentile(q);
   }
   [[nodiscard]] const RunningStats& stats() const noexcept { return stats_; }
+  void merge(const Histogram& o) {
+    stats_.merge(o.stats_);
+    samples_.merge(o.samples_);
+  }
 
  private:
   RunningStats stats_;
@@ -106,6 +119,11 @@ class Registry {
   [[nodiscard]] bool empty() const noexcept {
     return counters_.empty() && gauges_.empty() && histograms_.empty();
   }
+
+  /// Fold another registry in, metric by (family, label).  Shards from
+  /// a parallel sweep merge in sweep order, so the result is identical
+  /// at any --jobs=N.
+  void merge(const Registry& o);
 
   void clear();
 

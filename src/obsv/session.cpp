@@ -9,6 +9,9 @@ std::unique_ptr<Session>& slot() {
   static std::unique_ptr<Session> s;
   return s;
 }
+// The shard the current thread records into (runner/sweep.hpp installs
+// one per sweep task via ShardScope).
+thread_local Shard* tls_shard = nullptr;
 }  // namespace
 
 bool WorldObs::tracing() const noexcept { return session_->tracing(); }
@@ -18,8 +21,16 @@ bool WorldObs::spans_enabled() const noexcept {
   return session_->tracing() || prof_ != nullptr;
 }
 
+TraceSink& WorldObs::sink_mut() noexcept {
+  return shard_ != nullptr ? shard_->sink_ : session_->sink();
+}
+
+const TraceSink& WorldObs::sink() const noexcept {
+  return shard_ != nullptr ? shard_->sink_ : session_->sink();
+}
+
 std::uint32_t WorldObs::intern(std::string_view name) {
-  return session_->sink().intern(name);
+  return sink_mut().intern(name);
 }
 
 void WorldObs::span(std::int32_t lane, Cat cat, std::uint32_t name,
@@ -37,16 +48,50 @@ void WorldObs::span(std::int32_t lane, Cat cat, std::uint32_t name,
   e.world = world_;
   e.lane = lane;
   e.cat = cat;
-  session_->sink().emit(e);
+  sink_mut().emit(e);
 }
 
-Registry& WorldObs::registry() noexcept { return session_->registry(); }
+Registry& WorldObs::registry() noexcept {
+  return shard_ != nullptr ? shard_->registry_ : session_->registry();
+}
+
+void WorldObs::add_world_summary(WorldSummary s) {
+  if (shard_ != nullptr)
+    shard_->summaries_.push_back(std::move(s));
+  else
+    session_->add_world_summary(std::move(s));
+}
 
 void WorldObs::finalize_profile(int nranks, const RouteFn& route_fn) {
   if (!prof_) return;
-  session_->add_world_profile(prof_->finalize(nranks, route_fn));
+  WorldProfileResult r = prof_->finalize(nranks, route_fn);
   prof_.reset();
+  if (shard_ != nullptr)
+    shard_->profiles_.push_back(std::move(r));
+  else
+    session_->add_world_profile(std::move(r));
 }
+
+Shard::Shard(Session& session)
+    : session_(&session), sink_(session.options().trace_capacity) {}
+
+Shard* Shard::current() noexcept { return tls_shard; }
+
+WorldObs* Shard::register_world() {
+  const std::uint32_t ordinal = next_world_++;
+  worlds_.push_back(
+      std::unique_ptr<WorldObs>(new WorldObs(session_, this, ordinal)));
+  WorldObs* obs = worlds_.back().get();
+  if (session_->profiling())
+    obs->prof_ = std::make_unique<WorldProfile>(sink_, ordinal);
+  return obs;
+}
+
+ShardScope::ShardScope(Shard* shard) noexcept : prev_(tls_shard) {
+  if (shard != nullptr) tls_shard = shard;
+}
+
+ShardScope::~ShardScope() { tls_shard = prev_; }
 
 Session::Session(Options opt) : opt_(opt), sink_(opt.trace_capacity) {}
 
@@ -60,9 +105,11 @@ Session& Session::start(Options opt) {
 void Session::stop() { slot().reset(); }
 
 WorldObs* Session::register_world() {
-  const auto ordinal = static_cast<std::uint32_t>(worlds_.size());
+  if (Shard* shard = Shard::current()) return shard->register_world();
+  const std::lock_guard<std::mutex> lock(mu_);
+  const std::uint32_t ordinal = next_world_++;
   worlds_.push_back(
-      std::unique_ptr<WorldObs>(new WorldObs(this, ordinal)));
+      std::unique_ptr<WorldObs>(new WorldObs(this, nullptr, ordinal)));
   WorldObs* obs = worlds_.back().get();
   if (opt_.profiling)
     obs->prof_ = std::make_unique<WorldProfile>(sink_, ordinal);
@@ -70,11 +117,52 @@ WorldObs* Session::register_world() {
 }
 
 void Session::add_world_summary(WorldSummary s) {
+  const std::lock_guard<std::mutex> lock(mu_);
   summaries_.push_back(std::move(s));
 }
 
 void Session::add_world_profile(WorldProfileResult p) {
+  const std::lock_guard<std::mutex> lock(mu_);
   profiles_.push_back(std::move(p));
+}
+
+void Session::absorb(Shard&& shard) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const std::uint32_t base = next_world_;
+  next_world_ += shard.next_world_;
+
+  // Remap the shard's interned names into the session sink.  Ids are
+  // dense (0..name_count), so a flat vector suffices.
+  std::vector<std::uint32_t> remap(shard.sink_.name_count());
+  for (std::uint32_t id = 0; id < remap.size(); ++id)
+    remap[id] = sink_.intern(shard.sink_.name(id));
+
+  shard.sink_.for_each([&](const TraceEvent& e) {
+    TraceEvent copy = e;
+    copy.name = remap[copy.name];
+    copy.world += base;
+    sink_.emit(copy);
+  });
+  sink_.add_dropped(shard.sink_.dropped());
+
+  for (WorldSummary& s : shard.summaries_) {
+    s.world += base;
+    summaries_.push_back(std::move(s));
+  }
+  for (WorldProfileResult& p : shard.profiles_) {
+    p.world += base;
+    profiles_.push_back(std::move(p));
+  }
+  registry_.merge(shard.registry_);
+
+  // Keep the shard's WorldObs handles alive for the session's lifetime
+  // (mirrors the direct-registration ownership rule; any World still
+  // holding one must already be destroyed, but the handles stay valid).
+  for (auto& w : shard.worlds_) {
+    w->shard_ = nullptr;
+    w->world_ += base;
+    worlds_.push_back(std::move(w));
+  }
 }
 
 }  // namespace xts::obsv

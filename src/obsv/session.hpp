@@ -3,23 +3,38 @@
 /// \file session.hpp
 /// Process-wide observability session.
 ///
-/// Exactly one Session may be active at a time (the simulator is
-/// single-threaded, so no locking).  While a session is active, each
-/// World constructed registers itself and receives a WorldObs* handle;
-/// a null handle — the common case, no session — is the entire cost of
-/// the instrumentation when observability is off: every instrumented
-/// site guards on `if (obs_)`.
+/// Exactly one Session may be active at a time.  While a session is
+/// active, each World constructed registers itself and receives a
+/// WorldObs* handle; a null handle — the common case, no session — is
+/// the entire cost of the instrumentation when observability is off:
+/// every instrumented site guards on `if (obs_)`.
 ///
 /// A World pushes a WorldSummary (per-link byte/busy/contention totals,
 /// message counts, end time) into the session when it is destroyed, so
 /// exporters can report network utilization even though benches build
 /// and tear down many Worlds before the process exits.
 ///
-/// Lifetime rule: destroy all Worlds registered with a session before
-/// calling Session::stop() — WorldObs handles are owned by the session.
+/// Concurrency model (docs/PARALLELISM.md).  The simulator itself is
+/// single-threaded per World, but the sweep runner (runner/sweep.hpp)
+/// runs independent Worlds on several host threads.  The hot recording
+/// paths (span emission, metric updates) are never locked; instead each
+/// sweep task gets a *Shard* — a thread-confined TraceSink + Registry +
+/// result buffers — installed via ShardScope.  Worlds built while a
+/// shard is current record exclusively into it.  After the sweep joins,
+/// Session::absorb() folds the shards back in *sweep-submission order*,
+/// remapping interned name ids and world ordinals, so the merged
+/// session state is bit-for-bit identical at any --jobs=N.  The few
+/// Session-level mutations that can race (direct register_world /
+/// summary pushes from unsharded threads) are mutex-guarded.
+///
+/// Lifetime rules: destroy all Worlds registered with a session before
+/// calling Session::stop() — WorldObs handles are owned by the session
+/// (or by the shard they were registered through).  Session::start/stop
+/// must not be called while a sweep is running.
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string_view>
 #include <vector>
 
@@ -75,8 +90,11 @@ struct WorldSummary {
 };
 
 class Session;
+class Shard;
 
 /// Per-world handle; a World holds `WorldObs* obs_` (null = disabled).
+/// All recording routes through the owning shard when the world was
+/// registered under a ShardScope, so it is confined to that thread.
 class WorldObs {
  public:
   [[nodiscard]] bool tracing() const noexcept;
@@ -92,10 +110,16 @@ class WorldObs {
   [[nodiscard]] std::uint64_t next_msg_id() noexcept { return ++msg_ids_; }
 
   std::uint32_t intern(std::string_view name);
+  /// The sink this world records into (shard-local under a sweep).
+  [[nodiscard]] const TraceSink& sink() const noexcept;
   void span(std::int32_t lane, Cat cat, std::uint32_t name, SimTime t0,
             SimTime t1, std::uint64_t id = 0, double a0 = 0.0,
             double a1 = 0.0);
   [[nodiscard]] Registry& registry() noexcept;
+
+  /// Record this world's teardown summary (called by
+  /// World::collect_summary); shard-local under a sweep.
+  void add_world_summary(WorldSummary s);
 
   /// Fold the accumulated profile into the session's results (called
   /// by World::collect_summary).  No-op when profiling is off.
@@ -103,13 +127,64 @@ class WorldObs {
 
  private:
   friend class Session;
-  WorldObs(Session* session, std::uint32_t world) noexcept
-      : session_(session), world_(world) {}
+  friend class Shard;
+  WorldObs(Session* session, Shard* shard, std::uint32_t world) noexcept
+      : session_(session), shard_(shard), world_(world) {}
+
+  [[nodiscard]] TraceSink& sink_mut() noexcept;
 
   Session* session_;
+  Shard* shard_;  ///< null when registered directly on the session
   std::uint32_t world_;
   std::uint64_t msg_ids_ = 0;
   std::unique_ptr<WorldProfile> prof_;  ///< null unless Options::profiling
+};
+
+/// Thread-confined observability state for one sweep task.  Created on
+/// the submitting thread, written by exactly one worker thread while a
+/// ShardScope is active there, then absorbed back into the session (in
+/// sweep order) after the pool joins.
+class Shard {
+ public:
+  explicit Shard(Session& session);
+
+  Shard(const Shard&) = delete;
+  Shard& operator=(const Shard&) = delete;
+
+  /// The shard the current thread records into, or null.
+  [[nodiscard]] static Shard* current() noexcept;
+
+  /// Worlds registered through this shard so far.
+  [[nodiscard]] std::uint32_t worlds() const noexcept { return next_world_; }
+
+ private:
+  friend class Session;
+  friend class WorldObs;
+  friend class ShardScope;
+
+  WorldObs* register_world();
+
+  Session* session_;
+  TraceSink sink_;
+  Registry registry_;
+  std::uint32_t next_world_ = 0;  ///< shard-local ordinals, rebased on absorb
+  std::vector<std::unique_ptr<WorldObs>> worlds_;
+  std::vector<WorldSummary> summaries_;
+  std::vector<WorldProfileResult> profiles_;
+};
+
+/// RAII: route the current thread's world registration and recording
+/// into `shard` (null = no-op).  Nesting restores the previous shard.
+class ShardScope {
+ public:
+  explicit ShardScope(Shard* shard) noexcept;
+  ~ShardScope();
+
+  ShardScope(const ShardScope&) = delete;
+  ShardScope& operator=(const ShardScope&) = delete;
+
+ private:
+  Shard* prev_;
 };
 
 class Session {
@@ -132,7 +207,8 @@ class Session {
     return registry_;
   }
 
-  /// Register a World; the returned handle is owned by the session.
+  /// Register a World; the returned handle is owned by the session (or
+  /// by the current thread's shard when one is installed).
   WorldObs* register_world();
   void add_world_summary(WorldSummary s);
   [[nodiscard]] const std::vector<WorldSummary>& summaries() const noexcept {
@@ -144,15 +220,28 @@ class Session {
     return profiles_;
   }
 
+  /// Fold a completed shard back in: remap its interned name ids into
+  /// the session sink, rebase its world ordinals past the worlds
+  /// absorbed so far, append spans/summaries/profiles, and merge its
+  /// registry.  Callers (the sweep runner) absorb shards in sweep
+  /// submission order, which makes the merged state deterministic.
+  void absorb(Shard&& shard);
+
   explicit Session(Options opt);
 
  private:
   Options opt_;
   TraceSink sink_;
   Registry registry_;
+  std::uint32_t next_world_ = 0;
   std::vector<std::unique_ptr<WorldObs>> worlds_;
   std::vector<WorldSummary> summaries_;
   std::vector<WorldProfileResult> profiles_;
+  // Guards the slow-path mutations above (world registration, summary
+  // and profile pushes, shard absorption) against unsharded threads.
+  // Span emission and metric updates are deliberately unguarded: they
+  // are thread-confined by the shard design.
+  std::mutex mu_;
 };
 
 }  // namespace xts::obsv

@@ -60,6 +60,10 @@ class TraceSink {
   /// Intern a span name; stable for the lifetime of the sink.
   std::uint32_t intern(std::string_view name);
   [[nodiscard]] const std::string& name(std::uint32_t id) const;
+  /// Interned names so far (ids are 0..name_count()-1).
+  [[nodiscard]] std::uint32_t name_count() const noexcept {
+    return static_cast<std::uint32_t>(names_.size());
+  }
 
   void emit(const TraceEvent& e);
 
@@ -70,6 +74,9 @@ class TraceSink {
   }
   /// Spans overwritten because the ring wrapped.
   [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+  /// Account for spans dropped elsewhere (a shard sink that wrapped
+  /// before being folded into this one — see obsv::Shard).
+  void add_dropped(std::uint64_t n) noexcept { dropped_ += n; }
 
   /// Retained spans, oldest first.
   [[nodiscard]] std::vector<TraceEvent> snapshot() const;

@@ -1,0 +1,99 @@
+#include "runner/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
+#include <numeric>
+#include <thread>
+
+#include "core/error.hpp"
+#include "obsv/session.hpp"
+
+namespace xts::runner {
+
+namespace {
+thread_local bool tls_in_sweep = false;
+}  // namespace
+
+int default_jobs() noexcept {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<int>(hc);
+}
+
+bool in_sweep() noexcept { return tls_in_sweep; }
+
+namespace detail {
+
+void run_points(std::vector<std::function<void()>>& points, int jobs,
+                const std::vector<double>& weights) {
+  if (tls_in_sweep)
+    throw UsageError(
+        "runner::sweep: nested submit — a sweep point cannot start "
+        "another sweep (its worlds are confined to one thread)");
+  if (!weights.empty() && weights.size() != points.size())
+    throw UsageError("runner::sweep: weights size does not match points");
+  const std::size_t n = points.size();
+  if (n == 0) return;
+  if (jobs <= 0) jobs = default_jobs();
+
+  // Execution order: longest expected point first when weights are
+  // given (stable, so equal weights keep submission order).  Results
+  // and shard absorption always follow submission order, so the
+  // schedule never shows in the output.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  if (!weights.empty())
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return weights[a] > weights[b];
+                     });
+
+  // One thread-confined obsv shard per point (only when a session is
+  // observing); absorbed in submission order after the pool joins.
+  obsv::Session* session = obsv::Session::active();
+  std::vector<std::unique_ptr<obsv::Shard>> shards(n);
+  if (session != nullptr)
+    for (std::size_t i = 0; i < n; ++i)
+      shards[i] = std::make_unique<obsv::Shard>(*session);
+
+  std::vector<std::exception_ptr> errors(n);
+  std::atomic<std::size_t> next{0};
+  auto worker = [&]() noexcept {
+    tls_in_sweep = true;
+    for (;;) {
+      const std::size_t slot = next.fetch_add(1, std::memory_order_relaxed);
+      if (slot >= n) break;
+      const std::size_t i = order[slot];
+      const obsv::ShardScope scope(shards[i].get());
+      try {
+        points[i]();
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+    tls_in_sweep = false;
+  };
+
+  const int nthreads = static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(jobs), n));
+  if (nthreads <= 1) {
+    worker();  // jobs=1 passthrough: inline on the calling thread
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(nthreads));
+    for (int t = 0; t < nthreads; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  if (session != nullptr)
+    for (std::size_t i = 0; i < n; ++i)
+      session->absorb(std::move(*shards[i]));
+
+  for (std::size_t i = 0; i < n; ++i)
+    if (errors[i]) std::rethrow_exception(errors[i]);
+}
+
+}  // namespace detail
+
+}  // namespace xts::runner

@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file sweep.hpp
+/// Parallel sweep runner: execute independent simulation points across
+/// host cores.
+///
+/// Every figure in the paper is a sweep — platform x exec mode x core
+/// count — and each point builds, runs and tears down its own World /
+/// Engine / FlowNetwork, so points are embarrassingly parallel.  The
+/// runner executes them on a fixed-size pool of host threads and
+/// returns results **in submission order**, so table/report output is
+/// bit-for-bit identical to a serial run at any jobs count:
+///
+///   std::vector<std::function<double()>> points;
+///   for (int n : counts)
+///     points.push_back([=] { return hpcc::hpl_tflops(xt4, mode, n); });
+///   const std::vector<double> v = runner::sweep(std::move(points), jobs);
+///
+/// Determinism.  Each point's World is seeded explicitly and touches
+/// no cross-world state; the one process-wide structure, the
+/// obsv::Session, is handled by giving every point a thread-confined
+/// obsv::Shard (installed for the duration of the point) and absorbing
+/// the shards back into the session in submission order after the pool
+/// joins.  See docs/PARALLELISM.md.
+///
+/// Scheduling.  Workers pull points longest-expected-first when cost
+/// weights are supplied (a sweep's largest world otherwise lands last
+/// and serializes the tail); results are still returned in submission
+/// order.  jobs <= 0 selects the host's hardware concurrency; jobs == 1
+/// runs every point inline on the calling thread (no threads spawned).
+///
+/// Errors.  A throwing point does not abort its siblings: every point
+/// runs, and the first exception in submission order is rethrown after
+/// the pool joins and shards are absorbed.  Submitting a sweep from
+/// inside a sweep point throws UsageError (worlds sharing a shard must
+/// stay on one thread).
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace xts::runner {
+
+/// Pool width used for jobs <= 0: hardware concurrency, at least 1.
+[[nodiscard]] int default_jobs() noexcept;
+
+/// True while the calling thread is executing a sweep point.
+[[nodiscard]] bool in_sweep() noexcept;
+
+namespace detail {
+/// Type-erased core: run every task, `jobs` at a time, with per-task
+/// obsv shards; rethrows the first (submission-order) exception.
+/// `weights[i]` orders execution longest-first when non-empty.
+void run_points(std::vector<std::function<void()>>& points, int jobs,
+                const std::vector<double>& weights);
+}  // namespace detail
+
+/// Run every point and return their results in submission order.
+/// `weights` (optional, same length) are relative cost hints — e.g.
+/// the point's rank count — used only to schedule long points first.
+template <typename T>
+std::vector<T> sweep(std::vector<std::function<T()>> points, int jobs = 0,
+                     const std::vector<double>& weights = {}) {
+  std::vector<T> results(points.size());
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i)
+    tasks.emplace_back(
+        [&results, &points, i] { results[i] = points[i](); });
+  detail::run_points(tasks, jobs, weights);
+  return results;
+}
+
+/// Index form: run `fn(i)` for i in [0, n) and collect the results.
+template <typename Fn>
+auto sweep_index(std::size_t n, int jobs, Fn fn,
+                 const std::vector<double>& weights = {})
+    -> std::vector<decltype(fn(std::size_t{0}))> {
+  using T = decltype(fn(std::size_t{0}));
+  std::vector<std::function<T()>> points;
+  points.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    points.emplace_back([fn, i] { return fn(i); });
+  return sweep<T>(std::move(points), jobs, weights);
+}
+
+}  // namespace xts::runner

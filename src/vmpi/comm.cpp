@@ -64,7 +64,7 @@ void SpanScope::close() {
   const SimTime t1 = world_->engine().now();
   if (obs->spans_enabled()) obs->span(lane_, cat_, name_, t0_, t1);
   if (obs->metrics()) {
-    const std::string& name = obs->session().sink().name(name_);
+    const std::string& name = obs->sink().name(name_);
     const char* family = cat_ == obsv::Cat::kCollective ? "coll.time"
                          : cat_ == obsv::Cat::kCompute  ? "compute.time"
                                                         : "phase.time";

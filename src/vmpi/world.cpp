@@ -109,7 +109,7 @@ void World::collect_summary() {
   s.class_series.reserve(network_->class_samples().size());
   for (const auto& cs : network_->class_samples())
     s.class_series.push_back({cs.t, cs.cls, cs.load});
-  obs_->session().add_world_summary(std::move(s));
+  obs_->add_world_summary(std::move(s));
 
   // Fold the accumulated profile (no-op when profiling is off).  The
   // route resolver charges each critical-path message to the links of
