@@ -22,7 +22,25 @@ benches (ISSUE: profiling layer must be free when off).
 The file also carries a "sweep-wallclock" series (--sweep): wall-clock
 of the figs 8-11 sweep bench at --jobs=1 vs --jobs=N (the parallel
 sweep runner), appended per run so the serial/parallel ratio is
-tracked over PRs alongside the events/sec metrics.
+tracked over PRs alongside the events/sec metrics.  A sibling
+"worldthreads-wallclock" series (--world-threads) does the same for
+the intra-World parallel rate path (bench_alltoall_scale at
+--world-threads=1 vs N); host_cores is recorded with each entry so a
+1.0x number on a single-core box reads as what it is.
+
+--rss measures the per-rank memory footprint of one World: it runs
+bench_alltoall_scale --build-only --rss once per rank count (a fresh
+process each time — peak RSS is a process high-water mark), parses the
+rss: lines, and records bytes/rank under "rss" in the tracked JSON.
+With --check it enforces the memory-diet acceptance gate: current
+bytes/rank must sit at or below (1 - RSS_DROP) x the frozen pre-diet
+baseline, and must not regress above RSS_MAX_RATIO x the best
+(reference) value seen.
+
+Every JSON write goes through an atomic rename: the document is
+written to "<out>.tmp" (covered by the results/*.tmp gitignore rule,
+so an interrupted run never leaves a half-written tracked file or an
+untracked stray) and os.replace()d into place.
 
 Modes:
   (default)        full run, update "current"/"reference", write JSON
@@ -35,6 +53,11 @@ Modes:
   --sweep          time build/bench/bench_fig08_11_global (--quick by
                    default, SWEEP_ARGS to override) at --jobs=1 and
                    --jobs=N and append to the "sweep-wallclock" series
+  --world-threads  time build/bench/bench_alltoall_scale at
+                   --world-threads=1 vs N and append to the
+                   "worldthreads-wallclock" series
+  --rss            record World bytes/rank at RSS_COUNTS rank counts;
+                   with --check, enforce the drop/regression gates
   --save-baseline  overwrite the stored baseline with this run
   --check          additionally fail (exit 1) if any metric drops below
                    MIN_RATIO x its reference value
@@ -79,7 +102,32 @@ def run_bench(binary, smoke):
 
 SWEEP_BENCH = "bench_fig08_11_global"
 SWEEP_ARGS = ["--quick"]
-SWEEP_HISTORY = 50  # entries kept in the sweep-wallclock series
+SWEEP_HISTORY = 50  # entries kept in the wallclock series
+
+WT_BENCH = "bench_alltoall_scale"
+WT_ARGS = ["--ranks=512"]
+WT_THREADS = 8
+
+RSS_BENCH = "bench_alltoall_scale"
+RSS_COUNTS = [65536, 262144]
+RSS_DROP = 0.30      # --check: required drop of current vs baseline
+RSS_MAX_RATIO = 1.25  # --check: tolerated growth over the reference
+
+
+def write_json_atomic(path, doc):
+    """Write doc to path via a same-directory temp file + atomic rename.
+
+    The temp name ends in .tmp so an interrupted run leaves only a file
+    the results/*.tmp gitignore rule already covers.
+    """
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    tmp = path + ".tmp"
+    with open(tmp, "w") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+        f.flush()
+        os.fsync(f.fileno())
+    os.replace(tmp, path)
 
 
 def time_bench(cmd):
@@ -107,6 +155,110 @@ def run_sweep_wallclock(build_dir, label):
     }
 
 
+def run_worldthreads_wallclock(build_dir, label):
+    """Time the alltoall scale driver serial vs intra-World threaded.
+
+    Unlike --jobs (independent Worlds pinned to host cores), the
+    world-threads axis only pays off with real cores to fan the rate
+    waves across; host_cores in the entry keeps a 1.0x reading honest
+    on single-core boxes.
+    """
+    binary = os.path.join(build_dir, "bench", WT_BENCH)
+    if not os.path.exists(binary):
+        sys.exit(f"bench not found: {binary} (build {WT_BENCH})")
+    serial = time_bench([binary, "--world-threads=1"] + WT_ARGS)
+    threaded = time_bench([binary, f"--world-threads={WT_THREADS}"] + WT_ARGS)
+    return {
+        "label": label,
+        "bench": WT_BENCH,
+        "args": WT_ARGS,
+        "host_cores": os.cpu_count() or 1,
+        "world_threads": WT_THREADS,
+        "wt1_s": round(serial, 4),
+        "wtN_s": round(threaded, 4),
+        "speedup": round(serial / threaded, 3) if threaded > 0 else None,
+    }
+
+
+def measure_rss(build_dir):
+    """World bytes/rank by count, one fresh process per measurement."""
+    binary = os.path.join(build_dir, "bench", RSS_BENCH)
+    if not os.path.exists(binary):
+        sys.exit(f"bench not found: {binary} (build {RSS_BENCH})")
+    per_rank = {}
+    for n in RSS_COUNTS:
+        cmd = [binary, f"--ranks={n}", "--build-only", "--rss"]
+        proc = subprocess.run(cmd, stdout=subprocess.PIPE, check=True,
+                              text=True)
+        for line in proc.stdout.splitlines():
+            if not line.startswith("rss: "):
+                continue
+            fields = dict(kv.split("=", 1) for kv in line[5:].split())
+            if int(fields["ranks"]) == n:
+                per_rank[str(n)] = float(fields["bytes_per_rank"])
+        if str(n) not in per_rank:
+            sys.exit(f"no rss: line for ranks={n} in {' '.join(cmd)} output")
+    return per_rank
+
+
+def run_rss(repo_root, build_dir, args):
+    tracked = os.path.join(repo_root, "results", "BENCH_simcore.json")
+    doc = {"schema": 1}
+    if os.path.exists(tracked):
+        with open(tracked) as f:
+            doc = json.load(f)
+
+    label = args.label or git_label(repo_root)
+    per_rank = measure_rss(build_dir)
+    run = {"label": label, "bench": RSS_BENCH, "bytes_per_rank": per_rank}
+
+    rss = doc.setdefault("rss", {})
+    if args.save_baseline or "baseline" not in rss:
+        rss["baseline"] = run
+    rss["current"] = run
+
+    ref = dict(rss.get("reference", {}).get("bytes_per_rank", {}))
+    for count, val in per_rank.items():
+        if count not in ref or val < ref[count]:
+            ref[count] = val
+    rss["reference"] = {"label": label, "bytes_per_rank": ref}
+
+    base = rss["baseline"].get("bytes_per_rank", {})
+    rss["drop_vs_baseline"] = {
+        count: round(1.0 - val / base[count], 4)
+        for count, val in per_rank.items()
+        if isinstance(base.get(count), (int, float)) and base[count] > 0
+    }
+
+    write_json_atomic(tracked, doc)
+    for count in sorted(per_rank, key=int):
+        drop = rss["drop_vs_baseline"].get(count)
+        drop_s = f"{100 * drop:+.1f}% vs baseline" if drop is not None \
+            else "no measured baseline"
+        print(f"rss: ranks={count} bytes/rank={per_rank[count]:.1f} "
+              f"({drop_s})")
+    print(f"wrote {os.path.relpath(tracked, repo_root)}")
+
+    if args.check:
+        bad = []
+        for count, val in per_rank.items():
+            b = base.get(count)
+            if isinstance(b, (int, float)) and b > 0 \
+                    and val > (1.0 - RSS_DROP) * b:
+                bad.append(f"ranks={count}: {val:.1f} bytes/rank > "
+                           f"{1.0 - RSS_DROP:.2f} x baseline {b:.1f}")
+            r = rss["reference"]["bytes_per_rank"].get(count)
+            if r and val > RSS_MAX_RATIO * r:
+                bad.append(f"ranks={count}: {val:.1f} bytes/rank > "
+                           f"{RSS_MAX_RATIO} x reference {r:.1f}")
+        if bad:
+            for msg in bad:
+                print("REGRESSION:", msg, file=sys.stderr)
+            sys.exit(1)
+        print(f"check ok: bytes/rank down >= {100 * RSS_DROP:.0f}% vs "
+              f"baseline and within {RSS_MAX_RATIO} x reference")
+
+
 def git_label(repo_root):
     try:
         rev = subprocess.run(
@@ -127,6 +279,12 @@ def main():
     ap.add_argument("--smoke", action="store_true")
     ap.add_argument("--sweep", action="store_true",
                     help="append a sweep-wallclock entry (jobs=1 vs jobs=N)")
+    ap.add_argument("--world-threads", action="store_true", dest="wt",
+                    help="append a worldthreads-wallclock entry "
+                         "(world-threads=1 vs N)")
+    ap.add_argument("--rss", action="store_true",
+                    help="record World bytes/rank at 64k and 256k ranks; "
+                         "with --check, gate the memory-diet drop")
     ap.add_argument("--save-baseline", action="store_true")
     ap.add_argument("--check", action="store_true")
     ap.add_argument("--label", default=None,
@@ -138,24 +296,35 @@ def main():
     if not os.path.isabs(build_dir):
         build_dir = os.path.join(repo_root, build_dir)
 
-    if args.sweep:
+    if args.rss:
+        run_rss(repo_root, build_dir, args)
+        return
+
+    if args.sweep or args.wt:
         tracked = os.path.join(repo_root, "results", "BENCH_simcore.json")
-        entry = run_sweep_wallclock(build_dir,
-                                    args.label or git_label(repo_root))
+        label = args.label or git_label(repo_root)
+        if args.sweep:
+            series_key = "sweep-wallclock"
+            entry = run_sweep_wallclock(build_dir, label)
+            summary = (f"jobs=1 {entry['jobs1_s']:.2f}s, "
+                       f"jobs={entry['host_cores']} {entry['jobsN_s']:.2f}s")
+        else:
+            series_key = "worldthreads-wallclock"
+            entry = run_worldthreads_wallclock(build_dir, label)
+            summary = (f"world-threads=1 {entry['wt1_s']:.2f}s, "
+                       f"world-threads={entry['world_threads']} "
+                       f"{entry['wtN_s']:.2f}s on {entry['host_cores']} "
+                       f"core(s)")
         doc = {"schema": 1}
         if os.path.exists(tracked):
             with open(tracked) as f:
                 doc = json.load(f)
-        series = doc.setdefault("sweep-wallclock", [])
+        series = doc.setdefault(series_key, [])
         series.append(entry)
         del series[:-SWEEP_HISTORY]
-        with open(tracked, "w") as f:
-            json.dump(doc, f, indent=2)
-            f.write("\n")
-        print(f"sweep-wallclock: {entry['bench']} {' '.join(entry['args'])}: "
-              f"jobs=1 {entry['jobs1_s']:.2f}s, "
-              f"jobs={entry['host_cores']} {entry['jobsN_s']:.2f}s "
-              f"({entry['speedup']}x); wrote "
+        write_json_atomic(tracked, doc)
+        print(f"{series_key}: {entry['bench']} {' '.join(entry['args'])}: "
+              f"{summary} ({entry['speedup']}x); wrote "
               f"{os.path.relpath(tracked, repo_root)}")
         return
 
@@ -184,10 +353,7 @@ def main():
     if args.smoke:
         # Smoke mode proves the benches still run (and, with --check,
         # that nothing collapsed); don't touch the tracked file.
-        os.makedirs(os.path.dirname(out), exist_ok=True)
-        with open(out, "w") as f:
-            json.dump({"schema": 1, "smoke": run}, f, indent=2)
-            f.write("\n")
+        write_json_atomic(out, {"schema": 1, "smoke": run})
         print(f"perf smoke ok: {len(metrics)} benchmarks ran "
               f"(wrote {os.path.relpath(out, repo_root)})")
         if args.check:
@@ -219,10 +385,7 @@ def main():
         for name, val in metrics.items() if base.get(name)
     }
 
-    os.makedirs(os.path.dirname(out), exist_ok=True)
-    with open(out, "w") as f:
-        json.dump(doc, f, indent=2)
-        f.write("\n")
+    write_json_atomic(out, doc)
 
     width = max(len(n) for n in metrics)
     print(f"{'benchmark':<{width}}  {'items/sec':>12}  vs baseline")

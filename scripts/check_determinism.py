@@ -1,19 +1,28 @@
 #!/usr/bin/env python3
-"""Serial-vs-parallel determinism gate for the sweep runner.
+"""Serial-vs-parallel determinism gate.
 
-Runs a bench binary twice — once at --jobs=1 and once at --jobs=N
-(default 8) — with identical remaining arguments, and requires:
+Runs a bench binary twice with identical arguments except for one
+varied axis, and requires:
 
   1. stdout byte-identical (tables, CSV blocks, closing notes);
   2. the --metrics tables (appended to stdout at exit) identical, since
      the run adds --metrics to both invocations;
-  3. the --profile= attribution JSON byte-identical after stripping the
-     wall-clock "generated_wall_s" style fields that legitimately vary
-     (the profile is keyed by simulated time, so everything else must
-     match exactly).
+  3. the --trace= Chrome-trace JSON byte-identical after stripping the
+     wall-clock fields that legitimately vary;
+  4. the --profile= attribution JSON, scrubbed the same way, identical.
+
+Two axes, selected with --vary:
+
+  --vary jobs           (default) --jobs=1 vs --jobs=N: the PR 4 sweep
+                        parallelism — independent Worlds on host cores.
+  --vary world-threads  --world-threads=1 vs --world-threads=N: the
+                        intra-World parallel rate path.  The varied
+                        runs also pass --par-grain=1 so the pool
+                        engages even on CI-sized worlds.
 
 Usage:
   check_determinism.py --run <bench> [bench args...]
+  check_determinism.py --run <bench> --vary world-threads -- --quick
   check_determinism.py --run <bench> --jobs-parallel 4 -- --quick
 """
 
@@ -24,7 +33,7 @@ import sys
 import tempfile
 
 # Wall-clock-derived keys that may differ between runs of the same
-# simulation; everything else in the profile must match byte-for-byte.
+# simulation; everything else in the artifacts must match byte-for-byte.
 VOLATILE_KEYS = {"generated_wall_s", "wall_clock_s", "host"}
 
 
@@ -42,13 +51,21 @@ def scrub(obj):
     return obj
 
 
-def run_once(bench, args, jobs, profile_path):
-    cmd = [bench, f"--jobs={jobs}", "--metrics",
-           f"--profile={profile_path}"] + args
+def run_once(bench, args, axis_flags, trace_path, profile_path):
+    cmd = [bench] + axis_flags + ["--metrics", f"--trace={trace_path}",
+                                  f"--profile={profile_path}"] + args
     proc = subprocess.run(cmd, capture_output=True, text=True)
     if proc.returncode != 0:
         fail(f"{' '.join(cmd)} exited {proc.returncode}:\n{proc.stderr}")
     return proc.stdout
+
+
+def load_scrubbed(path, what):
+    try:
+        with open(path) as f:
+            return scrub(json.load(f))
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"could not load {what} artifact {path}: {e}")
 
 
 def main(argv):
@@ -57,39 +74,54 @@ def main(argv):
         return 2
     bench = argv[1]
     rest = argv[2:]
-    jobs_parallel = 8
-    if rest and rest[0] == "--jobs-parallel":
-        jobs_parallel = int(rest[1])
+    parallel_n = 8
+    vary = "jobs"
+    while rest and rest[0] in ("--jobs-parallel", "--vary"):
+        if rest[0] == "--jobs-parallel":
+            parallel_n = int(rest[1])
+        else:
+            vary = rest[1]
+            if vary not in ("jobs", "world-threads"):
+                fail(f"--vary must be 'jobs' or 'world-threads', got {vary}")
         rest = rest[2:]
     if rest and rest[0] == "--":
         rest = rest[1:]
 
+    if vary == "jobs":
+        serial_flags = ["--jobs=1"]
+        parallel_flags = [f"--jobs={parallel_n}"]
+    else:
+        # --par-grain=1 on both sides: flag sets must differ only in the
+        # varied axis, and grain never changes simulated results.
+        serial_flags = ["--world-threads=1", "--par-grain=1"]
+        parallel_flags = [f"--world-threads={parallel_n}", "--par-grain=1"]
+    label1 = " ".join(serial_flags)
+    labeln = " ".join(parallel_flags)
+
     with tempfile.TemporaryDirectory() as tmp:
-        p1 = os.path.join(tmp, "serial.json")
-        pn = os.path.join(tmp, "parallel.json")
-        out1 = run_once(bench, rest, 1, p1)
-        outn = run_once(bench, rest, jobs_parallel, pn)
+        t1 = os.path.join(tmp, "serial_trace.json")
+        tn = os.path.join(tmp, "parallel_trace.json")
+        p1 = os.path.join(tmp, "serial_profile.json")
+        pn = os.path.join(tmp, "parallel_profile.json")
+        out1 = run_once(bench, rest, serial_flags, t1, p1)
+        outn = run_once(bench, rest, parallel_flags, tn, pn)
 
         if out1 != outn:
             import difflib
             diff = "\n".join(difflib.unified_diff(
                 out1.splitlines(), outn.splitlines(),
-                "jobs=1", f"jobs={jobs_parallel}", lineterm=""))
-            fail("stdout differs between --jobs=1 and "
-                 f"--jobs={jobs_parallel}:\n{diff[:4000]}")
+                label1, labeln, lineterm=""))
+            fail(f"stdout differs between {label1} and {labeln}:\n"
+                 f"{diff[:4000]}")
 
-        with open(p1) as f:
-            prof1 = json.load(f)
-        with open(pn) as f:
-            profn = json.load(f)
-        if scrub(prof1) != scrub(profn):
-            fail("--profile= artifacts differ between --jobs=1 and "
-                 f"--jobs={jobs_parallel}")
+        if load_scrubbed(t1, "trace") != load_scrubbed(tn, "trace"):
+            fail(f"--trace= artifacts differ between {label1} and {labeln}")
+        if load_scrubbed(p1, "profile") != load_scrubbed(pn, "profile"):
+            fail(f"--profile= artifacts differ between {label1} and {labeln}")
 
     name = os.path.basename(bench)
     print(f"check_determinism: OK: {name} {' '.join(rest)} is byte-identical "
-          f"at --jobs=1 and --jobs={jobs_parallel} (stdout + metrics + "
-          "profile)")
+          f"at {label1} and {labeln} (stdout + metrics + trace + profile)")
     return 0
 
 

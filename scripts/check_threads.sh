@@ -1,20 +1,26 @@
 #!/usr/bin/env bash
-# Race-detection gate for the parallel sweep runner.
+# Race-detection gate for the threaded paths.
 #
 # Configures a ThreadSanitizer build (-DXTSIM_SAN=thread), builds the
-# sweep unit suite, and runs every test carrying the tsan_smoke label:
-# the runner/shard tests, which drive worker pools, concurrent shard
-# recording and the absorb merge under TSan.  Any data race aborts the
-# run (TSAN_OPTIONS halt_on_error), failing the gate.  (The jobs=1-vs-
-# jobs=8 bench determinism ctests stay in the regular build: two full
-# bench runs per test are too slow under TSan's ~10x slowdown.)
+# threaded unit suites, and runs every test carrying the tsan_smoke
+# label:
+#   - test_runner_sweep: the parallel sweep runner (worker pools,
+#     concurrent shard recording, the absorb merge);
+#   - test_parallel: the ParallelPool fork-join protocol itself;
+#   - test_network_parallel: the intra-World parallel rate path,
+#     asserting byte-equality with the serial engine while threaded.
+# Any data race aborts the run (TSAN_OPTIONS halt_on_error), failing
+# the gate.  (The jobs=1-vs-jobs=8 and world-threads=1-vs-8 bench
+# determinism ctests stay in the regular build: two full bench runs
+# per test are too slow under TSan's ~10x slowdown.)
 #
 # Usage: scripts/check_threads.sh [build-dir]   # default: build-tsan
 set -euo pipefail
 build="${1:-build-tsan}"
 
 cmake -B "$build" -S . -DXTSIM_SAN=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$build" -j"$(nproc)" --target test_runner_sweep
+cmake --build "$build" -j"$(nproc)" \
+  --target test_runner_sweep test_parallel test_network_parallel
 TSAN_OPTIONS="halt_on_error=1" ctest --test-dir "$build" -L tsan_smoke \
   --output-on-failure
 echo "check_threads: OK: tsan_smoke suite clean under ThreadSanitizer"

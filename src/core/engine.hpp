@@ -33,6 +33,8 @@
 
 namespace xts {
 
+class ParallelPool;
+
 class Engine {
  public:
   Engine() = default;
@@ -41,6 +43,13 @@ class Engine {
 
   /// Current simulated time in seconds.
   [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Intra-World worker pool for fork-join work inside event handlers
+  /// (null => serial).  Owned by the World; see core/parallel.hpp for
+  /// the determinism contract.  Subsystems (FlowNetwork) query this per
+  /// pass, so `--world-threads=1` leaves no trace on the hot path.
+  void set_parallel(ParallelPool* pool) noexcept { parallel_ = pool; }
+  [[nodiscard]] ParallelPool* parallel() const noexcept { return parallel_; }
 
   /// Schedule \p fn to run at absolute simulated time \p t (>= now()).
   void schedule_at(SimTime t, InlineFn fn) {
@@ -202,6 +211,7 @@ class Engine {
     fifo_head_ = 0;
   }
 
+  ParallelPool* parallel_ = nullptr;
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::size_t events_processed_ = 0;

@@ -1,0 +1,141 @@
+#include "core/parallel.hpp"
+
+#include <algorithm>
+
+namespace xts {
+
+namespace {
+std::atomic<int> g_world_threads{1};
+std::atomic<int> g_parallel_grain{512};
+}  // namespace
+
+void set_default_world_threads(int threads) {
+  if (threads < 1) {
+    throw UsageError("--world-threads must be >= 1");
+  }
+  g_world_threads.store(threads, std::memory_order_relaxed);
+}
+
+int default_world_threads() noexcept {
+  return g_world_threads.load(std::memory_order_relaxed);
+}
+
+void set_default_parallel_grain(int flows) {
+  if (flows < 1) {
+    throw UsageError("--par-grain must be >= 1");
+  }
+  g_parallel_grain.store(flows, std::memory_order_relaxed);
+}
+
+int default_parallel_grain() noexcept {
+  return g_parallel_grain.load(std::memory_order_relaxed);
+}
+
+ParallelPool::ParallelPool(int threads) {
+  if (threads < 1) {
+    throw UsageError("ParallelPool: threads must be >= 1");
+  }
+  workers_.reserve(static_cast<std::size_t>(threads - 1));
+  for (int i = 1; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ParallelPool::~ParallelPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_worker_.notify_all();
+  for (auto& w : workers_) {
+    w.join();
+  }
+}
+
+void ParallelPool::run_chunks(const RangeFn& fn) {
+  for (;;) {
+    const std::size_t begin = next_.fetch_add(job_chunk_,
+                                              std::memory_order_relaxed);
+    if (begin >= job_n_) {
+      return;
+    }
+    const std::size_t end = std::min(begin + job_chunk_, job_n_);
+    try {
+      fn(begin, end);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (!first_error_) {
+        first_error_ = std::current_exception();
+      }
+      // Keep draining chunks so the barrier still completes; remaining
+      // chunks run (their writes are index-local and discarded by the
+      // caller once the rethrow propagates).
+    }
+  }
+}
+
+void ParallelPool::for_range(std::size_t n, RangeFn fn) {
+  if (n == 0) {
+    return;
+  }
+  if (workers_.empty()) {
+    fn(0, n);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (job_active_) {
+      throw UsageError("ParallelPool::for_range: nested use of one pool");
+    }
+    job_active_ = true;
+    job_fn_ = &fn;
+    job_n_ = n;
+    // ~4 chunks per lane for dynamic balance without contention.
+    const std::size_t lanes = workers_.size() + 1;
+    job_chunk_ = std::max<std::size_t>(1, n / (lanes * 4));
+    workers_busy_ = static_cast<int>(workers_.size());
+    first_error_ = nullptr;
+    next_.store(0, std::memory_order_relaxed);
+    ++job_gen_;
+  }
+  cv_worker_.notify_all();
+
+  run_chunks(fn);
+
+  std::exception_ptr err;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_done_.wait(lk, [this] { return workers_busy_ == 0; });
+    job_active_ = false;
+    job_fn_ = nullptr;
+    err = first_error_;
+    first_error_ = nullptr;
+  }
+  if (err) {
+    std::rethrow_exception(err);
+  }
+}
+
+void ParallelPool::worker_loop() {
+  std::uint64_t seen_gen = 0;
+  for (;;) {
+    const RangeFn* fn = nullptr;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_worker_.wait(lk, [&] { return stop_ || job_gen_ != seen_gen; });
+      if (stop_) {
+        return;
+      }
+      seen_gen = job_gen_;
+      fn = job_fn_;
+    }
+    run_chunks(*fn);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      --workers_busy_;
+    }
+    cv_done_.notify_one();
+  }
+}
+
+}  // namespace xts

@@ -1,0 +1,122 @@
+#pragma once
+
+/// \file parallel.hpp
+/// Intra-World fork-join parallelism.
+///
+/// `ParallelPool` is a fixed set of host worker threads that execute
+/// one indexed range job at a time (`for_range`).  It is the execution
+/// substrate for parallel discrete-event work *inside* one World —
+/// most importantly the FlowNetwork rate-allocation passes, where the
+/// per-flow math of a same-instant wave is computed on all lanes and
+/// the results are applied by the caller in canonical (time, seq,
+/// flow-slot) order.  That split is what keeps parallel runs
+/// byte-identical to serial ones:
+///
+///   - the parallel phase computes *pure* per-index values into
+///     caller-owned slots (`out[i] = f(state)`), never mutating shared
+///     simulation state and never accumulating floating-point sums;
+///   - the serial phase folds those values back in the exact order the
+///     single-threaded engine would have produced them.
+///
+/// Chunks are handed out dynamically (atomic grab) purely for load
+/// balance; because every write is addressed by index, the schedule is
+/// unobservable.  `for_range` is a barrier: it returns only after the
+/// whole range has been processed, rethrowing the first exception any
+/// lane raised.
+///
+/// The pool is owned by a World (one pool per World, workers live as
+/// long as the World).  A pool with `threads() == 1` never spawns host
+/// threads and runs every job inline — `--world-threads=1` is exactly
+/// the serial engine.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace xts {
+
+/// Non-owning view of a `void(begin, end)` range callable; avoids a
+/// std::function allocation on every rate pass.
+class RangeFn {
+ public:
+  template <typename F>
+  RangeFn(F& f) noexcept  // NOLINT(google-explicit-constructor)
+      : ctx_(&f), call_([](void* c, std::size_t b, std::size_t e) {
+          (*static_cast<F*>(c))(b, e);
+        }) {}
+
+  void operator()(std::size_t begin, std::size_t end) const {
+    call_(ctx_, begin, end);
+  }
+
+ private:
+  void* ctx_;
+  void (*call_)(void*, std::size_t, std::size_t);
+};
+
+class ParallelPool {
+ public:
+  /// \param threads  total lanes including the calling thread; the pool
+  ///        spawns `threads - 1` workers.  threads <= 1 spawns none.
+  explicit ParallelPool(int threads);
+  ~ParallelPool();
+
+  ParallelPool(const ParallelPool&) = delete;
+  ParallelPool& operator=(const ParallelPool&) = delete;
+
+  /// Total lanes (workers + caller), >= 1.
+  [[nodiscard]] int threads() const noexcept {
+    return static_cast<int>(workers_.size()) + 1;
+  }
+
+  /// Run `fn(begin, end)` over disjoint chunks covering [0, n); the
+  /// calling thread participates.  Blocks until the range is done and
+  /// rethrows the first exception raised by any lane.  `fn` must only
+  /// write state addressed by its indices (see file comment); it must
+  /// not recurse into the same pool (UsageError).
+  void for_range(std::size_t n, RangeFn fn);
+
+ private:
+  void worker_loop();
+  void run_chunks(const RangeFn& fn);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable cv_worker_;
+  std::condition_variable cv_done_;
+  bool stop_ = false;
+  bool job_active_ = false;
+  std::uint64_t job_gen_ = 0;
+  const RangeFn* job_fn_ = nullptr;
+  std::size_t job_n_ = 0;
+  std::size_t job_chunk_ = 1;
+  int workers_busy_ = 0;
+  std::exception_ptr first_error_;
+
+  std::atomic<std::size_t> next_{0};
+};
+
+/// Process-wide default for how many host threads a World uses for
+/// intra-World parallelism (WorldConfig::world_threads == 0 defers to
+/// this).  Set once from the CLI (`--world-threads=N`, BenchOptions)
+/// before worlds are built; reads are atomic so sweep workers building
+/// Worlds concurrently see a consistent value.  Default 1: serial.
+void set_default_world_threads(int threads);
+[[nodiscard]] int default_world_threads() noexcept;
+
+/// Process-wide default for the minimum same-instant wave size (flows
+/// in a rate pass) below which the FlowNetwork stays on the serial
+/// path even when a pool is present — small waves cost more to fan out
+/// than to compute.  `--par-grain=N` lowers it so tests can force the
+/// parallel path on tiny worlds.  Default 512.
+void set_default_parallel_grain(int flows);
+[[nodiscard]] int default_parallel_grain() noexcept;
+
+}  // namespace xts

@@ -14,12 +14,12 @@
 /// granting, used for serialized NIC access in VN mode.
 
 #include <cstdint>
-#include <deque>
 #include <string>
 #include <vector>
 
 #include "core/engine.hpp"
 #include "core/future.hpp"
+#include "core/ring_queue.hpp"
 
 namespace xts {
 
@@ -94,7 +94,9 @@ class FifoResource {
  private:
   Engine& engine_;
   bool busy_ = false;
-  std::deque<SimPromiseV> waiters_;
+  // RingQueue, not std::deque: an idle FifoResource (one per simulated
+  // node) must cost no heap — see core/ring_queue.hpp.
+  RingQueue<SimPromiseV> waiters_;
 };
 
 }  // namespace xts

@@ -1,0 +1,111 @@
+#pragma once
+
+/// \file slot_pool.hpp
+/// Many tiny FIFO chains over one shared slab.
+///
+/// `SlotPool<T>` stores values in a single `std::vector` of slots with
+/// an intrusive free list; a `Chain` is a 12-byte (head, tail, count)
+/// handle threading some of those slots into FIFO order.  It replaces
+/// the per-rank `std::deque` pattern, where every *empty* queue costs
+/// ~650 heap bytes (libstdc++ eagerly allocates a chunk plus its map):
+/// a million idle rank inboxes collapse to a million Chains plus one
+/// slab sized by the *peak concurrent* entries across all ranks —
+/// which, for inboxes, tracks in-flight messages, not rank count.
+///
+/// Mid-chain removal needs the predecessor (singly linked); callers
+/// scan with an explicit `prev` cursor, which the deque-scanning code
+/// this replaces already did linearly anyway.  Slots are recycled LIFO
+/// and hold default-constructed values while free.  Indices are 32-bit:
+/// 4G concurrent entries is beyond any simulated scenario here.
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace xts {
+
+/// FIFO chain handle; the pool it indexes into is implied by use.
+struct SlotChain {
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+  std::uint32_t head = kNil;
+  std::uint32_t tail = kNil;
+  std::uint32_t count = 0;
+  [[nodiscard]] bool empty() const noexcept { return count == 0; }
+  [[nodiscard]] std::size_t size() const noexcept { return count; }
+};
+
+template <typename T>
+class SlotPool {
+ public:
+  static constexpr std::uint32_t kNil = SlotChain::kNil;
+  using Chain = SlotChain;
+
+  [[nodiscard]] T& value(std::uint32_t idx) noexcept {
+    return nodes_[idx].value;
+  }
+  [[nodiscard]] const T& value(std::uint32_t idx) const noexcept {
+    return nodes_[idx].value;
+  }
+  [[nodiscard]] std::uint32_t next(std::uint32_t idx) const noexcept {
+    return nodes_[idx].next;
+  }
+
+  void push_back(Chain& c, T v) {
+    const std::uint32_t idx = acquire(std::move(v));
+    if (c.tail == kNil)
+      c.head = idx;
+    else
+      nodes_[c.tail].next = idx;
+    c.tail = idx;
+    ++c.count;
+  }
+
+  /// Unlink `idx` from `c` given its predecessor (`kNil` when `idx` is
+  /// the head); returns the value and recycles the slot.
+  T take(Chain& c, std::uint32_t prev, std::uint32_t idx) {
+    const std::uint32_t nxt = nodes_[idx].next;
+    if (prev == kNil)
+      c.head = nxt;
+    else
+      nodes_[prev].next = nxt;
+    if (c.tail == idx) c.tail = prev;
+    --c.count;
+    T out = std::move(nodes_[idx].value);
+    release(idx);
+    return out;
+  }
+
+  /// Slots ever allocated (capacity watermark, for tests/stats).
+  [[nodiscard]] std::size_t slots() const noexcept { return nodes_.size(); }
+
+ private:
+  struct Node {
+    T value{};
+    std::uint32_t next = kNil;
+  };
+
+  std::uint32_t acquire(T v) {
+    std::uint32_t idx;
+    if (free_ != kNil) {
+      idx = free_;
+      free_ = nodes_[idx].next;
+      nodes_[idx].value = std::move(v);
+      nodes_[idx].next = kNil;
+    } else {
+      idx = static_cast<std::uint32_t>(nodes_.size());
+      nodes_.push_back(Node{std::move(v), kNil});
+    }
+    return idx;
+  }
+
+  void release(std::uint32_t idx) {
+    nodes_[idx].value = T{};  // drop held resources while parked
+    nodes_[idx].next = free_;
+    free_ = idx;
+  }
+
+  std::vector<Node> nodes_;
+  std::uint32_t free_ = kNil;
+};
+
+}  // namespace xts

@@ -143,6 +143,12 @@ class FlowNetwork {
   [[nodiscard]] std::uint64_t rate_updates() const noexcept {
     return rate_updates_;
   }
+  /// Min-share passes whose per-flow rate math ran on the World's
+  /// ParallelPool (0 when serial or every wave was below the grain).
+  /// Tests use this to assert the parallel path actually executed.
+  [[nodiscard]] std::uint64_t parallel_passes() const noexcept {
+    return parallel_passes_;
+  }
   [[nodiscard]] std::uint64_t route_cache_hits() const noexcept {
     return route_cache_.hits();
   }
@@ -264,6 +270,12 @@ class FlowNetwork {
 
   std::vector<CompletionEntry> cheap_;  ///< lazy completion min-heap
   std::vector<CompletionEntry> pending_;  ///< scratch: predictions to insert
+  // Parallel min-share scratch: the wave's flows in canonical (serial)
+  // visit order and their freshly computed rates, filled index-
+  // addressed by pool lanes and folded back serially (see
+  // core/parallel.hpp for the determinism contract).
+  std::vector<std::uint32_t> affected_;
+  std::vector<double> new_rates_;
   std::vector<Completion> done_;        ///< scratch: completions to fire
   std::vector<std::uint32_t> comp_flows_;  ///< scratch: max-min component
   std::vector<double> residual_;           ///< scratch: max-min filling
@@ -293,6 +305,7 @@ class FlowNetwork {
   double settled_delivered_ = 0.0;
   std::uint64_t recompute_passes_ = 0;
   std::uint64_t rate_updates_ = 0;
+  std::uint64_t parallel_passes_ = 0;
 };
 
 }  // namespace xts::net

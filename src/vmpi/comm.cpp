@@ -29,14 +29,6 @@ int floor_pow2(int n) { return 1 << (std::bit_width(static_cast<unsigned>(n)) - 
 
 }  // namespace
 
-Comm::Comm(World& world, int world_rank)
-    : world_(world), world_rank_(world_rank), my_index_(world_rank), gid_(0) {
-  auto members = std::make_shared<std::vector<int>>(
-      static_cast<std::size_t>(world.nranks()));
-  std::iota(members->begin(), members->end(), 0);
-  members_ = std::move(members);
-}
-
 Comm::Comm(World& world, int world_rank,
            std::shared_ptr<const std::vector<int>> members, int my_index,
            std::uint64_t gid)
@@ -91,8 +83,7 @@ std::unique_ptr<Comm> Comm::subgroup(std::vector<int> world_ranks) const {
   // Per-rank creation counter for this membership: ranks creating the
   // same sequence of identical groups agree on the id (MPI requires
   // communicator creation to be ordered identically on all members).
-  auto& counter =
-      world_.group_counters_[static_cast<std::size_t>(world_rank_)][h];
+  auto& counter = world_.group_counter(world_rank_, h);
   const std::uint64_t gid = (h ^ (static_cast<std::uint64_t>(counter) *
                                   0x2545F4914F6CDD1DULL)) |
                             1ULL;  // never collide with world gid 0

@@ -75,9 +75,6 @@ class SpanScope {
 
 class Comm {
  public:
-  /// World communicator handle (constructed by World).
-  Comm(World& world, int world_rank);
-
   Comm(const Comm&) = delete;
   Comm& operator=(const Comm&) = delete;
 
@@ -170,6 +167,8 @@ class Comm {
   [[nodiscard]] Task<std::unique_ptr<Comm>> split(int color, int key);
 
  private:
+  friend class World;  // constructs world handles over one shared
+                       // identity member list (see World::World)
   Comm(World& world, int world_rank,
        std::shared_ptr<const std::vector<int>> members, int my_index,
        std::uint64_t gid);

@@ -12,6 +12,15 @@ using machine::ExecMode;
 
 World::World(WorldConfig cfg) : cfg_(std::move(cfg)) {
   if (cfg_.nranks < 1) throw UsageError("World: need at least one rank");
+  if (cfg_.machine.cores_per_node > 255)
+    throw UsageError("World: cores_per_node > 255 unsupported (rank_core_ "
+                     "is stored as uint8)");
+  const int threads = cfg_.world_threads > 0 ? cfg_.world_threads
+                                             : default_world_threads();
+  if (threads > 1) {
+    pool_ = std::make_unique<ParallelPool>(threads);
+    engine_.set_parallel(pool_.get());
+  }
   const int cores_active =
       cfg_.mode == ExecMode::kSN ? 1 : cfg_.machine.cores_per_node;
   const int nnodes = (cfg_.nranks + cores_active - 1) / cores_active;
@@ -71,13 +80,21 @@ World::World(WorldConfig cfg) : cfg_(std::move(cfg)) {
         cfg_.seed + static_cast<std::uint64_t>(i)));
 
   build_placement();
-  inboxes_.resize(static_cast<std::size_t>(cfg_.nranks));
+  unexpected_.resize(static_cast<std::size_t>(cfg_.nranks));
+  posted_.resize(static_cast<std::size_t>(cfg_.nranks));
   rank_done_.assign(static_cast<std::size_t>(cfg_.nranks), 1);
   sends_inflight_.assign(static_cast<std::size_t>(cfg_.nranks), 0);
-  group_counters_.resize(static_cast<std::size_t>(cfg_.nranks));
+  // One identity member list shared by every rank's world communicator
+  // — per-rank copies would cost nranks^2 ints (a 64k-rank world spent
+  // 16 GB on them).
+  auto identity = std::make_shared<std::vector<int>>(
+      static_cast<std::size_t>(cfg_.nranks));
+  std::iota(identity->begin(), identity->end(), 0);
+  const std::shared_ptr<const std::vector<int>> members = std::move(identity);
   world_comms_.reserve(static_cast<std::size_t>(cfg_.nranks));
   for (int r = 0; r < cfg_.nranks; ++r)
-    world_comms_.push_back(std::make_unique<Comm>(*this, r));
+    world_comms_.push_back(
+        std::unique_ptr<Comm>(new Comm(*this, r, members, r, 0)));
 }
 
 World::~World() {
@@ -151,13 +168,15 @@ void World::build_placement() {
       slot = r;
       rank_node_[static_cast<std::size_t>(r)] =
           static_cast<net::NodeId>(slot % nnodes);
-      rank_core_[static_cast<std::size_t>(r)] = slot / nnodes;
+      rank_core_[static_cast<std::size_t>(r)] =
+          static_cast<std::uint8_t>(slot / nnodes);
     } else {
       slot = r / cores_active;
       rank_node_[static_cast<std::size_t>(r)] =
           static_cast<net::NodeId>(node_order[static_cast<std::size_t>(
               slot % nnodes)]);
-      rank_core_[static_cast<std::size_t>(r)] = r % cores_active;
+      rank_core_[static_cast<std::size_t>(r)] =
+          static_cast<std::uint8_t>(r % cores_active);
     }
   }
 }
@@ -171,7 +190,7 @@ net::NodeId World::node_of(int rank) const {
 int World::core_of(int rank) const {
   if (rank < 0 || rank >= cfg_.nranks)
     throw UsageError("World::core_of: bad rank " + std::to_string(rank));
-  return rank_core_[static_cast<std::size_t>(rank)];
+  return static_cast<int>(rank_core_[static_cast<std::size_t>(rank)]);
 }
 
 machine::Node& World::node(int rank) {
@@ -222,14 +241,17 @@ std::string World::describe_deadlock() const {
       break;
     }
     ++listed;
-    const RankInbox& inbox = inboxes_[static_cast<std::size_t>(r)];
+    const SlotChain& posted = posted_[static_cast<std::size_t>(r)];
+    const SlotChain& unexpected = unexpected_[static_cast<std::size_t>(r)];
     msg += "\n  rank " + std::to_string(r) + ": ";
-    if (inbox.posted.empty()) {
+    if (posted.empty()) {
       msg += "no posted recv (blocked in send/NIC/compute)";
     } else {
-      msg += std::to_string(inbox.posted.size()) + " posted recv [";
+      msg += std::to_string(posted.size()) + " posted recv [";
       std::size_t shown = 0;
-      for (const PostedRecv& p : inbox.posted) {
+      for (std::uint32_t it = posted.head; it != SlotChain::kNil;
+           it = recv_pool_.next(it)) {
+        const PostedRecv& p = recv_pool_.value(it);
         if (shown == 4) {
           msg += ", ...";
           break;
@@ -248,8 +270,8 @@ std::string World::describe_deadlock() const {
       }
       msg += "]";
     }
-    if (!inbox.unexpected.empty())
-      msg += "; " + std::to_string(inbox.unexpected.size()) +
+    if (!unexpected.empty())
+      msg += "; " + std::to_string(unexpected.size()) +
              " unexpected msgs queued";
     const int inflight = sends_inflight_[static_cast<std::size_t>(r)];
     if (inflight > 0)
@@ -272,32 +294,34 @@ void World::deliver(int dst, Message msg) {
     trace_.push_back(TraceRecord{msg.src, dst, msg.bytes, engine_.now(),
                                  tags::is_internal(msg.tag)});
   }
-  auto& inbox = inboxes_[static_cast<std::size_t>(dst)];
-  for (auto it = inbox.posted.begin(); it != inbox.posted.end(); ++it) {
-    if (matches(*it, msg)) {
-      auto promise = std::move(it->promise);
-      inbox.posted.erase(it);
-      promise.set_value(std::move(msg));
+  SlotChain& posted = posted_[static_cast<std::size_t>(dst)];
+  std::uint32_t prev = SlotChain::kNil;
+  for (std::uint32_t it = posted.head; it != SlotChain::kNil;
+       prev = it, it = recv_pool_.next(it)) {
+    if (matches(recv_pool_.value(it), msg)) {
+      const PostedRecv r = recv_pool_.take(posted, prev, it);
+      r.promise.set_value(std::move(msg));
       return;
     }
   }
-  inbox.unexpected.push_back(std::move(msg));
+  msg_pool_.push_back(unexpected_[static_cast<std::size_t>(dst)],
+                      std::move(msg));
 }
 
 Task<Message> World::match_recv(int dst, std::uint64_t gid, int src_filter,
                                 Tag tag_filter) {
-  auto& inbox = inboxes_[static_cast<std::size_t>(dst)];
   PostedRecv probe{gid, src_filter, tag_filter, SimPromise<Message>(engine_)};
-  for (auto it = inbox.unexpected.begin(); it != inbox.unexpected.end();
-       ++it) {
-    if (matches(probe, *it)) {
-      Message m = std::move(*it);
-      inbox.unexpected.erase(it);
-      co_return m;
+  SlotChain& unexpected = unexpected_[static_cast<std::size_t>(dst)];
+  std::uint32_t prev = SlotChain::kNil;
+  for (std::uint32_t it = unexpected.head; it != SlotChain::kNil;
+       prev = it, it = msg_pool_.next(it)) {
+    if (matches(probe, msg_pool_.value(it))) {
+      co_return msg_pool_.take(unexpected, prev, it);
     }
   }
   auto future = probe.promise.future();
-  inbox.posted.push_back(std::move(probe));
+  recv_pool_.push_back(posted_[static_cast<std::size_t>(dst)],
+                       std::move(probe));
   if (obs_ != nullptr && obs_->spans_enabled()) {
     // Blocking receive: record the match wait on the receiver's lane,
     // correlated with the message that ended it (the profiler's

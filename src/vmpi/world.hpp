@@ -22,7 +22,6 @@
 ///                 same socket are handled through a memory copy").
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
@@ -30,7 +29,9 @@
 #include <vector>
 
 #include "core/engine.hpp"
+#include "core/parallel.hpp"
 #include "core/rng.hpp"
+#include "core/slot_pool.hpp"
 #include "core/task.hpp"
 #include "machine/config.hpp"
 #include "machine/node.hpp"
@@ -54,6 +55,11 @@ struct WorldConfig {
   net::TorusDims dims{};  ///< all-zero => choose automatically
   net::Fairness fairness = net::Fairness::kMinShare;
   bool enable_trace = false;  ///< record every delivered message
+  /// Host threads for intra-World parallel work (rate-allocation fan-
+  /// out; see docs/PARALLELISM.md).  0 defers to the process default
+  /// (`--world-threads=N`); 1 is the exact serial engine.  Any value
+  /// produces byte-identical output.
+  int world_threads = 0;
 };
 
 /// One delivered message (legacy trace mode).  Kept as a thin
@@ -76,6 +82,10 @@ class World {
   World& operator=(const World&) = delete;
 
   [[nodiscard]] Engine& engine() noexcept { return engine_; }
+  /// Resolved intra-World thread count (>= 1).
+  [[nodiscard]] int world_threads() const noexcept {
+    return pool_ ? pool_->threads() : 1;
+  }
   [[nodiscard]] int nranks() const noexcept { return cfg_.nranks; }
   [[nodiscard]] const WorldConfig& config() const noexcept { return cfg_; }
   [[nodiscard]] net::FlowNetwork& network() noexcept { return *network_; }
@@ -128,14 +138,10 @@ class World {
 
  private:
   struct PostedRecv {
-    std::uint64_t gid;
-    int src_filter;
-    Tag tag_filter;
+    std::uint64_t gid = 0;
+    int src_filter = 0;
+    Tag tag_filter = 0;
     SimPromise<Message> promise;
-  };
-  struct RankInbox {
-    std::deque<Message> unexpected;
-    std::deque<PostedRecv> posted;
   };
 
   void build_placement();
@@ -150,11 +156,22 @@ class World {
 
   WorldConfig cfg_;
   Engine engine_;
+  // Intra-World worker pool (null when world_threads resolves to 1);
+  // installed into engine_ so subsystems can fan out pure per-index
+  // work (core/parallel.hpp).
+  std::unique_ptr<ParallelPool> pool_;
   std::vector<std::unique_ptr<machine::Node>> nodes_;
   std::unique_ptr<net::FlowNetwork> network_;
+  // -- per-rank state, struct-of-arrays and sized for million-rank
+  // worlds: narrow element types, chain handles instead of per-rank
+  // containers, shared slabs for anything whose population tracks
+  // in-flight traffic rather than rank count.
   std::vector<net::NodeId> rank_node_;
-  std::vector<int> rank_core_;
-  std::vector<RankInbox> inboxes_;
+  std::vector<std::uint8_t> rank_core_;  ///< cores_per_node <= 255
+  SlotPool<Message> msg_pool_;        ///< unexpected-queue slab
+  SlotPool<PostedRecv> recv_pool_;    ///< posted-recv slab
+  std::vector<SlotChain> unexpected_;  ///< per dst rank, into msg_pool_
+  std::vector<SlotChain> posted_;      ///< per dst rank, into recv_pool_
   std::vector<std::unique_ptr<Comm>> world_comms_;
   std::uint64_t messages_delivered_ = 0;
   double bytes_sent_ = 0.0;
@@ -179,10 +196,32 @@ class World {
   obsv::Histogram* msg_latency_ = nullptr;
 
   friend class Comm;
-  // Per-(membership-hash, rank) creation counters for deterministic
-  // communicator group ids (see Comm::subgroup).
-  std::vector<std::unordered_map<std::uint64_t, std::uint32_t>>
-      group_counters_;
+  // Per-(rank, membership-hash) creation counters for deterministic
+  // communicator group ids (see Comm::subgroup).  One lazily-populated
+  // map for the whole World: most runs never create subgroups, and the
+  // per-rank unordered_map vector this replaces cost ~56 bytes per
+  // rank before the first subgroup existed.
+  struct GroupKey {
+    int rank;
+    std::uint64_t hash;
+    bool operator==(const GroupKey&) const noexcept = default;
+  };
+  struct GroupKeyHash {
+    std::size_t operator()(const GroupKey& k) const noexcept {
+      // splitmix-style mix of the membership hash with the rank.
+      std::uint64_t x =
+          k.hash ^ (static_cast<std::uint64_t>(k.rank) * 0x9e3779b97f4a7c15ULL);
+      x ^= x >> 30;
+      x *= 0xbf58476d1ce4e5b9ULL;
+      x ^= x >> 27;
+      return static_cast<std::size_t>(x);
+    }
+  };
+  /// Creation counter for (rank, membership-hash), default 0.
+  [[nodiscard]] std::uint32_t& group_counter(int rank, std::uint64_t hash) {
+    return group_counters_[GroupKey{rank, hash}];
+  }
+  std::unordered_map<GroupKey, std::uint32_t, GroupKeyHash> group_counters_;
 };
 
 }  // namespace xts::vmpi

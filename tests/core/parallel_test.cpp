@@ -1,0 +1,121 @@
+#include "core/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace xts {
+namespace {
+
+TEST(ParallelPool, CoversEveryIndexExactlyOnce) {
+  ParallelPool pool(4);
+  EXPECT_EQ(pool.threads(), 4);
+  std::vector<int> hits(10000, 0);
+  auto body = [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) ++hits[i];
+  };
+  pool.for_range(hits.size(), body);
+  for (const int h : hits) ASSERT_EQ(h, 1);
+}
+
+TEST(ParallelPool, IndexedWritesMatchSerial) {
+  ParallelPool pool(4);
+  std::vector<double> out(4096, 0.0);
+  auto body = [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i)
+      out[i] = static_cast<double>(i) * 1.5 + 1.0;
+  };
+  pool.for_range(out.size(), body);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    ASSERT_EQ(out[i], static_cast<double>(i) * 1.5 + 1.0);
+}
+
+TEST(ParallelPool, SingleLaneRunsInline) {
+  ParallelPool pool(1);
+  EXPECT_EQ(pool.threads(), 1);
+  std::vector<int> hits(100, 0);
+  auto body = [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) ++hits[i];
+  };
+  pool.for_range(hits.size(), body);
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 100);
+}
+
+TEST(ParallelPool, ZeroAndTinyRanges) {
+  ParallelPool pool(4);
+  int calls = 0;
+  auto body = [&](std::size_t b, std::size_t e) {
+    calls += static_cast<int>(e - b);
+  };
+  pool.for_range(0, body);
+  EXPECT_EQ(calls, 0);
+  std::vector<int> hits(3, 0);
+  auto mark = [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) ++hits[i];
+  };
+  pool.for_range(hits.size(), mark);
+  for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ParallelPool, ReusableAcrossManyJobs) {
+  ParallelPool pool(3);
+  std::vector<int> acc(512, 0);
+  auto body = [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) ++acc[i];
+  };
+  for (int round = 0; round < 100; ++round) pool.for_range(acc.size(), body);
+  for (const int a : acc) ASSERT_EQ(a, 100);
+}
+
+TEST(ParallelPool, FirstExceptionPropagatesAndPoolSurvives) {
+  ParallelPool pool(4);
+  auto boom = [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i)
+      if (i == 1234) throw std::runtime_error("lane failure");
+  };
+  EXPECT_THROW(pool.for_range(5000, boom), std::runtime_error);
+  // The barrier completed despite the throw; the pool is reusable.
+  std::vector<int> hits(1000, 0);
+  auto body = [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) ++hits[i];
+  };
+  pool.for_range(hits.size(), body);
+  for (const int h : hits) ASSERT_EQ(h, 1);
+}
+
+TEST(ParallelPool, NestedUseIsAnError) {
+  ParallelPool pool(2);
+  auto nested = [&](std::size_t, std::size_t) {
+    auto inner = [](std::size_t, std::size_t) {};
+    pool.for_range(4, inner);
+  };
+  EXPECT_THROW(pool.for_range(1000, nested), UsageError);
+}
+
+TEST(ParallelPool, InvalidThreadCountThrows) {
+  EXPECT_THROW(ParallelPool(0), UsageError);
+  EXPECT_THROW(ParallelPool(-3), UsageError);
+}
+
+TEST(ParallelDefaults, WorldThreadsAndGrain) {
+  const int wt = default_world_threads();
+  const int grain = default_parallel_grain();
+  EXPECT_GE(wt, 1);
+  EXPECT_GE(grain, 1);
+  EXPECT_THROW(set_default_world_threads(0), UsageError);
+  EXPECT_THROW(set_default_parallel_grain(0), UsageError);
+  set_default_world_threads(7);
+  EXPECT_EQ(default_world_threads(), 7);
+  set_default_parallel_grain(33);
+  EXPECT_EQ(default_parallel_grain(), 33);
+  set_default_world_threads(wt);
+  set_default_parallel_grain(grain);
+}
+
+}  // namespace
+}  // namespace xts

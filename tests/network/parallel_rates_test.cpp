@@ -1,0 +1,165 @@
+/// Byte-equality of the intra-World parallel rate path vs the serial
+/// engine, and the determinism of the completion merge order.
+///
+/// These tests run the same flow workload on two independent engines —
+/// one serial, one with a ParallelPool installed and the grain forced
+/// to 1 so even tiny waves fan out — and require *exact* (bitwise)
+/// agreement on completion times, completion order, delivered bytes
+/// and pass/update counters.  This is the contract documented in
+/// core/parallel.hpp: parallel lanes compute pure per-flow values;
+/// all order-sensitive folding happens serially in canonical order.
+///
+/// Carries the tsan_smoke label: under -DXTSIM_SAN=thread this is the
+/// race gate for the intra-World threaded path.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/parallel.hpp"
+#include "core/task.hpp"
+#include "network/flow_network.hpp"
+
+namespace xts::net {
+namespace {
+
+/// Restore the process-wide grain after each test.
+class GrainGuard {
+ public:
+  GrainGuard() : saved_(default_parallel_grain()) {}
+  ~GrainGuard() { set_default_parallel_grain(saved_); }
+
+ private:
+  int saved_;
+};
+
+NetConfig cfg() {
+  NetConfig c;
+  c.link_bw = 4.0;
+  c.injection_bw = 2.0;
+  c.per_hop_latency = 0.01;
+  return c;
+}
+
+struct RunResult {
+  std::vector<double> completion_time;    ///< by flow submission index
+  std::vector<int> completion_order;      ///< submission indices, in
+                                          ///< resume order
+  double delivered = 0.0;
+  std::uint64_t recompute_passes = 0;
+  std::uint64_t rate_updates = 0;
+  std::uint64_t parallel_passes = 0;
+  std::size_t engine_events = 0;
+};
+
+Task<void> await_one(Engine& eng, SimFutureV fut, int idx, RunResult& out) {
+  (void)co_await std::move(fut);
+  out.completion_time[static_cast<std::size_t>(idx)] = eng.now();
+  out.completion_order.push_back(idx);
+}
+
+/// All-pairs-ish workload on a 4x4x1 torus: every node sends to the
+/// node diagonally opposite plus its neighbour, with staggered sizes
+/// so completions both collide (same instant) and spread out.
+RunResult run_workload(int threads) {
+  Engine eng;
+  std::unique_ptr<ParallelPool> pool;
+  if (threads > 1) {
+    pool = std::make_unique<ParallelPool>(threads);
+    eng.set_parallel(pool.get());
+  }
+  FlowNetwork net(eng, Torus3D({4, 4, 1}), cfg());
+  const int n = net.topology().node_count();
+
+  RunResult out;
+  int submitted = 0;
+  std::vector<std::pair<std::pair<NodeId, NodeId>, double>> flows;
+  for (int s = 0; s < n; ++s) {
+    const int far = (s + n / 2) % n;
+    const int near = (s + 1) % n;
+    flows.push_back({{s, far}, 64.0 + s});
+    flows.push_back({{s, near}, 32.0});  // identical sizes => ties
+  }
+  out.completion_time.resize(flows.size(), -1.0);
+  for (const auto& [pair, bytes] : flows) {
+    spawn(eng, await_one(eng, net.transfer(pair.first, pair.second, bytes),
+                         submitted++, out));
+  }
+  eng.run();
+
+  out.delivered = net.total_delivered();
+  out.recompute_passes = net.recompute_passes();
+  out.rate_updates = net.rate_updates();
+  out.parallel_passes = net.parallel_passes();
+  out.engine_events = eng.events_processed();
+  return out;
+}
+
+TEST(ParallelRates, ByteIdenticalToSerialAtAnyThreadCount) {
+  GrainGuard guard;
+  set_default_parallel_grain(1);
+  const RunResult serial = run_workload(1);
+  EXPECT_EQ(serial.parallel_passes, 0u);
+  ASSERT_GT(serial.recompute_passes, 0u);
+
+  for (const int threads : {2, 4, 8}) {
+    const RunResult par = run_workload(threads);
+    // Exact equality, not near-equality: same doubles, same order.
+    EXPECT_EQ(par.completion_time, serial.completion_time)
+        << "threads=" << threads;
+    EXPECT_EQ(par.completion_order, serial.completion_order)
+        << "threads=" << threads;
+    EXPECT_EQ(par.delivered, serial.delivered) << "threads=" << threads;
+    EXPECT_EQ(par.recompute_passes, serial.recompute_passes);
+    EXPECT_EQ(par.rate_updates, serial.rate_updates);
+    EXPECT_EQ(par.engine_events, serial.engine_events);
+    // The pool actually engaged (grain 1 forces even tiny waves out).
+    EXPECT_GT(par.parallel_passes, 0u) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelRates, GrainKeepsSmallWavesSerial) {
+  GrainGuard guard;
+  set_default_parallel_grain(100000);  // far above any wave here
+  const RunResult par = run_workload(4);
+  EXPECT_EQ(par.parallel_passes, 0u);
+}
+
+TEST(ParallelRates, SameInstantCompletionsFireInFlowIndexOrder) {
+  GrainGuard guard;
+  set_default_parallel_grain(1);
+  // Four identical flows from distinct sources to distinct
+  // destinations, disjoint routes: they complete at the same simulated
+  // instant, and the merge order must be their (deterministic) flow
+  // slot order — submission order here, since slots are allocated
+  // sequentially from an empty network.
+  for (const int threads : {1, 4}) {
+    Engine eng;
+    std::unique_ptr<ParallelPool> pool;
+    if (threads > 1) {
+      pool = std::make_unique<ParallelPool>(threads);
+      eng.set_parallel(pool.get());
+    }
+    FlowNetwork net(eng, Torus3D({8, 1, 1}), cfg());
+    RunResult out;
+    out.completion_time.resize(4, -1.0);
+    for (int i = 0; i < 4; ++i) {
+      const NodeId src = static_cast<NodeId>(2 * i);
+      const NodeId dst = static_cast<NodeId>(2 * i + 1);
+      spawn(eng, await_one(eng, net.transfer(src, dst, 16.0), i, out));
+    }
+    eng.run();
+    ASSERT_EQ(out.completion_order.size(), 4u) << "threads=" << threads;
+    EXPECT_EQ(out.completion_order, (std::vector<int>{0, 1, 2, 3}))
+        << "threads=" << threads;
+    for (int i = 1; i < 4; ++i)
+      EXPECT_EQ(out.completion_time[static_cast<std::size_t>(i)],
+                out.completion_time[0])
+          << "threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace xts::net
