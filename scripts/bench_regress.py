@@ -37,10 +37,20 @@ bytes/rank must sit at or below (1 - RSS_DROP) x the frozen pre-diet
 baseline, and must not regress above RSS_MAX_RATIO x the best
 (reference) value seen.
 
+--host-profile records where host time goes: it runs the figs 8-11
+sweep bench once with --telemetry= to a scratch file, reads the
+breakdown record the telemetry layer appends at exit (per-subsystem
+seconds and share-of-wall: engine, net.rates, obsv.export, telemetry,
+other), and stores it under "host-profile" in the tracked JSON.  When
+a PR slows a bench down, this is the first diff to read — it names
+the subsystem that grew.  With --check it fails unless the shares
+sum to ~1 of measured wall (the breakdown must tile the run).
+
 Every JSON write goes through an atomic rename: the document is
 written to "<out>.tmp" (covered by the results/*.tmp gitignore rule,
 so an interrupted run never leaves a half-written tracked file or an
-untracked stray) and os.replace()d into place.
+untracked stray; the write path removes the temp on failure too) and
+os.replace()d into place.
 
 Modes:
   (default)        full run, update "current"/"reference", write JSON
@@ -58,6 +68,9 @@ Modes:
                    "worldthreads-wallclock" series
   --rss            record World bytes/rank at RSS_COUNTS rank counts;
                    with --check, enforce the drop/regression gates
+  --host-profile   record the per-subsystem host-time breakdown of the
+                   sweep bench under "host-profile"; with --check,
+                   require the shares to sum to ~1 of wall
   --save-baseline  overwrite the stored baseline with this run
   --check          additionally fail (exit 1) if any metric drops below
                    MIN_RATIO x its reference value
@@ -122,12 +135,19 @@ def write_json_atomic(path, doc):
     """
     os.makedirs(os.path.dirname(path), exist_ok=True)
     tmp = path + ".tmp"
-    with open(tmp, "w") as f:
-        json.dump(doc, f, indent=2)
-        f.write("\n")
-        f.flush()
-        os.fsync(f.fileno())
-    os.replace(tmp, path)
+    try:
+        with open(tmp, "w") as f:
+            json.dump(doc, f, indent=2)
+            f.write("\n")
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp, path)
+    finally:
+        # A failed dump/replace must not leave the stray behind — the
+        # gitignore rule hides it, but the next run would clobber it
+        # silently and debugging gets confusing.
+        if os.path.exists(tmp):
+            os.remove(tmp)
 
 
 def time_bench(cmd):
@@ -259,6 +279,69 @@ def run_rss(repo_root, build_dir, args):
               f"baseline and within {RSS_MAX_RATIO} x reference")
 
 
+HOSTPROF_BENCH = "bench_fig08_11_global"
+HOSTPROF_ARGS = ["--quick", "--jobs=1"]
+HOSTPROF_SHARE_TOL = 0.02  # --check: tracked+other must reach 1 - tol
+
+
+def run_host_profile(repo_root, build_dir, args):
+    """Record the telemetry breakdown of one sweep run in the tracked JSON."""
+    import tempfile
+
+    binary = os.path.join(build_dir, "bench", HOSTPROF_BENCH)
+    if not os.path.exists(binary):
+        sys.exit(f"bench not found: {binary} (build {HOSTPROF_BENCH})")
+
+    breakdown = None
+    with tempfile.TemporaryDirectory() as tmp:
+        stream = os.path.join(tmp, "telemetry.jsonl")
+        cmd = [binary] + HOSTPROF_ARGS + [f"--telemetry={stream}"]
+        subprocess.run(cmd, stdout=subprocess.DEVNULL, check=True)
+        with open(stream) as f:
+            for line in f:
+                rec = json.loads(line)
+                if rec.get("kind") == "breakdown":
+                    breakdown = rec
+    if breakdown is None:
+        sys.exit(f"no breakdown record in telemetry stream of "
+                 f"{' '.join(cmd)}")
+
+    label = args.label or git_label(repo_root)
+    entry = {
+        "label": label,
+        "bench": HOSTPROF_BENCH,
+        "args": HOSTPROF_ARGS,
+        "wall_s": breakdown["wall_s"],
+        "subsystems": breakdown["subsystems"],
+        "pool": breakdown["pool"],
+    }
+
+    tracked = os.path.join(repo_root, "results", "BENCH_simcore.json")
+    doc = {"schema": 1}
+    if os.path.exists(tracked):
+        with open(tracked) as f:
+            doc = json.load(f)
+    doc["host-profile"] = entry
+    write_json_atomic(tracked, doc)
+
+    share_sum = 0.0
+    for name in sorted(entry["subsystems"],
+                       key=lambda n: -entry["subsystems"][n]["s"]):
+        sub = entry["subsystems"][name]
+        share_sum += sub["share"]
+        print(f"host-profile: {name:<12} {sub['s']:8.4f}s "
+              f"{100 * sub['share']:5.1f}%")
+    print(f"host-profile: wall {entry['wall_s']:.4f}s; wrote "
+          f"{os.path.relpath(tracked, repo_root)}")
+
+    if args.check:
+        if share_sum < 1.0 - HOSTPROF_SHARE_TOL:
+            sys.exit(f"REGRESSION: breakdown shares sum to {share_sum:.4f} "
+                     f"< {1.0 - HOSTPROF_SHARE_TOL} — the subsystem timers "
+                     f"no longer tile the wall")
+        print(f"check ok: shares sum to {share_sum:.4f} (~1 of wall)")
+
+
 def git_label(repo_root):
     try:
         rev = subprocess.run(
@@ -285,6 +368,9 @@ def main():
     ap.add_argument("--rss", action="store_true",
                     help="record World bytes/rank at 64k and 256k ranks; "
                          "with --check, gate the memory-diet drop")
+    ap.add_argument("--host-profile", action="store_true", dest="hostprof",
+                    help="record the telemetry host-time breakdown of the "
+                         "sweep bench; with --check, require shares ~1")
     ap.add_argument("--save-baseline", action="store_true")
     ap.add_argument("--check", action="store_true")
     ap.add_argument("--label", default=None,
@@ -298,6 +384,10 @@ def main():
 
     if args.rss:
         run_rss(repo_root, build_dir, args)
+        return
+
+    if args.hostprof:
+        run_host_profile(repo_root, build_dir, args)
         return
 
     if args.sweep or args.wt:

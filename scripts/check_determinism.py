@@ -11,7 +11,7 @@ varied axis, and requires:
      wall-clock fields that legitimately vary;
   4. the --profile= attribution JSON, scrubbed the same way, identical.
 
-Two axes, selected with --vary:
+Three axes, selected with --vary:
 
   --vary jobs           (default) --jobs=1 vs --jobs=N: the PR 4 sweep
                         parallelism — independent Worlds on host cores.
@@ -19,10 +19,19 @@ Two axes, selected with --vary:
                         intra-World parallel rate path.  The varied
                         runs also pass --par-grain=1 so the pool
                         engages even on CI-sized worlds.
+  --vary heartbeat      off vs --heartbeat=0.02 --telemetry=<tmp>: the
+                        PR 7 runtime telemetry layer, which promises to
+                        stay strictly out-of-band — arming it must not
+                        change a single simulated byte.
+
+The "== host resources ==" block (getrusage gauges appended by
+--metrics) is scrubbed from stdout before comparison in every mode:
+RSS and fault counts are host facts, not simulation outputs.
 
 Usage:
   check_determinism.py --run <bench> [bench args...]
   check_determinism.py --run <bench> --vary world-threads -- --quick
+  check_determinism.py --run <bench> --vary heartbeat -- --quick
   check_determinism.py --run <bench> --jobs-parallel 4 -- --quick
 """
 
@@ -51,13 +60,33 @@ def scrub(obj):
     return obj
 
 
+def scrub_stdout(text):
+    """Drop the host-resources block: getrusage values vary run-to-run."""
+    lines = text.splitlines(keepends=True)
+    out, skipping = [], False
+    for line in lines:
+        if line.rstrip("\n") == "== host resources ==":
+            skipping = True
+            # The header is preceded by a blank separator; drop it too
+            # so the scrub leaves no trailing gap.
+            if out and out[-1].strip() == "":
+                out.pop()
+            continue
+        if skipping:
+            if line.strip() == "":
+                skipping = False
+            continue
+        out.append(line)
+    return "".join(out)
+
+
 def run_once(bench, args, axis_flags, trace_path, profile_path):
     cmd = [bench] + axis_flags + ["--metrics", f"--trace={trace_path}",
                                   f"--profile={profile_path}"] + args
     proc = subprocess.run(cmd, capture_output=True, text=True)
     if proc.returncode != 0:
         fail(f"{' '.join(cmd)} exited {proc.returncode}:\n{proc.stderr}")
-    return proc.stdout
+    return scrub_stdout(proc.stdout)
 
 
 def load_scrubbed(path, what):
@@ -81,24 +110,30 @@ def main(argv):
             parallel_n = int(rest[1])
         else:
             vary = rest[1]
-            if vary not in ("jobs", "world-threads"):
-                fail(f"--vary must be 'jobs' or 'world-threads', got {vary}")
+            if vary not in ("jobs", "world-threads", "heartbeat"):
+                fail(f"--vary must be 'jobs', 'world-threads' or "
+                     f"'heartbeat', got {vary}")
         rest = rest[2:]
     if rest and rest[0] == "--":
         rest = rest[1:]
 
-    if vary == "jobs":
-        serial_flags = ["--jobs=1"]
-        parallel_flags = [f"--jobs={parallel_n}"]
-    else:
-        # --par-grain=1 on both sides: flag sets must differ only in the
-        # varied axis, and grain never changes simulated results.
-        serial_flags = ["--world-threads=1", "--par-grain=1"]
-        parallel_flags = [f"--world-threads={parallel_n}", "--par-grain=1"]
-    label1 = " ".join(serial_flags)
-    labeln = " ".join(parallel_flags)
-
     with tempfile.TemporaryDirectory() as tmp:
+        if vary == "jobs":
+            serial_flags = ["--jobs=1"]
+            parallel_flags = [f"--jobs={parallel_n}"]
+        elif vary == "world-threads":
+            # --par-grain=1 on both sides: flag sets must differ only in
+            # the varied axis, and grain never changes simulated results.
+            serial_flags = ["--world-threads=1", "--par-grain=1"]
+            parallel_flags = [f"--world-threads={parallel_n}",
+                              "--par-grain=1"]
+        else:  # heartbeat: telemetry off vs armed, fast beat to a tmp file
+            serial_flags = []
+            parallel_flags = ["--heartbeat=0.02",
+                              "--telemetry=" + os.path.join(tmp, "hb.jsonl")]
+        label1 = " ".join(serial_flags) or "telemetry off"
+        labeln = " ".join(parallel_flags)
+
         t1 = os.path.join(tmp, "serial_trace.json")
         tn = os.path.join(tmp, "parallel_trace.json")
         p1 = os.path.join(tmp, "serial_profile.json")

@@ -8,7 +8,10 @@
 #     concurrent shard recording, the absorb merge);
 #   - test_parallel: the ParallelPool fork-join protocol itself;
 #   - test_network_parallel: the intra-World parallel rate path,
-#     asserting byte-equality with the serial engine while threaded.
+#     asserting byte-equality with the serial engine while threaded;
+#   - test_obsv_telemetry: the sharded HostProfile accumulators
+#     (fold-while-timing) and the telemetry sampler thread against a
+#     running World.
 # Any data race aborts the run (TSAN_OPTIONS halt_on_error), failing
 # the gate.  (The jobs=1-vs-jobs=8 and world-threads=1-vs-8 bench
 # determinism ctests stay in the regular build: two full bench runs
@@ -20,7 +23,8 @@ build="${1:-build-tsan}"
 
 cmake -B "$build" -S . -DXTSIM_SAN=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$build" -j"$(nproc)" \
-  --target test_runner_sweep test_parallel test_network_parallel
+  --target test_runner_sweep test_parallel test_network_parallel \
+  test_obsv_telemetry
 TSAN_OPTIONS="halt_on_error=1" ctest --test-dir "$build" -L tsan_smoke \
   --output-on-failure
 echo "check_threads: OK: tsan_smoke suite clean under ThreadSanitizer"

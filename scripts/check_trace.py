@@ -1,5 +1,6 @@
 #!/usr/bin/env python3
-"""Validate a Chrome trace (--trace=) or an xtsim profile (--profile=).
+"""Validate a Chrome trace (--trace=), an xtsim profile (--profile=)
+or a telemetry stream (--telemetry=).
 
 Trace checks:
   1. The file is well-formed JSON with a traceEvents array and the
@@ -20,10 +21,21 @@ Profile checks ("xtsim_profile" JSON, detected automatically):
      its length, step chain is contiguous in time.
   4. Matrix totals match the world's message/byte counts.
 
+Telemetry checks (JSONL stream, detected by the xtsim_telemetry start
+marker on the first line):
+  1. Schema: every line parses as one JSON object; the stream opens
+     with the start record and ends with exactly one breakdown record;
+     every heartbeat carries the full field set.
+  2. Heartbeat trajectory: wall_s and events are nondecreasing, gauges
+     are nonnegative, at least one (final) heartbeat exists.
+  3. Breakdown: per-subsystem seconds >= 0 and the shares (tracked
+     subsystems + derived "other") sum to ~1 of measured wall.
+
 Usage:
-  check_trace.py file.json                        # kind auto-detected
-  check_trace.py --run <bench> [args...]          # runs with --trace
-  check_trace.py --run-profile <bench> [args...]  # runs with --profile
+  check_trace.py file.json                          # kind auto-detected
+  check_trace.py --run <bench> [args...]            # runs with --trace
+  check_trace.py --run-profile <bench> [args...]    # runs with --profile
+  check_trace.py --run-telemetry <bench> [args...]  # runs with --telemetry
 """
 
 import json
@@ -159,7 +171,104 @@ def check_profile(path):
           % (len(worlds), ranks_checked, worst))
 
 
+HEARTBEAT_KEYS = {"kind", "seq", "wall_s", "sim_s", "events",
+                  "events_per_s", "sim_rate", "queue_depth", "flows",
+                  "pool_util", "rss_bytes"}
+SUBSYSTEMS = {"engine", "net.rates", "obsv.export", "telemetry", "other"}
+
+
+def check_telemetry(path):
+    records = []
+    with open(path, "r", encoding="utf-8") as f:
+        for i, line in enumerate(f):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except ValueError as e:
+                fail("%s line %d: not a JSON object: %s" % (path, i + 1, e))
+    if not records or records[0].get("xtsim_telemetry") != 1:
+        fail("%s: missing xtsim_telemetry start record" % path)
+    if records[0].get("kind") != "start" or "schema" not in records[0]:
+        fail("%s: malformed start record %r" % (path, records[0]))
+
+    beats = [r for r in records if r.get("kind") == "heartbeat"]
+    downs = [r for r in records if r.get("kind") == "breakdown"]
+    if not beats:
+        fail("%s: no heartbeat records (stop() emits a final one even "
+             "for sub-period runs)" % path)
+    if len(downs) != 1 or records[-1] is not downs[0]:
+        fail("%s: expected exactly one trailing breakdown record, got %d"
+             % (path, len(downs)))
+
+    prev_wall, prev_events = -1.0, -1
+    for b in beats:
+        missing = HEARTBEAT_KEYS - set(b)
+        if missing:
+            fail("heartbeat %r missing keys %s" % (b.get("seq"),
+                                                   sorted(missing)))
+        if b["wall_s"] < prev_wall:
+            fail("heartbeat wall_s went backwards: %r -> %r"
+                 % (prev_wall, b["wall_s"]))
+        if b["events"] < prev_events:
+            fail("heartbeat events went backwards: %r -> %r"
+                 % (prev_events, b["events"]))
+        for k in ("sim_s", "events_per_s", "queue_depth", "flows",
+                  "rss_bytes"):
+            if b[k] < 0:
+                fail("heartbeat %r: %s is negative" % (b["seq"], k))
+        if not 0.0 <= b["pool_util"] <= 1.0:
+            fail("heartbeat %r: pool_util %r out of [0,1]"
+                 % (b["seq"], b["pool_util"]))
+        prev_wall, prev_events = b["wall_s"], b["events"]
+    if not beats[-1].get("final"):
+        fail("last heartbeat is not marked final")
+
+    bd = downs[0]
+    subs = bd.get("subsystems", {})
+    if set(subs) != SUBSYSTEMS:
+        fail("breakdown subsystems %s != expected %s"
+             % (sorted(subs), sorted(SUBSYSTEMS)))
+    if bd.get("wall_s", -1.0) <= 0.0:
+        fail("breakdown wall_s %r not positive" % bd.get("wall_s"))
+    share_sum = 0.0
+    for name, v in subs.items():
+        if v["s"] < 0 or v["share"] < 0:
+            fail("breakdown %s negative: %r" % (name, v))
+        share_sum += v["share"]
+    # Tracked + derived-other shares tile the wall on a single main
+    # lane; overlapping lanes (sampler, pool workers) can only push the
+    # sum *up*, so the check is one-sided-tight below, loose above.
+    if not 0.98 <= share_sum <= 1.5:
+        fail("breakdown shares sum to %.6g, expected ~1" % share_sum)
+    pool = bd.get("pool")
+    if (not isinstance(pool, dict) or pool["work_s"] < 0
+            or pool["idle_s"] < 0):
+        fail("breakdown pool section malformed: %r" % pool)
+    host = bd.get("host")
+    if not isinstance(host, dict) or host.get("peak_rss_bytes", 0) <= 0:
+        fail("breakdown host section malformed: %r" % host)
+
+    print("check_trace: OK: telemetry stream with %d heartbeat(s), "
+          "breakdown shares sum %.4g over %.4g s wall"
+          % (len(beats), share_sum, bd["wall_s"]))
+
+
+def sniff_telemetry(path):
+    """True if the first line alone parses as the telemetry start
+    record (a Chrome trace / profile JSON first line does not)."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            first = json.loads(f.readline())
+        return isinstance(first, dict) and first.get("xtsim_telemetry") == 1
+    except (OSError, ValueError):
+        return False
+
+
 def check(path):
+    if sniff_telemetry(path):
+        return check_telemetry(path)
     with open(path, "r", encoding="utf-8") as f:
         doc = json.load(f)
     if isinstance(doc, dict) and "xtsim_profile" in doc:
@@ -249,11 +358,15 @@ def check(path):
     )
 
 
+RUN_FLAGS = {"--run": "--trace=", "--run-profile": "--profile=",
+             "--run-telemetry": "--telemetry="}
+
+
 def main(argv):
-    if len(argv) >= 2 and argv[1] in ("--run", "--run-profile"):
+    if len(argv) >= 2 and argv[1] in RUN_FLAGS:
         if len(argv) < 3:
             fail("%s needs a command" % argv[1])
-        flag = "--trace=" if argv[1] == "--run" else "--profile="
+        flag = RUN_FLAGS[argv[1]]
         fd, path = tempfile.mkstemp(suffix=".json", prefix="xtstrace_")
         os.close(fd)
         try:

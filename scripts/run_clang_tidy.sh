@@ -1,7 +1,8 @@
 #!/usr/bin/env sh
 # clang-tidy over the hot layers (src/core, src/network, src/vmpi,
 # src/obsv — including the profiling/attribution sources profile.cpp
-# and attrib.cpp, picked up by the glob below) with the repo's
+# and attrib.cpp and the telemetry layer hostprof.cpp and
+# telemetry.cpp, picked up by the glob below) with the repo's
 # .clang-tidy profile (performance-*, bugprone-*).
 #
 # Usage: scripts/run_clang_tidy.sh [build-dir]

@@ -29,6 +29,7 @@
 
 #include "core/error.hpp"
 #include "core/inline_fn.hpp"
+#include "core/progress.hpp"
 #include "core/units.hpp"
 
 namespace xts {
@@ -50,6 +51,24 @@ class Engine {
   /// pass, so `--world-threads=1` leaves no trace on the hot path.
   void set_parallel(ParallelPool* pool) noexcept { parallel_ = pool; }
   [[nodiscard]] ParallelPool* parallel() const noexcept { return parallel_; }
+
+  /// Heartbeat progress sink (null => off, the default).  While set,
+  /// step() refreshes it every kProgressStride events with relaxed
+  /// stores — no clock reads, no effect on event order or output.
+  void set_progress(RunProgress* progress) noexcept { progress_ = progress; }
+
+  /// Push the current counters to the progress sink now (no-op when
+  /// none is set).  Callers invoke this after run() so the final
+  /// sub-stride tail is visible to the sampler.
+  void publish_progress() noexcept {
+    if (progress_ == nullptr) return;
+    progress_->sim_time.store(now_, std::memory_order_relaxed);
+    progress_->events.fetch_add(events_processed_ - progress_published_,
+                                std::memory_order_relaxed);
+    progress_published_ = events_processed_;
+    progress_->queue_depth.store(fifo_count_ + heap_.size(),
+                                 std::memory_order_relaxed);
+  }
 
   /// Schedule \p fn to run at absolute simulated time \p t (>= now()).
   void schedule_at(SimTime t, InlineFn fn) {
@@ -86,6 +105,9 @@ class Engine {
     }
     now_ = ev.time;
     ++events_processed_;
+    if (progress_ != nullptr &&
+        (events_processed_ & (kProgressStride - 1)) == 0)
+      publish_progress();
     ev.fn();
     return true;
   }
@@ -121,6 +143,8 @@ class Engine {
   }
 
  private:
+  static constexpr std::size_t kProgressStride = 1024;
+
   struct Event {
     SimTime time = 0.0;
     std::uint64_t seq = 0;
@@ -212,6 +236,8 @@ class Engine {
   }
 
   ParallelPool* parallel_ = nullptr;
+  RunProgress* progress_ = nullptr;
+  std::size_t progress_published_ = 0;
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::size_t events_processed_ = 0;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/hostprof.hpp"
+
 namespace xts {
 
 namespace {
@@ -122,14 +124,23 @@ void ParallelPool::worker_loop() {
     const RangeFn* fn = nullptr;
     {
       std::unique_lock<std::mutex> lk(mu_);
-      cv_worker_.wait(lk, [&] { return stop_ || job_gen_ != seen_gen; });
+      {
+        // Lane telemetry: waiting for a job is idle time, executing
+        // chunks below is work time.  The caller lane's own chunk run
+        // stays charged to whatever subsystem issued the job.
+        const ScopedHostTimer idle(HostSubsys::kPoolIdle);
+        cv_worker_.wait(lk, [&] { return stop_ || job_gen_ != seen_gen; });
+      }
       if (stop_) {
         return;
       }
       seen_gen = job_gen_;
       fn = job_fn_;
     }
-    run_chunks(*fn);
+    {
+      const ScopedHostTimer work(HostSubsys::kPoolWork);
+      run_chunks(*fn);
+    }
     {
       std::lock_guard<std::mutex> lk(mu_);
       --workers_busy_;

@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file progress.hpp
+/// Shared live-progress atomics for the heartbeat sampler.
+///
+/// Subsystems that own simulation state (Engine, FlowNetwork) publish
+/// coarse progress here with relaxed stores; the telemetry sampler
+/// thread (obsv/telemetry.hpp) reads them out-of-band.  Publishing
+/// never reads the clock, never allocates and never touches simulated
+/// state, so arming it cannot change simulation output.  With several
+/// Worlds live at once (a --jobs sweep) `events` accumulates across
+/// all of them while the point-in-time fields are last-writer-wins —
+/// good enough for a liveness heartbeat.
+///
+/// This lives in core (not obsv) so the network layer can publish
+/// without a layering inversion.
+
+#include <atomic>
+#include <cstdint>
+
+namespace xts {
+
+struct RunProgress {
+  std::atomic<double> sim_time{0.0};           ///< last published now()
+  std::atomic<std::uint64_t> events{0};        ///< cumulative events run
+  std::atomic<std::uint64_t> queue_depth{0};   ///< last published pending
+  std::atomic<std::uint64_t> flows{0};         ///< in-flight network flows
+};
+
+}  // namespace xts

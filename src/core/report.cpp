@@ -114,6 +114,18 @@ BenchOptions BenchOptions::parse(int argc, char** argv,
       opt.profile_file = arg.substr(10);
       if (opt.profile_file.empty())
         throw UsageError("--profile= needs a file path");
+    } else if (arg.rfind("--heartbeat=", 0) == 0) {
+      const std::string v = arg.substr(12);
+      char* end = nullptr;
+      const double s = std::strtod(v.c_str(), &end);
+      if (v.empty() || end == nullptr || *end != '\0' || !(s > 0.0) ||
+          s > 86400.0)
+        throw UsageError("--heartbeat= needs seconds in (0, 86400]");
+      opt.heartbeat_s = s;
+    } else if (arg.rfind("--telemetry=", 0) == 0) {
+      opt.telemetry_file = arg.substr(12);
+      if (opt.telemetry_file.empty())
+        throw UsageError("--telemetry= needs a file path");
     } else if (arg == "--help" || arg == "-h") {
       std::cout << blurb << "\n\nOptions:\n"
                 << "  --csv           also emit CSV blocks for replotting\n"
@@ -134,7 +146,15 @@ BenchOptions BenchOptions::parse(int argc, char** argv,
                 << "  --profile=FILE  write a profiling/attribution report "
                    "(xtsim_profile JSON)\n"
                 << "  --metrics       print metrics + torus utilization "
-                   "tables at exit\n";
+                   "tables at exit\n"
+                << "  --heartbeat=S   emit a live progress heartbeat to "
+                   "stderr every S seconds\n"
+                   "                  (out-of-band: stdout and report "
+                   "files are unchanged)\n"
+                << "  --telemetry=FILE  stream heartbeat records + the "
+                   "exit-time host-time\n"
+                   "                  breakdown as JSON lines (see "
+                   "xtstrace telemetry)\n";
       std::exit(0);
     } else {
       throw UsageError("unknown option: " + arg);

@@ -39,12 +39,13 @@ class Table {
 
 /// Shared CLI handling for bench binaries: recognizes --csv, --quick,
 /// --full, --jobs=N, --world-threads=N, --par-grain=N, --trace=<file>,
-/// --metrics, --profile=<file> and --help.  Anything unrecognized
-/// raises UsageError.  The observability flags are plain data here —
-/// benches hand them to obsv::arm_cli, and --jobs to runner::sweep
-/// (core cannot depend on obsv/runner).  --world-threads/--par-grain
-/// are applied directly to the core parallel defaults during parse, so
-/// every World built afterwards picks them up without driver changes.
+/// --metrics, --profile=<file>, --heartbeat=SECS, --telemetry=<file>
+/// and --help.  Anything unrecognized raises UsageError.  The
+/// observability flags are plain data here — benches hand them to
+/// obsv::arm_cli, and --jobs to runner::sweep (core cannot depend on
+/// obsv/runner).  --world-threads/--par-grain are applied directly to
+/// the core parallel defaults during parse, so every World built
+/// afterwards picks them up without driver changes.
 struct BenchOptions {
   bool csv = false;        ///< also emit CSV blocks
   bool quick = false;      ///< reduced sweep for CI
@@ -54,6 +55,8 @@ struct BenchOptions {
   int world_threads = 1;   ///< intra-World threads (echo of the default set)
   std::string trace_file;  ///< Chrome trace output path ("" = off)
   std::string profile_file;  ///< attribution profile JSON path ("" = off)
+  double heartbeat_s = 0.0;  ///< live heartbeat period to stderr (0 = off)
+  std::string telemetry_file;  ///< streaming telemetry JSONL ("" = off)
 
   static BenchOptions parse(int argc, char** argv, const std::string& blurb);
 };

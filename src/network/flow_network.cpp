@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "core/hostprof.hpp"
 #include "core/parallel.hpp"
 
 namespace xts::net {
@@ -225,6 +226,8 @@ std::uint32_t FlowNetwork::add_flow(NodeId src, NodeId dst, double bytes) {
     }
   }
   ++active_count_;
+  if (progress_ != nullptr)
+    progress_->flows.store(active_count_, std::memory_order_relaxed);
   peak_flows_ = std::max(peak_flows_, active_count_);
   mark_dirty();
   return idx;
@@ -319,6 +322,8 @@ void FlowNetwork::finish_flow(std::uint32_t idx) {
   f.in_use = false;
   free_.push_back(idx);
   --active_count_;
+  if (progress_ != nullptr)
+    progress_->flows.store(active_count_, std::memory_order_relaxed);
 }
 
 void FlowNetwork::fire_completions() {
@@ -431,6 +436,9 @@ void FlowNetwork::flush_pending() {
 }
 
 void FlowNetwork::update_rates_min_share(SimTime now) {
+  // Host self-profiling (obsv/telemetry): rate allocation is the
+  // engine loop's dominant non-app cost; charge it to its own bucket.
+  const ScopedHostTimer hosttimer(HostSubsys::kRates);
   // A min-share rate depends only on the loads of the flow's own
   // links, so exactly the flows crossing a dirty link need revisiting.
   // When the change is dense (a big wave dirtied about as many links
@@ -515,6 +523,7 @@ void FlowNetwork::update_rates_min_share(SimTime now) {
 }
 
 void FlowNetwork::update_rates_max_min(SimTime now) {
+  const ScopedHostTimer hosttimer(HostSubsys::kRates);
   // Max-min allocations decompose over connected components of the
   // flow/link sharing graph: a component's rates depend only on its
   // own members.  Expand the dirty links to the full component, then
@@ -630,6 +639,7 @@ void FlowNetwork::process_full() {
   }
 
   if (active_count_ > 0) {
+    const ScopedHostTimer hosttimer(HostSubsys::kRates);
     ++recompute_passes_;
     if (cfg_.fairness == Fairness::kMaxMin) {
       assign_rates_max_min_full();

@@ -122,6 +122,12 @@ class FlowNetwork {
   [[nodiscard]] std::size_t active_flows() const noexcept {
     return active_count_;
   }
+  /// Heartbeat progress sink (null => off): while set, flow
+  /// add/finish mirror active_flows() into it with a relaxed store so
+  /// the telemetry sampler can read in-flight counts out-of-band.
+  void set_progress(RunProgress* progress) noexcept {
+    progress_ = progress;
+  }
   /// High-water mark of concurrent flows (capacity-planning stat).
   [[nodiscard]] std::size_t peak_flows() const noexcept {
     return peak_flows_;
@@ -297,6 +303,7 @@ class FlowNetwork {
   std::vector<ClassSample> class_samples_;
   double sample_min_dt_ = 0.0;  ///< doubles when the series overflows
 
+  RunProgress* progress_ = nullptr;
   std::size_t active_count_ = 0;
   std::size_t peak_flows_ = 0;
   std::uint64_t epoch_ = 0;        ///< invalidates scheduled timers

@@ -12,7 +12,9 @@
 #include <vector>
 
 #include "core/error.hpp"
+#include "core/hostprof.hpp"
 #include "obsv/attrib.hpp"
+#include "obsv/telemetry.hpp"
 
 namespace xts::obsv {
 
@@ -199,9 +201,9 @@ void write_chrome_trace_file(const Session& session,
   write_chrome_trace(session, os);
 }
 
-Table metrics_table(const Registry& registry) {
-  Table t("metrics", {"family", "label", "kind", "count", "value", "mean",
-                      "p95", "max"});
+Table metrics_table(const Registry& registry, const std::string& title) {
+  Table t(title, {"family", "label", "kind", "count", "value", "mean",
+                  "p95", "max"});
   for (const auto& [family, labels] : registry.counters())
     for (const auto& [label, c] : labels)
       t.add_row({family, label, "counter", "", Table::num(c.value(), 3), "",
@@ -220,6 +222,16 @@ Table metrics_table(const Registry& registry) {
                  Table::num(h.max(), 9)});
     }
   return t;
+}
+
+Table host_table() {
+  Registry reg;
+  reg.gauge("host.rss", "peak_bytes")
+      .set(static_cast<double>(host_peak_rss_bytes()));
+  const HostFaults faults = host_page_faults();
+  reg.gauge("host.faults", "major").set(static_cast<double>(faults.major));
+  reg.gauge("host.faults", "minor").set(static_cast<double>(faults.minor));
+  return metrics_table(reg, "host resources");
 }
 
 Table link_table(const Session& session, std::size_t max_rows) {
@@ -301,44 +313,62 @@ bool cli_print_metrics = false;
 }  // namespace
 
 void flush_cli() {
-  Session* s = Session::active();
-  if (s == nullptr) return;
-  if (!cli_trace_path().empty()) {
-    write_chrome_trace_file(*s, cli_trace_path());
-    std::cerr << "trace: wrote " << s->sink().size() << " spans ("
-              << s->sink().dropped() << " dropped) to "
-              << cli_trace_path() << "\n";
+  if (Session* s = Session::active()) {
+    {
+      // Self-profiling: exporting is host work too; charge it so the
+      // telemetry breakdown can show when trace/profile writing (not
+      // the simulation) dominates a run.
+      const ScopedHostTimer timer(HostSubsys::kExport);
+      if (!cli_trace_path().empty()) {
+        write_chrome_trace_file(*s, cli_trace_path());
+        std::cerr << "trace: wrote " << s->sink().size() << " spans ("
+                  << s->sink().dropped() << " dropped) to "
+                  << cli_trace_path() << "\n";
+      }
+      if (!cli_profile_path().empty()) {
+        if (write_profile_file(*s, cli_profile_path()))
+          std::cerr << "profile: wrote " << s->profiles().size()
+                    << " world profile(s) to " << cli_profile_path()
+                    << "\n";
+        else
+          std::cerr << "profile: cannot write " << cli_profile_path()
+                    << "\n";
+      }
+      if (cli_print_metrics) {
+        metrics_table(s->registry()).print(std::cout);
+        class_table(*s).print(std::cout);
+        link_table(*s, 10).print(std::cout);
+        if (!s->profiles().empty()) std::cout << profile_table(*s);
+        host_table().print(std::cout);
+      }
+    }
+    cli_trace_path().clear();
+    cli_profile_path().clear();
+    cli_print_metrics = false;
+    Session::stop();
   }
-  if (!cli_profile_path().empty()) {
-    if (write_profile_file(*s, cli_profile_path()))
-      std::cerr << "profile: wrote " << s->profiles().size()
-                << " world profile(s) to " << cli_profile_path() << "\n";
-    else
-      std::cerr << "profile: cannot write " << cli_profile_path() << "\n";
-  }
-  if (cli_print_metrics) {
-    metrics_table(s->registry()).print(std::cout);
-    class_table(*s).print(std::cout);
-    link_table(*s, 10).print(std::cout);
-    if (!s->profiles().empty()) std::cout << profile_table(*s);
-  }
-  cli_trace_path().clear();
-  cli_profile_path().clear();
-  cli_print_metrics = false;
-  Session::stop();
+  // After the exporters so their host time lands in the breakdown.
+  telemetry::stop();
 }
 
 void arm_cli(const BenchOptions& opt) {
-  if (opt.trace_file.empty() && opt.profile_file.empty() && !opt.metrics)
-    return;
-  Options o;
-  o.tracing = !opt.trace_file.empty();
-  o.profiling = !opt.profile_file.empty();
-  o.metrics = true;  // metrics are cheap once observability is on
-  Session::start(o);
-  cli_trace_path() = opt.trace_file;
-  cli_profile_path() = opt.profile_file;
-  cli_print_metrics = opt.metrics;
+  const bool session_on = !opt.trace_file.empty() ||
+                          !opt.profile_file.empty() || opt.metrics;
+  const bool telemetry_on =
+      opt.heartbeat_s > 0.0 || !opt.telemetry_file.empty();
+  if (!session_on && !telemetry_on) return;
+  if (session_on) {
+    Options o;
+    o.tracing = !opt.trace_file.empty();
+    o.profiling = !opt.profile_file.empty();
+    o.metrics = true;  // metrics are cheap once observability is on
+    Session::start(o);
+    cli_trace_path() = opt.trace_file;
+    cli_profile_path() = opt.profile_file;
+    cli_print_metrics = opt.metrics;
+  }
+  if (telemetry_on)
+    telemetry::start({opt.heartbeat_s, opt.telemetry_file});
   static bool registered = false;
   if (!registered) {
     registered = true;

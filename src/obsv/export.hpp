@@ -28,7 +28,15 @@ void write_chrome_trace_file(const Session& session,
                              const std::string& path);
 
 /// Registry dump: family, label, kind, count, value, mean, p95, max.
-[[nodiscard]] Table metrics_table(const Registry& registry);
+[[nodiscard]] Table metrics_table(const Registry& registry,
+                                  const std::string& title = "metrics");
+
+/// Host resource gauges (getrusage): peak RSS bytes, major/minor page
+/// faults — rendered through the metrics-table machinery as its own
+/// "host resources" block so memory-diet gates need no external probe.
+/// Values are host-dependent (never reproducible run-to-run), so
+/// scripts/check_determinism.py scrubs exactly this block from stdout.
+[[nodiscard]] Table host_table();
 
 /// Per-link usage across all recorded worlds, busiest first.
 /// `max_rows` 0 = all links that carried traffic.
@@ -42,7 +50,10 @@ void write_chrome_trace_file(const Session& session,
 /// Start a session according to bench CLI flags (no-op if none of
 /// --trace / --profile / --metrics was given) and register the
 /// exit-time flush.  --profile=<file> enables profiling and writes the
-/// attribution JSON (obsv/attrib.hpp) on exit.
+/// attribution JSON (obsv/attrib.hpp) on exit.  --heartbeat=SECS /
+/// --telemetry=FILE arm the runtime telemetry layer (obsv/telemetry.hpp)
+/// even when no session flag was given — telemetry is out-of-band and
+/// needs no recording session.
 void arm_cli(const BenchOptions& opt);
 
 /// Write/print everything arm_cli promised, then stop the session.

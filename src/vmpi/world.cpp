@@ -4,6 +4,8 @@
 #include <numeric>
 #include <string>
 
+#include "core/hostprof.hpp"
+#include "obsv/telemetry.hpp"
 #include "vmpi/comm.hpp"
 
 namespace xts::vmpi {
@@ -42,6 +44,15 @@ World::World(WorldConfig cfg) : cfg_(std::move(cfg)) {
   ncfg.link_stats = obs_ != nullptr;
   network_ =
       std::make_unique<net::FlowNetwork>(engine_, net::Torus3D(dims), ncfg);
+
+  // Live-heartbeat wiring (obsv/telemetry.hpp): while the telemetry
+  // layer is armed, engine and network publish coarse progress into
+  // its atomics.  Null when disarmed — zero cost and, either way, no
+  // effect on simulated state or output bytes.
+  if (RunProgress* progress = obsv::telemetry::progress()) {
+    engine_.set_progress(progress);
+    network_->set_progress(progress);
+  }
 
   if (obs_ != nullptr) {
     if (obs_->spans_enabled()) {
@@ -215,7 +226,14 @@ SimTime World::run(const RankProgram& program) {
       w.rank_done_[static_cast<std::size_t>(rank)] = 1;
     }(*this, program, r));
   }
-  engine_.run();
+  {
+    // Self-profiling: everything below is the engine dispatch loop;
+    // nested scopes (FlowNetwork rate passes) carve their time out of
+    // this bucket, so the breakdown attribution is exclusive.
+    const ScopedHostTimer hosttimer(HostSubsys::kEngine);
+    engine_.run();
+  }
+  engine_.publish_progress();  // expose the sub-stride tail
   if (obs_ != nullptr && obs_->spans_enabled())
     obs_->span(obsv::kWorldLane, obsv::Cat::kEngine, sid_.run, t0,
                engine_.now(), 0, static_cast<double>(cfg_.nranks),

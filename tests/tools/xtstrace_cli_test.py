@@ -3,10 +3,11 @@
 
 Usage: xtstrace_cli_test.py <python> <xtstrace> <bench>
 
-Runs <bench> --quick once with --trace and once with --profile, then
-checks that every subcommand works on the right file kind and that the
-tool exits nonzero (with a diagnostic) on unknown subcommands, missing
-files, malformed JSON, and files of the wrong kind.
+Runs <bench> --quick once each with --trace, --profile and
+--telemetry, then checks that every subcommand works on the right file
+kind and that the tool exits nonzero (with a diagnostic) on unknown
+subcommands, missing files, malformed JSON, and files of the wrong
+kind.
 """
 
 import os
@@ -45,10 +46,12 @@ def main():
     with tempfile.TemporaryDirectory(prefix="xtstrace_cli_") as tmp:
         trace = os.path.join(tmp, "trace.json")
         profile = os.path.join(tmp, "profile.json")
+        telemetry = os.path.join(tmp, "telemetry.jsonl")
         bad = os.path.join(tmp, "bad.json")
         with open(bad, "w", encoding="utf-8") as f:
             f.write("{not json")
-        for flag, path in (("--trace=", trace), ("--profile=", profile)):
+        for flag, path in (("--trace=", trace), ("--profile=", profile),
+                           ("--telemetry=", telemetry)):
             proc = run([bench, "--quick", flag + path])
             if proc.returncode != 0:
                 sys.exit("bench failed with %s: %s"
@@ -65,6 +68,8 @@ def main():
                True, "critical path")
         expect("matrix on profile", run(xts + ["matrix", profile]), True,
                "src")
+        expect("telemetry on telemetry",
+               run(xts + ["telemetry", telemetry]), True, "breakdown")
 
         # Error contract: nonzero exit plus a diagnostic.
         expect("unknown subcommand", run(xts + ["frobnicate", trace]),
@@ -77,6 +82,13 @@ def main():
         expect("profile cmd on trace file", run(xts + ["profile", trace]),
                False)
         expect("trace cmd on profile file", run(xts + ["summary", profile]),
+               False)
+        expect("telemetry cmd on trace file",
+               run(xts + ["telemetry", trace]), False)
+        expect("trace cmd on telemetry file",
+               run(xts + ["summary", telemetry]), False)
+        expect("telemetry cmd missing file",
+               run(xts + ["telemetry", os.path.join(tmp, "nope.jsonl")]),
                False)
 
     if failures:
