@@ -1,0 +1,131 @@
+/// \file bench_checkpoint.cpp
+/// Defensive-I/O companion to bench_ior (paper §2): checkpoint/restart
+/// workloads on the Lustre model, plus CAM and S3D runs that dump state
+/// through Filesystem::checkpoint() mid-simulation.  Shows the two ways
+/// a checkpoint turns io-bound — the single-MDS metadata serialization
+/// at high client counts, and shared-file stripe/lock conflicts — both
+/// of which the --profile verdict subclassifies.
+
+#include <functional>
+#include <iostream>
+#include <vector>
+
+#include "apps/cam.hpp"
+#include "apps/s3d.hpp"
+#include "core/report.hpp"
+#include "core/units.hpp"
+#include "lustre/lustre.hpp"
+#include "machine/presets.hpp"
+#include "obsv/export.hpp"
+#include "runner/sweep.hpp"
+
+int main(int argc, char** argv) {
+  using namespace xts;
+  using namespace xts::units;
+  using machine::ExecMode;
+  const auto opt = BenchOptions::parse(
+      argc, argv,
+      "Checkpoint/restart workloads on the Lustre model (defensive I/O)");
+  obsv::arm_cli(opt);
+
+  lustre::LustreConfig fs;  // 18 OSS x 4 OST, 250 MB/s each
+
+  // Scenario A: metadata scaling.  File-per-process, small dumps — the
+  // create+commit traffic through the one MDS comes to dominate.
+  const std::vector<int> client_counts = {8, 32, 128,
+                                          opt.quick ? 256 : 1024};
+  // Scenario B: N-to-1 shared file with DLM extent-lock conflicts and
+  // bounded OST request queues — stripe overlap, not metadata, binds.
+  lustre::LustreConfig fs_lock = fs;
+  fs_lock.lock_conflict_time = 500.0 * us;
+  fs_lock.ost_queue_depth = 2;
+
+  std::vector<std::function<lustre::CheckpointResult()>> points;
+  std::vector<double> weights;
+  for (const int clients : client_counts) {
+    lustre::CheckpointConfig ck;
+    ck.clients = clients;
+    // Small dumps: the point of this scenario is the metadata path.
+    ck.bytes_per_client = 0.25 * MiB;
+    ck.stripe_count = 1;
+    ck.rounds = 2;
+    points.emplace_back([&fs, ck] { return run_checkpoint(fs, ck); });
+    weights.push_back(clients * ck.bytes_per_client);
+  }
+  const bool shared_flags[] = {false, true};
+  for (const bool shared : shared_flags) {
+    lustre::CheckpointConfig ck;
+    ck.clients = opt.quick ? 32 : 128;
+    ck.bytes_per_client = (opt.quick ? 4.0 : 16.0) * MiB;
+    ck.stripe_count = 16;
+    ck.shared_file = shared;
+    points.emplace_back(
+        [&fs_lock, ck] { return run_checkpoint(fs_lock, ck); });
+    weights.push_back(ck.clients * ck.bytes_per_client);
+  }
+  const auto results = runner::sweep(std::move(points), opt.jobs, weights);
+
+  {
+    Table t("Checkpoint: file-per-process, stripe 1, 2 rounds",
+            {"clients", "ckpt seconds", "write GB/s", "meta share",
+             "restart s"});
+    for (std::size_t i = 0; i < client_counts.size(); ++i) {
+      const auto& r = results[i];
+      t.add_row({Table::num(static_cast<long long>(client_counts[i])),
+                 Table::num(r.checkpoint_seconds, 3),
+                 Table::num(r.write_gbs, 2), Table::num(r.meta_share, 3),
+                 Table::num(r.restart_seconds, 3)});
+    }
+    emit(t, opt);
+  }
+  {
+    Table t("Checkpoint: stripe 16 with lock conflicts + OST queues",
+            {"layout", "ckpt seconds", "write GB/s", "meta share"});
+    const char* names[] = {"file-per-process", "shared-file"};
+    for (std::size_t i = 0; i < 2; ++i) {
+      const auto& r = results[client_counts.size() + i];
+      t.add_row({names[i], Table::num(r.checkpoint_seconds, 3),
+                 Table::num(r.write_gbs, 2), Table::num(r.meta_share, 3)});
+    }
+    emit(t, opt);
+  }
+
+  // Applications checkpointing mid-run: the io spans land on the same
+  // rank lanes as the compute/MPI phases, so --profile attributes the
+  // checkpoint cost alongside them.
+  {
+    const auto xt4 = machine::xt4();
+    apps::CamConfig cam;
+    cam.sample_steps = 2;
+    cam.checkpoint_steps = 1;
+    cam.io = fs;
+    const int cam_ranks = opt.quick ? 28 : 56;
+    apps::S3dConfig s3d;
+    s3d.sample_steps = 1;
+    s3d.checkpoint_steps = 1;
+    s3d.checkpoint_stripes = 4;
+    s3d.io = fs;
+    const int s3d_ranks = opt.quick ? 27 : 64;
+    const auto camr = run_cam(xt4, ExecMode::kVN, cam_ranks, cam);
+    const auto s3dr = run_s3d(xt4, ExecMode::kVN, s3d_ranks, s3d);
+
+    Table t("Applications with per-step checkpointing (XT4 VN)",
+            {"app", "ranks", "step/phase seconds", "checkpoint seconds"});
+    t.add_row({"CAM", Table::num(static_cast<long long>(cam_ranks)),
+               Table::num(camr.seconds_per_day() / cam.steps_per_day, 4),
+               Table::num(
+                   camr.checkpoint_seconds_per_day / cam.steps_per_day, 4)});
+    t.add_row({"S3D", Table::num(static_cast<long long>(s3d_ranks)),
+               Table::num(s3dr.seconds_per_step, 4),
+               Table::num(s3dr.checkpoint_seconds_per_step, 4)});
+    emit(t, opt);
+  }
+
+  std::cout
+      << "paper (§2): defensive I/O pays the single MDS twice per cycle\n"
+         "(create + size commit); at scale the metadata share grows even\n"
+         "though the data path is embarrassingly parallel.  Shared-file\n"
+         "checkpoints add extent-lock revokes on overlapping stripes —\n"
+         "run with --profile= and `xtstrace io` to see which binds.\n";
+  return 0;
+}

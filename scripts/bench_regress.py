@@ -37,6 +37,15 @@ bytes/rank must sit at or below (1 - RSS_DROP) x the frozen pre-diet
 baseline, and must not regress above RSS_MAX_RATIO x the best
 (reference) value seen.
 
+--io records the I/O benches' wall-clock under "io-wallclock":
+bench_ior and bench_checkpoint each run --quick twice, once plain
+(every obsv hook in its disarmed null-check state) and once fully
+armed (--metrics plus --trace= and --profile= to scratch files), and
+the armed/plain ratio is stored per bench.  With --check it enforces
+the observability-overhead gate: the armed run may cost at most
+IO_OBSV_MAX_RATIO x the plain run plus an IO_OBSV_FIXED_S allowance
+for the session's run-size-independent setup (trace ring allocation).
+
 --host-profile records where host time goes: it runs the figs 8-11
 sweep bench once with --telemetry= to a scratch file, reads the
 breakdown record the telemetry layer appends at exit (per-subsystem
@@ -68,6 +77,8 @@ Modes:
                    "worldthreads-wallclock" series
   --rss            record World bytes/rank at RSS_COUNTS rank counts;
                    with --check, enforce the drop/regression gates
+  --io             record bench_ior/bench_checkpoint wall-clock plain
+                   vs obsv-armed; with --check, gate the overhead ratio
   --host-profile   record the per-subsystem host-time breakdown of the
                    sweep bench under "host-profile"; with --check,
                    require the shares to sum to ~1 of wall
@@ -279,6 +290,70 @@ def run_rss(repo_root, build_dir, args):
               f"baseline and within {RSS_MAX_RATIO} x reference")
 
 
+IO_BENCHES = ["bench_ior", "bench_checkpoint"]
+IO_ARGS = ["--quick", "--jobs=1"]
+# Gate: armed_s <= RATIO x plain_s + FIXED_S.  The fixed allowance
+# covers session setup that doesn't scale with the run (each shard's
+# trace ring is a ~59 MB up-front allocation, which dominates a
+# sub-second quick sweep); the ratio term catches accidental per-span
+# or per-chunk work creeping into the armed hot path.
+IO_OBSV_MAX_RATIO = 3.0
+IO_OBSV_FIXED_S = 1.5
+
+
+def run_io_wallclock(repo_root, build_dir, args):
+    """Record plain vs obsv-armed wall-clock of the I/O benches."""
+    import tempfile
+
+    label = args.label or git_label(repo_root)
+    entries = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        for bench in IO_BENCHES:
+            binary = os.path.join(build_dir, "bench", bench)
+            if not os.path.exists(binary):
+                sys.exit(f"bench not found: {binary} (build {bench})")
+            plain = time_bench([binary] + IO_ARGS)
+            armed = time_bench(
+                [binary] + IO_ARGS
+                + ["--metrics",
+                   f"--trace={os.path.join(tmp, bench)}.trace.json",
+                   f"--profile={os.path.join(tmp, bench)}.prof.json"])
+            entries[bench] = {
+                "plain_s": round(plain, 4),
+                "armed_s": round(armed, 4),
+                "obsv_ratio": round(armed / plain, 3) if plain > 0 else None,
+            }
+
+    tracked = os.path.join(repo_root, "results", "BENCH_simcore.json")
+    doc = {"schema": 1}
+    if os.path.exists(tracked):
+        with open(tracked) as f:
+            doc = json.load(f)
+    doc["io-wallclock"] = {"label": label, "args": IO_ARGS,
+                           "benches": entries}
+    write_json_atomic(tracked, doc)
+
+    for bench, e in entries.items():
+        print(f"io-wallclock: {bench}: plain {e['plain_s']:.2f}s, "
+              f"armed {e['armed_s']:.2f}s ({e['obsv_ratio']}x)")
+    print(f"wrote {os.path.relpath(tracked, repo_root)}")
+
+    if args.check:
+        bad = []
+        for b, e in entries.items():
+            budget = IO_OBSV_MAX_RATIO * e["plain_s"] + IO_OBSV_FIXED_S
+            if e["armed_s"] > budget:
+                bad.append((b, e["armed_s"], budget))
+        if bad:
+            for b, a, budget in bad:
+                print(f"REGRESSION: {b}: obsv-armed run {a:.2f}s exceeds "
+                      f"budget {budget:.2f}s ({IO_OBSV_MAX_RATIO}x plain "
+                      f"+ {IO_OBSV_FIXED_S}s setup)", file=sys.stderr)
+            sys.exit(1)
+        print(f"check ok: obsv overhead within {IO_OBSV_MAX_RATIO}x plain "
+              f"+ {IO_OBSV_FIXED_S}s on {len(entries)} bench(es)")
+
+
 HOSTPROF_BENCH = "bench_fig08_11_global"
 HOSTPROF_ARGS = ["--quick", "--jobs=1"]
 HOSTPROF_SHARE_TOL = 0.02  # --check: tracked+other must reach 1 - tol
@@ -368,6 +443,9 @@ def main():
     ap.add_argument("--rss", action="store_true",
                     help="record World bytes/rank at 64k and 256k ranks; "
                          "with --check, gate the memory-diet drop")
+    ap.add_argument("--io", action="store_true", dest="io",
+                    help="record I/O bench wall-clock plain vs obsv-armed; "
+                         "with --check, gate the overhead ratio")
     ap.add_argument("--host-profile", action="store_true", dest="hostprof",
                     help="record the telemetry host-time breakdown of the "
                          "sweep bench; with --check, require shares ~1")
@@ -384,6 +462,10 @@ def main():
 
     if args.rss:
         run_rss(repo_root, build_dir, args)
+        return
+
+    if args.io:
+        run_io_wallclock(repo_root, build_dir, args)
         return
 
     if args.hostprof:

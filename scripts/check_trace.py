@@ -56,9 +56,13 @@ def fail(msg):
 TOL_S = 1e-9  # profile times are plain seconds
 
 BUCKETS = ("compute", "tx", "tx.wait", "rendezvous", "flow", "rx",
-           "rx.wait", "blocked", "collective", "idle")
+           "rx.wait", "io.xfer", "io.queue", "io.mds", "blocked",
+           "collective", "idle")
 VERDICTS = ("compute-bound", "injection-bound", "contention-bound",
-            "wait-bound")
+            "wait-bound", "io-bound", "io-metadata-bound",
+            "io-stripe-bound")
+IO_SPAN_NAMES = {"io.create", "io.mds.wait", "io.rpc", "io.stripe",
+                 "io.ost.queue", "io.ost.xfer"}
 
 
 def check_buckets(where, b):
@@ -74,12 +78,41 @@ def check_attribution(where, a):
     if a["verdict"] not in VERDICTS:
         fail("%s: unknown verdict %r" % (where, a["verdict"]))
     scores = [a[k] for k in ("compute_score", "injection_score",
-                             "contention_score", "wait_score")]
+                             "contention_score", "wait_score",
+                             "io_score")]
     if any(s < -1e-12 or s > 1 + 1e-12 for s in scores):
         fail("%s: attribution score out of [0,1]: %r" % (where, scores))
     total = sum(scores)
     if total > 0 and abs(total - 1.0) > 1e-6:
         fail("%s: attribution scores sum to %.9g, not 1" % (where, total))
+
+
+def check_io_block(where, io):
+    mds = io["mds"]
+    if mds["ops"] != mds["creates"] + mds["commits"]:
+        fail("%s io: mds ops %d != creates %d + commits %d"
+             % (where, mds["ops"], mds["creates"], mds["commits"]))
+    for k in ("busy_time", "wait_time"):
+        if mds[k] < -TOL_S:
+            fail("%s io: mds %s negative: %r" % (where, k, mds[k]))
+    for k in ("bytes_written", "bytes_read", "lock_wait_time",
+              "stripe_imbalance_max"):
+        if io[k] < 0:
+            fail("%s io: %s negative: %r" % (where, k, io[k]))
+    # Every byte written or read moved through exactly one OST.
+    moved = io["bytes_written"] + io["bytes_read"]
+    ost_bytes = sum(o["bytes"] for o in io["osts"])
+    if abs(ost_bytes - moved) > 1e-6 * max(1.0, moved):
+        fail("%s io: per-OST bytes %.9g != written+read %.9g"
+             % (where, ost_bytes, moved))
+    for o in io["osts"]:
+        if (o["bytes"] < 0 or o["busy_time"] < -TOL_S
+                or o["contended_time"] < -TOL_S or o["peak_queue"] < 0
+                or o["chunks"] < 1):
+            fail("%s io: bad OST entry %r" % (where, o))
+    for o in io["oss_links"]:
+        if o["bytes"] < 0 or o["busy_time"] < -TOL_S:
+            fail("%s io: bad OSS link entry %r" % (where, o))
 
 
 def check_profile(path):
@@ -166,9 +199,14 @@ def check_profile(path):
                 fail("%s: steps span %.12g != path length %.12g"
                      % (where, span, cp["length"]))
 
+        # Optional per-world Lustre I/O summary.
+        if "io" in w:
+            check_io_block(where, w["io"])
+
     print("check_trace: OK: profile with %d worlds, %d rank profiles "
           "tiled (worst error %.3g s), critical paths bounded"
           % (len(worlds), ranks_checked, worst))
+    return doc
 
 
 HEARTBEAT_KEYS = {"kind", "seq", "wall_s", "sim_s", "events",
@@ -362,7 +400,60 @@ RUN_FLAGS = {"--run": "--trace=", "--run-profile": "--profile=",
              "--run-telemetry": "--telemetry="}
 
 
+def check_io_run(trace_path, profile_path):
+    """--run-io: the bench ran with both --trace= and --profile=.  On
+    top of the generic checks, require the io.* span vocabulary in the
+    trace and at least one world whose profile carries an io summary
+    with nonzero io bucket time."""
+    check(trace_path)
+    doc = check_profile(profile_path)
+
+    with open(trace_path, "r", encoding="utf-8") as f:
+        trace = json.load(f)
+    seen = {e["name"] for e in trace["traceEvents"]
+            if e.get("ph") in ("b", "e")
+            and str(e.get("name", "")).startswith("io.")}
+    missing = IO_SPAN_NAMES - seen
+    if missing:
+        fail("trace has no %s spans (io names seen: %s)"
+             % (sorted(missing), sorted(seen)))
+
+    io_worlds = 0
+    for w in doc["worlds"]:
+        if "io" not in w:
+            continue
+        io_time = sum(sum(r["buckets"][b] for b in
+                          ("io.xfer", "io.queue", "io.mds"))
+                      for r in w["ranks"])
+        if io_time <= 0:
+            fail("world %s has an io summary but zero io bucket time"
+                 % w["world"])
+        io_worlds += 1
+    if io_worlds == 0:
+        fail("profile has no world with an io summary")
+    print("check_trace: OK: io run: %d io span name(s) present, "
+          "%d world(s) with io summaries and io bucket time"
+          % (len(seen), io_worlds))
+
+
 def main(argv):
+    if len(argv) >= 2 and argv[1] == "--run-io":
+        if len(argv) < 3:
+            fail("--run-io needs a command")
+        fd, tpath = tempfile.mkstemp(suffix=".json", prefix="xtstrace_")
+        os.close(fd)
+        fd, ppath = tempfile.mkstemp(suffix=".json", prefix="xtsprof_")
+        os.close(fd)
+        try:
+            cmd = argv[2:] + ["--trace=" + tpath, "--profile=" + ppath]
+            proc = subprocess.run(cmd, stdout=subprocess.DEVNULL)
+            if proc.returncode != 0:
+                fail("bench exited with %d" % proc.returncode)
+            check_io_run(tpath, ppath)
+        finally:
+            os.unlink(tpath)
+            os.unlink(ppath)
+        return
     if len(argv) >= 2 and argv[1] in RUN_FLAGS:
         if len(argv) < 3:
             fail("%s needs a command" % argv[1])

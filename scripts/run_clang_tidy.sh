@@ -2,7 +2,8 @@
 # clang-tidy over the hot layers (src/core, src/network, src/vmpi,
 # src/obsv — including the profiling/attribution sources profile.cpp
 # and attrib.cpp and the telemetry layer hostprof.cpp and
-# telemetry.cpp, picked up by the glob below) with the repo's
+# telemetry.cpp — and src/lustre, whose chunk coroutines ride the same
+# engine hot path, all picked up by the glob below) with the repo's
 # .clang-tidy profile (performance-*, bugprone-*).
 #
 # Usage: scripts/run_clang_tidy.sh [build-dir]
@@ -30,7 +31,7 @@ fi
 
 cd "$repo_root"
 # Sources only; headers are pulled in via HeaderFilterRegex.
-files=$(find src/core src/network src/vmpi src/obsv -name '*.cpp' | sort)
+files=$(find src/core src/network src/vmpi src/obsv src/lustre -name '*.cpp' | sort)
 echo "run_clang_tidy: checking:"
 echo "$files" | sed 's/^/  /'
 # shellcheck disable=SC2086

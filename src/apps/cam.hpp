@@ -14,6 +14,7 @@
 /// MPI_Alltoallv cost is exactly where the paper localizes the SN/VN
 /// gap (Fig 16).
 
+#include "lustre/lustre.hpp"
 #include "machine/config.hpp"
 
 namespace xts::apps {
@@ -24,11 +25,18 @@ struct CamConfig {
   int nlev = 26;
   int steps_per_day = 96;  ///< FV D-grid dynamics steps per model day
   int sample_steps = 2;    ///< timesteps actually simulated
+  /// Defensive I/O: checkpoint the prognostic state to a Lustre model
+  /// every N steps (0 = off, the default — no Filesystem is built).
+  int checkpoint_steps = 0;
+  double checkpoint_bytes_per_rank = 0.0;  ///< 0 = derive from state size
+  int checkpoint_stripes = 1;
+  lustre::LustreConfig io;  ///< filesystem used when checkpointing
 };
 
 struct CamResult {
   double dynamics_seconds_per_day = 0.0;
   double physics_seconds_per_day = 0.0;
+  double checkpoint_seconds_per_day = 0.0;  ///< 0 when checkpointing off
   [[nodiscard]] double seconds_per_day() const noexcept {
     return dynamics_seconds_per_day + physics_seconds_per_day;
   }

@@ -13,6 +13,7 @@
 ///  - VN mode costs ~30% over SN at the same task count, attributable
 ///    to memory-bandwidth contention (not MPI).
 
+#include "lustre/lustre.hpp"
 #include "machine/config.hpp"
 
 namespace xts::apps {
@@ -22,12 +23,19 @@ struct S3dConfig {
   int nvars = 12;            ///< conserved + species variables
   int rk_stages = 6;
   int sample_steps = 1;      ///< timesteps actually simulated
+  /// Defensive I/O: dump the solution vector to a Lustre model every N
+  /// steps (0 = off, the default — no Filesystem is built).
+  int checkpoint_steps = 0;
+  double checkpoint_bytes_per_rank = 0.0;  ///< 0 = derive (8*nvars*n^3)
+  int checkpoint_stripes = 1;
+  lustre::LustreConfig io;  ///< filesystem used when checkpointing
 };
 
 struct S3dResult {
-  double seconds_per_step = 0.0;
+  double seconds_per_step = 0.0;  ///< incl. checkpoint time when enabled
   /// Fig 22 metric: microseconds per grid point per timestep.
   double us_per_point_per_step = 0.0;
+  double checkpoint_seconds_per_step = 0.0;  ///< 0 when checkpointing off
 };
 
 S3dResult run_s3d(const machine::MachineConfig& m, machine::ExecMode mode,

@@ -53,6 +53,7 @@ SimFutureV SharedServer::consume(double amount) {
   }
   settle();
   jobs_.push_back(Job{amount, std::move(promise)});
+  peak_jobs_ = std::max(peak_jobs_, jobs_.size());
   schedule_next();
   return future;
 }
@@ -62,6 +63,10 @@ void SharedServer::settle() {
   const SimTime dt = now - last_settle_;
   last_settle_ = now;
   if (dt <= 0.0 || jobs_.empty()) return;
+  // The job set is constant over [last settle, now], so the interval is
+  // wholly busy — and wholly contended when the capacity was shared.
+  busy_time_ += dt;
+  if (jobs_.size() >= 2) contended_time_ += dt;
   const double served = dt * rate();
   for (auto& job : jobs_) {
     const double d = std::min(job.remaining, served);

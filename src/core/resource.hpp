@@ -50,6 +50,14 @@ class SharedServer {
   }
   /// Total units served since construction (for conservation tests).
   [[nodiscard]] double total_served() const noexcept { return total_served_; }
+  /// Simulated seconds with at least one active job.
+  [[nodiscard]] double busy_time() const noexcept { return busy_time_; }
+  /// Simulated seconds with two or more jobs sharing the capacity.
+  [[nodiscard]] double contended_time() const noexcept {
+    return contended_time_;
+  }
+  /// High-water mark of concurrently active jobs.
+  [[nodiscard]] std::size_t peak_jobs() const noexcept { return peak_jobs_; }
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
 
  private:
@@ -70,6 +78,9 @@ class SharedServer {
   SimTime last_settle_ = 0.0;
   std::uint64_t epoch_ = 0;  // invalidates stale completion events
   double total_served_ = 0.0;
+  double busy_time_ = 0.0;
+  double contended_time_ = 0.0;
+  std::size_t peak_jobs_ = 0;
 };
 
 /// FIFO mutual-exclusion resource.

@@ -70,6 +70,7 @@ void write_attribution(std::ostream& os, const Attribution& a) {
      << ",\"injection_score\":" << gnum(a.injection_score)
      << ",\"contention_score\":" << gnum(a.contention_score)
      << ",\"wait_score\":" << gnum(a.wait_score)
+     << ",\"io_score\":" << gnum(a.io_score)
      << ",\"contended_ratio\":" << gnum(a.contended_ratio) << '}';
 }
 
@@ -78,6 +79,48 @@ const WorldSummary* summary_for(const Session& session,
   for (const WorldSummary& s : session.summaries())
     if (s.world == world) return &s;
   return nullptr;
+}
+
+const IoSummary* io_summary_for(const Session& session,
+                                std::uint32_t world) noexcept {
+  for (const IoSummary& s : session.io_summaries())
+    if (s.world == world) return &s;
+  return nullptr;
+}
+
+void write_io_summary(std::ostream& os, const IoSummary& io) {
+  os << "{\"mds\":{\"ops\":" << io.mds_ops << ",\"creates\":" << io.creates
+     << ",\"commits\":" << io.commits
+     << ",\"busy_time\":" << gnum(io.mds_busy_time)
+     << ",\"wait_time\":" << gnum(io.mds_wait_time)
+     << ",\"peak_queue\":" << io.mds_peak_queue << '}'
+     << ",\"bytes_written\":" << gnum(io.bytes_written)
+     << ",\"bytes_read\":" << gnum(io.bytes_read)
+     << ",\"lock_conflicts\":" << io.lock_conflicts
+     << ",\"lock_wait_time\":" << gnum(io.lock_wait_time)
+     << ",\"stripe_imbalance_max\":" << gnum(io.stripe_imbalance_max);
+  os << ",\"osts\":[";
+  for (std::size_t i = 0; i < io.osts.size(); ++i) {
+    const OstUsage& o = io.osts[i];
+    if (i) os << ',';
+    os << "{\"ost\":" << o.ost << ",\"oss\":" << o.oss
+       << ",\"bytes\":" << gnum(o.bytes)
+       << ",\"busy_time\":" << gnum(o.busy_time)
+       << ",\"contended_time\":" << gnum(o.contended_time)
+       << ",\"peak_jobs\":" << o.peak_jobs
+       << ",\"peak_queue\":" << o.peak_queue << ",\"chunks\":" << o.chunks
+       << '}';
+  }
+  os << "],\"oss_links\":[";
+  for (std::size_t i = 0; i < io.oss_links.size(); ++i) {
+    const OssLinkUsage& o = io.oss_links[i];
+    if (i) os << ',';
+    os << "{\"oss\":" << o.oss << ",\"bytes\":" << gnum(o.bytes)
+       << ",\"busy_time\":" << gnum(o.busy_time)
+       << ",\"contended_time\":" << gnum(o.contended_time)
+       << ",\"peak_jobs\":" << o.peak_jobs << '}';
+  }
+  os << "]}";
 }
 
 BucketArray world_totals(const WorldProfileResult& p) {
@@ -128,12 +171,25 @@ Attribution attribute(const BucketArray& buckets,
   a.wait_score = (get(Bucket::kBlocked) + get(Bucket::kCollective) +
                   get(Bucket::kIdle)) /
                  total;
+  const double io_mds = get(Bucket::kIoMds);
+  const double io_queue = get(Bucket::kIoQueue);
+  const double io_xfer = get(Bucket::kIoXfer);
+  a.io_score = (io_mds + io_queue + io_xfer) / total;
   const double scores[] = {a.compute_score, a.injection_score,
-                           a.contention_score, a.wait_score};
+                           a.contention_score, a.wait_score, a.io_score};
   int best = 0;
-  for (int i = 1; i < 4; ++i)
+  for (int i = 1; i < 5; ++i)
     if (scores[i] > scores[best]) best = i;
   a.verdict = static_cast<Verdict>(best);
+  if (a.verdict == Verdict::kIo) {
+    // Subclassify by the dominant io bucket: MDS time means the run is
+    // metadata-bound (create/commit serialization), exposed OST queue /
+    // lock time means stripe conflicts, raw transfer stays "io-bound".
+    if (io_mds >= io_queue && io_mds >= io_xfer)
+      a.verdict = Verdict::kIoMeta;
+    else if (io_queue >= io_xfer)
+      a.verdict = Verdict::kIoStripe;
+  }
   return a;
 }
 
@@ -245,7 +301,12 @@ void write_profile(std::ostream& os, const Session& session) {
       write_buckets(os, st.buckets);
       os << '}';
     }
-    os << "]}}";
+    os << "]}";
+    if (const IoSummary* io = io_summary_for(session, p.world)) {
+      os << ",\"io\":";
+      write_io_summary(os, *io);
+    }
+    os << '}';
   }
   os << "]}\n";
 }
@@ -274,10 +335,11 @@ std::string profile_table(const Session& session) {
     os << line;
     std::snprintf(line, sizeof(line),
                   "  verdict: %s (compute %.1f%%  injection %.1f%%  "
-                  "contention %.1f%%  wait %.1f%%)\n",
+                  "contention %.1f%%  wait %.1f%%  io %.1f%%)\n",
                   std::string(to_string(a.verdict)).c_str(),
                   100.0 * a.compute_score, 100.0 * a.injection_score,
-                  100.0 * a.contention_score, 100.0 * a.wait_score);
+                  100.0 * a.contention_score, 100.0 * a.wait_score,
+                  100.0 * a.io_score);
     os << line;
 
     os << "  bucket        total(s)      share    max/mean  straggler\n";
@@ -351,6 +413,33 @@ std::string profile_table(const Session& session) {
         os << line;
       }
       os << '\n';
+    }
+
+    if (const IoSummary* io = io_summary_for(session, p.world)) {
+      std::snprintf(line, sizeof(line),
+                    "  io: %.3e B written, %.3e B read, mds ops %llu "
+                    "(peak queue %d), lock conflicts %llu\n",
+                    io->bytes_written, io->bytes_read,
+                    static_cast<unsigned long long>(io->mds_ops),
+                    io->mds_peak_queue,
+                    static_cast<unsigned long long>(io->lock_conflicts));
+      os << line;
+      std::vector<const OstUsage*> osts;
+      osts.reserve(io->osts.size());
+      for (const OstUsage& o : io->osts) osts.push_back(&o);
+      std::stable_sort(osts.begin(), osts.end(),
+                       [](const OstUsage* x, const OstUsage* y) {
+                         return x->bytes > y->bytes;
+                       });
+      const std::size_t otop = std::min<std::size_t>(osts.size(), 5);
+      if (otop > 0) os << "  top OSTs (ost/oss bytes busy-s peak q-peak):\n";
+      for (std::size_t i = 0; i < otop; ++i) {
+        const OstUsage& o = *osts[i];
+        std::snprintf(line, sizeof(line),
+                      "    %4d/%-3d %12.4e %10.4e %5d %7d\n", o.ost, o.oss,
+                      o.bytes, o.busy_time, o.peak_jobs, o.peak_queue);
+        os << line;
+      }
     }
   }
   if (session.profiles().empty())

@@ -33,10 +33,15 @@ enum class Verdict : std::uint8_t {
   kInjection,     ///< per-message overhead + uncontended transfer
   kContention,    ///< exposed flow time on contended torus links
   kWait,          ///< blocked / collective skew / idle imbalance
+  kIo,            ///< filesystem time dominated by data transfer
+  kIoMeta,        ///< filesystem time dominated by MDS service/queueing
+  kIoStripe,      ///< filesystem time dominated by OST queue/lock waits
 };
 
 inline constexpr std::string_view kVerdictNames[] = {
-    "compute-bound", "injection-bound", "contention-bound", "wait-bound"};
+    "compute-bound",     "injection-bound", "contention-bound",
+    "wait-bound",        "io-bound",        "io-metadata-bound",
+    "io-stripe-bound"};
 
 [[nodiscard]] constexpr std::string_view to_string(Verdict v) noexcept {
   return kVerdictNames[static_cast<std::size_t>(v)];
@@ -47,6 +52,7 @@ struct Attribution {
   double injection_score = 0.0;
   double contention_score = 0.0;
   double wait_score = 0.0;
+  double io_score = 0.0;         ///< io.mds + io.queue + io.xfer share
   double contended_ratio = 0.0;  ///< torus contended/busy split weight
   Verdict verdict = Verdict::kCompute;
 };

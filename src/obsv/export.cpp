@@ -107,10 +107,12 @@ void write_chrome_trace(const Session& session, std::ostream& os) {
     const std::string name = json_escape(sink.name(e.name));
     const std::string cat(cat_name(e.cat));
     lanes_seen.emplace(e.world, e.lane);
-    if (e.cat == Cat::kMessage && e.id != 0 && e.name != recv_wait_id) {
-      // Per-message breakdown: async begin/end pairs grouped by the
-      // message id, so concurrent messages get their own sub-tracks
-      // instead of corrupting the rank lane.
+    if ((e.cat == Cat::kMessage || e.cat == Cat::kIo) && e.id != 0 &&
+        e.name != recv_wait_id) {
+      // Per-message (and per-io-operation) breakdown: async begin/end
+      // pairs grouped by the correlation id, so concurrent messages and
+      // stripe chunks get their own sub-tracks instead of corrupting
+      // the rank lane.
       char idbuf[24];
       std::snprintf(idbuf, sizeof(idbuf), "\"0x%llx\"",
                     static_cast<unsigned long long>(e.id));

@@ -74,7 +74,13 @@ WorldProfile::WorldProfile(TraceSink& sink, std::uint32_t world)
       id_rx_(sink.intern("msg.rx")),
       id_copy_(sink.intern("msg.copy")),
       id_recv_wait_(sink.intern("recv.wait")),
-      id_run_(sink.intern("world.run")) {}
+      id_run_(sink.intern("world.run")),
+      id_io_create_(sink.intern("io.create")),
+      id_io_mds_wait_(sink.intern("io.mds.wait")),
+      id_io_rpc_(sink.intern("io.rpc")),
+      id_io_stripe_(sink.intern("io.stripe")),
+      id_io_queue_(sink.intern("io.ost.queue")),
+      id_io_xfer_(sink.intern("io.ost.xfer")) {}
 
 void WorldProfile::message_span(std::int32_t lane, std::uint32_t name,
                                 SimTime t0, SimTime t1, std::uint64_t id,
@@ -145,6 +151,24 @@ void WorldProfile::message_span(std::int32_t lane, std::uint32_t name,
   }
 }
 
+void WorldProfile::io_span(std::int32_t lane, std::uint32_t name, SimTime t0,
+                           SimTime t1) {
+  // io.stripe is the whole-operation envelope over the striped phase;
+  // the per-chunk io.ost.queue/io.ost.xfer spans cover exactly the same
+  // window, so only the chunk spans feed the exclusive sweep.
+  Bucket b;
+  if (name == id_io_mds_wait_ || name == id_io_create_) {
+    b = Bucket::kIoMds;
+  } else if (name == id_io_queue_) {
+    b = Bucket::kIoQueue;
+  } else if (name == id_io_rpc_ || name == id_io_xfer_) {
+    b = Bucket::kIoXfer;
+  } else {
+    return;  // io.stripe or an unknown io span name
+  }
+  spans_.push_back({t0, t1, lane, b});
+}
+
 void WorldProfile::on_span(std::int32_t lane, Cat cat, std::uint32_t name,
                            SimTime t0, SimTime t1, std::uint64_t id,
                            double a0) {
@@ -167,6 +191,9 @@ void WorldProfile::on_span(std::int32_t lane, Cat cat, std::uint32_t name,
         run_t1_ = saw_run_ ? std::max(run_t1_, t1) : t1;
         saw_run_ = true;
       }
+      break;
+    case Cat::kIo:
+      io_span(lane, name, t0, t1);
       break;
     case Cat::kNetwork:
       break;

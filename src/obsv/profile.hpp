@@ -54,21 +54,29 @@ enum class Bucket : std::uint8_t {
   kFlow,         ///< exposed network time (msg.hops + msg.flow)
   kRx,           ///< receiver CPU overhead (msg.rx, msg.copy)
   kRxWait,       ///< NIC doorbell wait on the receiver (msg.rx.wait)
+  kIoXfer,       ///< filesystem data movement (io.rpc, io.ost.xfer)
+  kIoQueue,      ///< exposed OST queue / lock wait (io.ost.queue)
+  kIoMds,        ///< metadata service time + queueing (io.mds.*, io.create)
   kBlocked,      ///< blocked in an unmatched recv (recv.wait)
   kCollective,   ///< collective-internal residue (awaiting sends, skew)
   kIdle,         ///< no recorded activity
 };
 
-inline constexpr int kBuckets = 10;
+inline constexpr int kBuckets = 13;
 inline constexpr std::string_view kBucketNames[kBuckets] = {
-    "compute", "tx",      "tx.wait", "rendezvous", "flow",
-    "rx",      "rx.wait", "blocked", "collective", "idle"};
+    "compute", "tx",      "tx.wait",  "rendezvous", "flow",
+    "rx",      "rx.wait", "io.xfer",  "io.queue",   "io.mds",
+    "blocked", "collective", "idle"};
 
 /// Overlap priority, highest first (kIdle is the implicit fallback).
+/// Data movement outranks exposed queue time: an instant with one chunk
+/// transferring and another queued counts as transfer, so io.queue is
+/// only time the rank made *no* forward I/O progress.
 inline constexpr Bucket kBucketPriority[kBuckets - 1] = {
-    Bucket::kCompute,    Bucket::kTx,   Bucket::kRx,
-    Bucket::kTxWait,     Bucket::kRxWait, Bucket::kRendezvous,
-    Bucket::kFlow,       Bucket::kBlocked, Bucket::kCollective};
+    Bucket::kCompute,    Bucket::kTx,      Bucket::kRx,
+    Bucket::kTxWait,     Bucket::kRxWait,  Bucket::kRendezvous,
+    Bucket::kFlow,       Bucket::kIoXfer,  Bucket::kIoQueue,
+    Bucket::kIoMds,      Bucket::kBlocked, Bucket::kCollective};
 
 using BucketArray = std::array<double, kBuckets>;
 
@@ -214,6 +222,7 @@ class WorldProfile {
 
   void message_span(std::int32_t lane, std::uint32_t name, SimTime t0,
                     SimTime t1, std::uint64_t id, double a0);
+  void io_span(std::int32_t lane, std::uint32_t name, SimTime t0, SimTime t1);
 
   TraceSink& sink_;
   std::uint32_t world_;
@@ -221,6 +230,8 @@ class WorldProfile {
   // Interned span-name ids resolved once at construction.
   std::uint32_t id_tx_wait_, id_tx_, id_rendezvous_, id_hops_, id_flow_,
       id_rx_wait_, id_rx_, id_copy_, id_recv_wait_, id_run_;
+  std::uint32_t id_io_create_, id_io_mds_wait_, id_io_rpc_, id_io_stripe_,
+      id_io_queue_, id_io_xfer_;
 
   std::vector<PSpan> spans_;
   std::vector<PhaseSpan> phase_spans_;

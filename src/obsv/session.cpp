@@ -62,6 +62,13 @@ void WorldObs::add_world_summary(WorldSummary s) {
     session_->add_world_summary(std::move(s));
 }
 
+void WorldObs::add_io_summary(IoSummary s) {
+  if (shard_ != nullptr)
+    shard_->io_summaries_.push_back(std::move(s));
+  else
+    session_->add_io_summary(std::move(s));
+}
+
 void WorldObs::finalize_profile(int nranks, const RouteFn& route_fn) {
   if (!prof_) return;
   WorldProfileResult r = prof_->finalize(nranks, route_fn);
@@ -121,6 +128,11 @@ void Session::add_world_summary(WorldSummary s) {
   summaries_.push_back(std::move(s));
 }
 
+void Session::add_io_summary(IoSummary s) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  io_summaries_.push_back(std::move(s));
+}
+
 void Session::add_world_profile(WorldProfileResult p) {
   const std::lock_guard<std::mutex> lock(mu_);
   profiles_.push_back(std::move(p));
@@ -148,6 +160,10 @@ void Session::absorb(Shard&& shard) {
   for (WorldSummary& s : shard.summaries_) {
     s.world += base;
     summaries_.push_back(std::move(s));
+  }
+  for (IoSummary& s : shard.io_summaries_) {
+    s.world += base;
+    io_summaries_.push_back(std::move(s));
   }
   for (WorldProfileResult& p : shard.profiles_) {
     p.world += base;

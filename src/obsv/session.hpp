@@ -89,6 +89,46 @@ struct WorldSummary {
   std::vector<ClassSample> class_series;
 };
 
+/// Per-OST usage totals captured from a lustre::Filesystem at teardown
+/// (mirrors LinkUsage for FlowNetwork links).
+struct OstUsage {
+  std::int32_t ost = 0;
+  std::int32_t oss = 0;  ///< owning OSS index (ost / osts_per_oss)
+  double bytes = 0.0;
+  double busy_time = 0.0;       ///< disk time with >= 1 chunk in service
+  double contended_time = 0.0;  ///< disk time with >= 2 chunks sharing
+  int peak_jobs = 0;            ///< max chunks in service at once
+  int peak_queue = 0;           ///< max chunks waiting for a request slot
+  std::uint64_t chunks = 0;
+};
+
+/// Per-OSS-link usage totals (the node's network pipe shared by its OSTs).
+struct OssLinkUsage {
+  std::int32_t oss = 0;
+  double bytes = 0.0;
+  double busy_time = 0.0;
+  double contended_time = 0.0;
+  int peak_jobs = 0;
+};
+
+/// Filesystem teardown summary: MDS, per-OST/OSS usage, lock conflicts.
+struct IoSummary {
+  std::uint32_t world = 0;  ///< ordinal of the observing world
+  std::uint64_t mds_ops = 0;
+  std::uint64_t creates = 0;
+  std::uint64_t commits = 0;
+  double mds_busy_time = 0.0;  ///< serialized MDS service seconds
+  double mds_wait_time = 0.0;  ///< summed client wait for the MDS grant
+  int mds_peak_queue = 0;      ///< max ops queued or in service
+  double bytes_written = 0.0;
+  double bytes_read = 0.0;
+  std::uint64_t lock_conflicts = 0;
+  double lock_wait_time = 0.0;
+  double stripe_imbalance_max = 0.0;  ///< worst max/mean per-OST split
+  std::vector<OstUsage> osts;           ///< OSTs that carried traffic only
+  std::vector<OssLinkUsage> oss_links;  ///< OSS links that carried traffic
+};
+
 class Session;
 class Shard;
 
@@ -120,6 +160,10 @@ class WorldObs {
   /// Record this world's teardown summary (called by
   /// World::collect_summary); shard-local under a sweep.
   void add_world_summary(WorldSummary s);
+
+  /// Record a filesystem teardown summary (called by the
+  /// lustre::Filesystem destructor); shard-local under a sweep.
+  void add_io_summary(IoSummary s);
 
   /// Fold the accumulated profile into the session's results (called
   /// by World::collect_summary).  No-op when profiling is off.
@@ -170,6 +214,7 @@ class Shard {
   std::uint32_t next_world_ = 0;  ///< shard-local ordinals, rebased on absorb
   std::vector<std::unique_ptr<WorldObs>> worlds_;
   std::vector<WorldSummary> summaries_;
+  std::vector<IoSummary> io_summaries_;
   std::vector<WorldProfileResult> profiles_;
 };
 
@@ -214,6 +259,10 @@ class Session {
   [[nodiscard]] const std::vector<WorldSummary>& summaries() const noexcept {
     return summaries_;
   }
+  void add_io_summary(IoSummary s);
+  [[nodiscard]] const std::vector<IoSummary>& io_summaries() const noexcept {
+    return io_summaries_;
+  }
   void add_world_profile(WorldProfileResult p);
   [[nodiscard]] const std::vector<WorldProfileResult>& profiles()
       const noexcept {
@@ -236,6 +285,7 @@ class Session {
   std::uint32_t next_world_ = 0;
   std::vector<std::unique_ptr<WorldObs>> worlds_;
   std::vector<WorldSummary> summaries_;
+  std::vector<IoSummary> io_summaries_;
   std::vector<WorldProfileResult> profiles_;
   // Guards the slow-path mutations above (world registration, summary
   // and profile pushes, shard absorption) against unsharded threads.

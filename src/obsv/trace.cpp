@@ -12,6 +12,7 @@ std::string_view cat_name(Cat c) noexcept {
     case Cat::kCompute: return "compute";
     case Cat::kNetwork: return "net";
     case Cat::kEngine: return "engine";
+    case Cat::kIo: return "io";
   }
   return "?";
 }

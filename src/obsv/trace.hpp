@@ -34,6 +34,7 @@ enum class Cat : std::uint8_t {
   kCompute,        ///< Node::execute work
   kNetwork,        ///< flow-network activity
   kEngine,         ///< engine / whole-world activity
+  kIo,             ///< filesystem I/O (MDS ops, stripe transfers)
 };
 
 [[nodiscard]] std::string_view cat_name(Cat c) noexcept;

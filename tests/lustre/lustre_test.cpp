@@ -2,6 +2,16 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "obsv/profile.hpp"
+#include "obsv/session.hpp"
+#include "obsv/trace.hpp"
+
 namespace xts::lustre {
 namespace {
 
@@ -139,6 +149,226 @@ TEST(Ior, SharedFileCreatesOnce) {
   EXPECT_GT(r.write_gbs, 0.0);
   // Metadata phase is one MDS op, not eight.
   EXPECT_LT(r.create_seconds, 2.0 * fs.mds_op_time + 1e-3);
+}
+
+TEST(Filesystem, CountsBytesWrittenAndRead) {
+  Engine e;
+  Filesystem fs(e, small_fs());
+  spawn(e, [](Filesystem& f) -> Task<void> {
+    auto layout = co_await f.create(2);
+    co_await f.write(layout, 0.0, 2.0 * MiB);
+    co_await f.read(layout, 0.0, 1.0 * MiB);
+  }(fs));
+  e.run();
+  EXPECT_DOUBLE_EQ(fs.bytes_written(), 2.0 * MiB);
+  EXPECT_DOUBLE_EQ(fs.bytes_read(), 1.0 * MiB);
+}
+
+TEST(Filesystem, LockConflictChargedAcrossClientsOnly) {
+  // Two clients land on the same (file, object): the second pays the
+  // DLM revoke penalty.  One client's own chunks never conflict.
+  auto cfg = small_fs();
+  cfg.lock_conflict_time = 1.0 * ms;
+  {
+    Engine e;
+    Filesystem fs(e, cfg);
+    FileLayout shared;
+    spawn(e, [](Filesystem& f, FileLayout& out) -> Task<void> {
+      out = co_await f.create(1, 0);
+    }(fs, shared));
+    e.run();
+    SimTime t0 = e.now();
+    for (int c = 0; c < 2; ++c) {
+      spawn(e, [](Filesystem& f, const FileLayout& file, int client)
+                   -> Task<void> {
+        co_await f.write(file, client * 1.0 * MiB, 1.0 * MiB, client);
+      }(fs, shared, c));
+    }
+    e.run();
+    EXPECT_EQ(fs.lock_conflicts(), 1u);
+    // The run is at least one revoke longer than the unconflicted path.
+    EXPECT_GT(e.now() - t0, cfg.lock_conflict_time);
+  }
+  {
+    Engine e;
+    Filesystem fs(e, cfg);
+    spawn(e, [](Filesystem& f) -> Task<void> {
+      auto layout = co_await f.create(1, 0);
+      co_await f.write(layout, 0.0, 4.0 * MiB, 0);
+    }(fs));
+    e.run();
+    EXPECT_EQ(fs.lock_conflicts(), 0u);
+  }
+}
+
+TEST(Filesystem, CheckpointCreatesOnceAndCommitsEachRound) {
+  Engine e;
+  Filesystem fs(e, small_fs());
+  FileLayout file;
+  file.stripe_count = 2;
+  spawn(e, [](Filesystem& f, FileLayout& ck) -> Task<void> {
+    co_await f.checkpoint(ck, 0.0, 1.0 * MiB);
+    co_await f.checkpoint(ck, 0.0, 1.0 * MiB);
+    co_await f.restart(ck, 0.0, 1.0 * MiB);
+  }(fs, file));
+  e.run();
+  // Round 1: create + commit.  Round 2: commit.  Restart: open.
+  EXPECT_EQ(fs.mds_ops(), 4u);
+  EXPECT_EQ(file.osts.size(), 2u);
+  EXPECT_DOUBLE_EQ(fs.bytes_written(), 2.0 * MiB);
+  EXPECT_DOUBLE_EQ(fs.bytes_read(), 1.0 * MiB);
+}
+
+TEST(IoSpans, TileEachOperationGaplessly) {
+  obsv::Options opt;
+  opt.tracing = true;
+  obsv::Session& session = obsv::Session::start(opt);
+  {
+    Engine e;
+    Filesystem fs(e, small_fs());
+    spawn(e, [](Filesystem& f) -> Task<void> {
+      auto layout = co_await f.create(3, 0);
+      co_await f.write(layout, 0.0, 5.0 * MiB, 0);
+      co_await f.read(layout, 0.0, 2.0 * MiB, 0);
+    }(fs));
+    e.run();
+  }
+  // Group io spans by correlation id: each op's segments must be
+  // gapless and sum to its window, exactly like msg.* segments.
+  std::map<std::uint64_t, std::vector<std::pair<SimTime, SimTime>>> groups;
+  std::size_t io_spans = 0;
+  session.sink().for_each([&](const obsv::TraceEvent& ev) {
+    if (ev.cat != obsv::Cat::kIo) return;
+    ++io_spans;
+    ASSERT_NE(ev.id, 0u);
+    groups[ev.id].emplace_back(ev.t0, ev.t1);
+  });
+  EXPECT_GT(io_spans, 0u);
+  EXPECT_EQ(io_spans % 2, 0u);  // every op contributes a span pair
+  for (auto& [id, segs] : groups) {
+    ASSERT_EQ(segs.size(), 2u) << "op " << id;
+    std::sort(segs.begin(), segs.end());
+    const double window = segs.back().second - segs.front().first;
+    double sum = 0.0;
+    for (const auto& [t0, t1] : segs) {
+      EXPECT_GE(t1, t0);
+      sum += t1 - t0;
+    }
+    EXPECT_NEAR(sum, window, 1e-9) << "op " << id;
+    EXPECT_NEAR(segs[0].second, segs[1].first, 1e-9) << "op " << id;
+  }
+  obsv::Session::stop();
+}
+
+TEST(IoProfile, MdsSerializationIsAnalytic) {
+  obsv::Options opt;
+  opt.profiling = true;
+  obsv::Session::start(opt);
+  const auto cfg = small_fs();
+  const int clients = 8;
+  {
+    Engine e;
+    Filesystem fs(e, cfg);
+    for (int c = 0; c < clients; ++c) {
+      spawn(e, [](Filesystem& f, int client) -> Task<void> {
+        (void)co_await f.create(1, client);
+      }(fs, c));
+    }
+    e.run();
+  }
+  const obsv::Session& session = *obsv::Session::active();
+  ASSERT_EQ(session.profiles().size(), 1u);
+  const obsv::WorldProfileResult& p = session.profiles().back();
+  ASSERT_EQ(static_cast<int>(p.ranks.size()), clients);
+  // FIFO grants in spawn order: client i waits i op-times, then is
+  // served for one more, so its exclusive io.mds time is (i+1) ops and
+  // the world total is the arithmetic series.
+  const auto mds = static_cast<std::size_t>(obsv::Bucket::kIoMds);
+  double total = 0.0;
+  for (int i = 0; i < clients; ++i) {
+    const double t = p.ranks[static_cast<std::size_t>(i)].buckets[mds];
+    EXPECT_NEAR(t, (i + 1) * cfg.mds_op_time, 1e-9) << "client " << i;
+    total += t;
+  }
+  EXPECT_NEAR(total,
+              clients * (clients + 1) / 2.0 * cfg.mds_op_time, 1e-9);
+  obsv::Session::stop();
+}
+
+TEST(IoSummaryCounters, StripeImbalanceAndPeakQueue) {
+  obsv::Options opt;
+  opt.metrics = true;
+  obsv::Session& session = obsv::Session::start(opt);
+  auto cfg = small_fs();
+  cfg.ost_queue_depth = 1;
+  {
+    Engine e;
+    Filesystem fs(e, cfg);
+    spawn(e, [](Filesystem& f) -> Task<void> {
+      // 3 stripes over a 2-wide file: object 0 carries 2 MiB of the
+      // 3 MiB, so max/mean = 4/3; with one service slot per OST the
+      // second chunk on object 0 waits in the request queue.
+      auto layout = co_await f.create(2, 0);
+      co_await f.write(layout, 0.0, 3.0 * MiB, 0);
+    }(fs));
+    e.run();
+  }
+  ASSERT_EQ(session.io_summaries().size(), 1u);
+  const obsv::IoSummary& io = session.io_summaries().back();
+  EXPECT_NEAR(io.stripe_imbalance_max, 4.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(io.bytes_written, 3.0 * MiB);
+  int peak = 0;
+  double ost_bytes = 0.0;
+  for (const obsv::OstUsage& o : io.osts) {
+    peak = std::max(peak, o.peak_queue);
+    ost_bytes += o.bytes;
+  }
+  EXPECT_EQ(peak, 1);
+  EXPECT_DOUBLE_EQ(ost_bytes, 3.0 * MiB);
+  // The registry carries the same facts as queryable metrics.
+  auto& reg = session.registry();
+  EXPECT_NEAR(reg.histogram("io.stripe.imbalance", "ratio").max(),
+              4.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(reg.counter("io.bytes", "written").value(), 3.0 * MiB);
+  obsv::Session::stop();
+}
+
+TEST(Checkpoint, MetadataShareGrowsWithClients) {
+  LustreConfig fs = small_fs();
+  CheckpointConfig ck;
+  ck.bytes_per_client = 1.0 * MiB;
+  ck.clients = 4;
+  const auto few = run_checkpoint(fs, ck);
+  ck.clients = 32;
+  const auto many = run_checkpoint(fs, ck);
+  EXPECT_GT(few.checkpoint_seconds, 0.0);
+  EXPECT_GT(many.meta_share, few.meta_share);
+  EXPECT_GT(many.restart_seconds, 0.0);
+  EXPECT_GT(many.write_gbs, 0.0);
+}
+
+TEST(Checkpoint, SharedFilePaysLockConflicts) {
+  LustreConfig fs = small_fs();
+  fs.lock_conflict_time = 500.0 * us;
+  CheckpointConfig ck;
+  ck.clients = 16;
+  ck.bytes_per_client = 2.0 * MiB;
+  ck.stripe_count = 4;
+  ck.restart_read = false;
+  const auto fpp = run_checkpoint(fs, ck);
+  ck.shared_file = true;
+  const auto shared = run_checkpoint(fs, ck);
+  EXPECT_GT(shared.checkpoint_seconds, fpp.checkpoint_seconds);
+}
+
+TEST(Checkpoint, ValidatesArguments) {
+  LustreConfig fs = small_fs();
+  CheckpointConfig ck;
+  ck.clients = 0;
+  EXPECT_THROW(run_checkpoint(fs, ck), UsageError);
+  ck.clients = 1;
+  ck.rounds = 0;
+  EXPECT_THROW(run_checkpoint(fs, ck), UsageError);
 }
 
 TEST(Ior, ValidatesArguments) {

@@ -253,13 +253,23 @@ TEST(Attrib, VerdictsFromSyntheticBuckets) {
   EXPECT_EQ(high.verdict, Verdict::kContention);
   EXPECT_NEAR(high.contention_score, 0.9, 1e-12);
 
+  // I/O verdicts: the dominant io bucket picks the subclass.
+  EXPECT_EQ(attribute(mk(Bucket::kIoMds, 1.0), 0.0).verdict,
+            Verdict::kIoMeta);
+  EXPECT_EQ(attribute(mk(Bucket::kIoQueue, 1.0), 0.0).verdict,
+            Verdict::kIoStripe);
+  EXPECT_EQ(attribute(mk(Bucket::kIoXfer, 1.0), 0.0).verdict,
+            Verdict::kIo);
+  const Attribution io = attribute(mk(Bucket::kIoXfer, 1.0), 0.0);
+  EXPECT_NEAR(io.io_score, 1.0, 1e-12);
+
   // Scores always sum to 1 for nonzero time.
   BucketArray mixed{};
   for (int b = 0; b < kBuckets; ++b)
     mixed[static_cast<std::size_t>(b)] = 1.0 + b;
   const Attribution a = attribute(mixed, 0.3);
   EXPECT_NEAR(a.compute_score + a.injection_score + a.contention_score +
-                  a.wait_score,
+                  a.wait_score + a.io_score,
               1.0, 1e-12);
 
   // Zero time: all scores zero, defaulting to compute.
