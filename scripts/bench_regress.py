@@ -23,10 +23,15 @@ The file also carries a "sweep-wallclock" series (--sweep): wall-clock
 of the figs 8-11 sweep bench at --jobs=1 vs --jobs=N (the parallel
 sweep runner), appended per run so the serial/parallel ratio is
 tracked over PRs alongside the events/sec metrics.  A sibling
-"worldthreads-wallclock" series (--world-threads) does the same for
-the intra-World parallel rate path (bench_alltoall_scale at
---world-threads=1 vs N); host_cores is recorded with each entry so a
-1.0x number on a single-core box reads as what it is.
+"worldthreads-wallclock" series (--world-threads / --worldthreads)
+does the same for the intra-World parallel path — event lanes plus
+the rate pool (bench_alltoall_scale AND the CAM proxy at
+--world-threads=1 vs N, which also flips --world-lanes via its
+follow-the-threads default); host_cores is recorded with each entry
+so a sub-1x number on a single-core box reads as what it is.  With
+--check the series gates: on a multi-core host the threaded run must
+not be slower than serial beyond WT_MIN_SPEEDUP; on any host the
+lane/pool machinery must not blow past WT_MAX_OVERHEAD x serial.
 
 --rss measures the per-rank memory footprint of one World: it runs
 bench_alltoall_scale --build-only --rss once per rank count (a fresh
@@ -64,7 +69,8 @@ os.replace()d into place.
 Modes:
   (default)        full run, update "current"/"reference", write JSON
   --smoke          quick subset (small args, min benchmark time); writes
-                   results/BENCH_simcore.tmp instead of the tracked file
+                   <build-dir>/BENCH_simcore.smoke.json instead of the
+                   tracked file (build output, never a stray in results/)
                    and fails if any benchmark errors; with --check, also
                    fails if a metric collapses below SMOKE_MIN_RATIO x
                    reference — used by the `check-perf` target and the
@@ -72,9 +78,10 @@ Modes:
   --sweep          time build/bench/bench_fig08_11_global (--quick by
                    default, SWEEP_ARGS to override) at --jobs=1 and
                    --jobs=N and append to the "sweep-wallclock" series
-  --world-threads  time build/bench/bench_alltoall_scale at
-                   --world-threads=1 vs N and append to the
-                   "worldthreads-wallclock" series
+  --world-threads  time each WT_BENCHES entry (alltoall scale + the CAM
+                   proxy) at --world-threads=1 vs N (lanes follow) and
+                   append to the "worldthreads-wallclock" series; with
+                   --check, gate the speedup/overhead
   --rss            record World bytes/rank at RSS_COUNTS rank counts;
                    with --check, enforce the drop/regression gates
   --io             record bench_ior/bench_checkpoint wall-clock plain
@@ -128,9 +135,18 @@ SWEEP_BENCH = "bench_fig08_11_global"
 SWEEP_ARGS = ["--quick"]
 SWEEP_HISTORY = 50  # entries kept in the wallclock series
 
-WT_BENCH = "bench_alltoall_scale"
-WT_ARGS = ["--ranks=512"]
+WT_BENCHES = [
+    ("bench_alltoall_scale", ["--ranks=512"]),
+    ("bench_fig14_16_cam", ["--quick", "--jobs=1"]),  # the CAM proxy
+]
 WT_THREADS = 8
+# --check bounds for the worldthreads series.  With real cores the
+# threaded run must at least roughly hold serial speed (windowed
+# lane execution has overhead; it must not be a collapse).  On a
+# single-core host a slowdown is the honest expectation — only gate
+# that the machinery's overhead stays bounded.
+WT_MIN_SPEEDUP = 0.8    # host_cores >= WT_THREADS only
+WT_MAX_OVERHEAD = 30.0  # any host: wtN_s <= this x wt1_s
 
 RSS_BENCH = "bench_alltoall_scale"
 RSS_COUNTS = [65536, 262144]
@@ -187,28 +203,60 @@ def run_sweep_wallclock(build_dir, label):
 
 
 def run_worldthreads_wallclock(build_dir, label):
-    """Time the alltoall scale driver serial vs intra-World threaded.
+    """Time each WT_BENCHES driver serial vs intra-World threaded.
 
-    Unlike --jobs (independent Worlds pinned to host cores), the
-    world-threads axis only pays off with real cores to fan the rate
-    waves across; host_cores in the entry keeps a 1.0x reading honest
-    on single-core boxes.
+    --world-threads=N also realizes N event lanes (the --world-lanes
+    default follows the thread count), so wt1 vs wtN is the full
+    lanes-off vs lanes+pool comparison.  Unlike --jobs (independent
+    Worlds pinned to host cores), this axis only pays off with real
+    cores to run the lanes across; host_cores in each entry keeps a
+    sub-1x reading honest on single-core boxes.
     """
-    binary = os.path.join(build_dir, "bench", WT_BENCH)
-    if not os.path.exists(binary):
-        sys.exit(f"bench not found: {binary} (build {WT_BENCH})")
-    serial = time_bench([binary, "--world-threads=1"] + WT_ARGS)
-    threaded = time_bench([binary, f"--world-threads={WT_THREADS}"] + WT_ARGS)
-    return {
-        "label": label,
-        "bench": WT_BENCH,
-        "args": WT_ARGS,
-        "host_cores": os.cpu_count() or 1,
-        "world_threads": WT_THREADS,
-        "wt1_s": round(serial, 4),
-        "wtN_s": round(threaded, 4),
-        "speedup": round(serial / threaded, 3) if threaded > 0 else None,
-    }
+    entries = []
+    for bench, bench_args in WT_BENCHES:
+        binary = os.path.join(build_dir, "bench", bench)
+        if not os.path.exists(binary):
+            sys.exit(f"bench not found: {binary} (build {bench})")
+        serial = time_bench([binary, "--world-threads=1"] + bench_args)
+        threaded = time_bench(
+            [binary, f"--world-threads={WT_THREADS}"] + bench_args)
+        entries.append({
+            "label": label,
+            "bench": bench,
+            "args": bench_args,
+            "host_cores": os.cpu_count() or 1,
+            "world_threads": WT_THREADS,
+            "world_lanes": WT_THREADS,  # follow-the-threads default
+            "wt1_s": round(serial, 4),
+            "wtN_s": round(threaded, 4),
+            "speedup": round(serial / threaded, 3) if threaded > 0 else None,
+        })
+    return entries
+
+
+def check_worldthreads(entries):
+    """--check gate for the worldthreads series; exits 1 on regression."""
+    bad = []
+    for e in entries:
+        if e["wtN_s"] > WT_MAX_OVERHEAD * e["wt1_s"]:
+            bad.append(f"{e['bench']}: world-threads={e['world_threads']} "
+                       f"run {e['wtN_s']:.2f}s > {WT_MAX_OVERHEAD}x serial "
+                       f"{e['wt1_s']:.2f}s — lane/pool overhead blew up")
+        if e["host_cores"] >= e["world_threads"] \
+                and e["speedup"] is not None \
+                and e["speedup"] < WT_MIN_SPEEDUP:
+            bad.append(f"{e['bench']}: speedup {e['speedup']}x < "
+                       f"{WT_MIN_SPEEDUP}x on {e['host_cores']} cores")
+    if bad:
+        for msg in bad:
+            print("REGRESSION:", msg, file=sys.stderr)
+        sys.exit(1)
+    cores = entries[0]["host_cores"] if entries else 0
+    mode = ("speedup >= %s" % WT_MIN_SPEEDUP
+            if cores >= WT_THREADS
+            else "overhead <= %sx (single-core host)" % WT_MAX_OVERHEAD)
+    print(f"check ok: {len(entries)} worldthreads entries within "
+          f"bounds ({mode})")
 
 
 def measure_rss(build_dir):
@@ -433,13 +481,16 @@ def main():
     ap.add_argument("--build-dir", default="build")
     ap.add_argument("--out", default=None,
                     help="output JSON (default results/BENCH_simcore.json, "
-                         "or results/BENCH_simcore.tmp with --smoke)")
+                         "or <build-dir>/BENCH_simcore.smoke.json with "
+                         "--smoke)")
     ap.add_argument("--smoke", action="store_true")
     ap.add_argument("--sweep", action="store_true",
                     help="append a sweep-wallclock entry (jobs=1 vs jobs=N)")
-    ap.add_argument("--world-threads", action="store_true", dest="wt",
-                    help="append a worldthreads-wallclock entry "
-                         "(world-threads=1 vs N)")
+    ap.add_argument("--world-threads", "--worldthreads", action="store_true",
+                    dest="wt",
+                    help="append worldthreads-wallclock entries "
+                         "(world-threads=1 vs N, lanes follow; alltoall "
+                         "scale + CAM proxy)")
     ap.add_argument("--rss", action="store_true",
                     help="record World bytes/rank at 64k and 256k ranks; "
                          "with --check, gate the memory-diet drop")
@@ -477,27 +528,34 @@ def main():
         label = args.label or git_label(repo_root)
         if args.sweep:
             series_key = "sweep-wallclock"
-            entry = run_sweep_wallclock(build_dir, label)
-            summary = (f"jobs=1 {entry['jobs1_s']:.2f}s, "
-                       f"jobs={entry['host_cores']} {entry['jobsN_s']:.2f}s")
+            entries = [run_sweep_wallclock(build_dir, label)]
         else:
             series_key = "worldthreads-wallclock"
-            entry = run_worldthreads_wallclock(build_dir, label)
-            summary = (f"world-threads=1 {entry['wt1_s']:.2f}s, "
-                       f"world-threads={entry['world_threads']} "
-                       f"{entry['wtN_s']:.2f}s on {entry['host_cores']} "
-                       f"core(s)")
+            entries = run_worldthreads_wallclock(build_dir, label)
         doc = {"schema": 1}
         if os.path.exists(tracked):
             with open(tracked) as f:
                 doc = json.load(f)
         series = doc.setdefault(series_key, [])
-        series.append(entry)
+        series.extend(entries)
         del series[:-SWEEP_HISTORY]
         write_json_atomic(tracked, doc)
-        print(f"{series_key}: {entry['bench']} {' '.join(entry['args'])}: "
-              f"{summary} ({entry['speedup']}x); wrote "
-              f"{os.path.relpath(tracked, repo_root)}")
+        for entry in entries:
+            if args.sweep:
+                summary = (f"jobs=1 {entry['jobs1_s']:.2f}s, "
+                           f"jobs={entry['host_cores']} "
+                           f"{entry['jobsN_s']:.2f}s")
+            else:
+                summary = (f"world-threads=1 {entry['wt1_s']:.2f}s, "
+                           f"world-threads={entry['world_threads']} "
+                           f"{entry['wtN_s']:.2f}s on "
+                           f"{entry['host_cores']} core(s)")
+            print(f"{series_key}: {entry['bench']} "
+                  f"{' '.join(entry['args'])}: {summary} "
+                  f"({entry['speedup']}x)")
+        print(f"wrote {os.path.relpath(tracked, repo_root)}")
+        if args.check and args.wt:
+            check_worldthreads(entries)
         return
 
     binary = os.path.join(build_dir, "bench", "bench_simulator_native")
@@ -506,8 +564,10 @@ def main():
                  f"bench_simulator_native target first)")
 
     tracked = os.path.join(repo_root, "results", "BENCH_simcore.json")
-    out = args.out or (os.path.join(repo_root, "results",
-                                    "BENCH_simcore.tmp")
+    # Smoke output is build scratch, not a result: keep it in the build
+    # tree so an aborted CI run never leaves results/BENCH_simcore.tmp
+    # sitting next to the tracked file.
+    out = args.out or (os.path.join(build_dir, "BENCH_simcore.smoke.json")
                        if args.smoke else tracked)
 
     metrics = run_bench(binary, args.smoke)

@@ -16,9 +16,16 @@ Three axes, selected with --vary:
   --vary jobs           (default) --jobs=1 vs --jobs=N: the PR 4 sweep
                         parallelism — independent Worlds on host cores.
   --vary world-threads  --world-threads=1 vs --world-threads=N: the
-                        intra-World parallel rate path.  The varied
+                        intra-World parallel path — N realized event
+                        lanes (the --world-lanes default follows the
+                        thread count) plus the rate pool.  The varied
                         runs also pass --par-grain=1 so the pool
                         engages even on CI-sized worlds.
+  --vary world-lanes    --world-lanes=1 vs --world-lanes=N with the
+                        thread count left at 1: isolates the windowed
+                        lane scheduler (drain / serial merge / refill)
+                        from the pool — lane order must never leak
+                        into a simulated byte.
   --vary heartbeat      off vs --heartbeat=0.02 --telemetry=<tmp>: the
                         PR 7 runtime telemetry layer, which promises to
                         stay strictly out-of-band — arming it must not
@@ -110,9 +117,10 @@ def main(argv):
             parallel_n = int(rest[1])
         else:
             vary = rest[1]
-            if vary not in ("jobs", "world-threads", "heartbeat"):
-                fail(f"--vary must be 'jobs', 'world-threads' or "
-                     f"'heartbeat', got {vary}")
+            if vary not in ("jobs", "world-threads", "world-lanes",
+                            "heartbeat"):
+                fail(f"--vary must be 'jobs', 'world-threads', "
+                     f"'world-lanes' or 'heartbeat', got {vary}")
         rest = rest[2:]
     if rest and rest[0] == "--":
         rest = rest[1:]
@@ -126,6 +134,10 @@ def main(argv):
             # the varied axis, and grain never changes simulated results.
             serial_flags = ["--world-threads=1", "--par-grain=1"]
             parallel_flags = [f"--world-threads={parallel_n}",
+                              "--par-grain=1"]
+        elif vary == "world-lanes":
+            serial_flags = ["--world-lanes=1", "--par-grain=1"]
+            parallel_flags = [f"--world-lanes={parallel_n}",
                               "--par-grain=1"]
         else:  # heartbeat: telemetry off vs armed, fast beat to a tmp file
             serial_flags = []

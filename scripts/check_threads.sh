@@ -14,7 +14,12 @@
 #     running World;
 #   - test_lustre: the Lustre model's detached chunk fan-out, bounded
 #     OST queue grants, and IoSummary recording through the shard
-#     absorb path (sweep workers run whole filesystems concurrently).
+#     absorb path (sweep workers run whole filesystems concurrently);
+#   - test_lane_engine: the windowed event-lane scheduler (parallel
+#     drain/refill on the pool, serial merge), asserting bitwise
+#     serial-vs-lane equality;
+#   - test_vmpi_lanes: event lanes + pool inside a real World (flow
+#     completion routing, cross-lane mailboxes, lookahead horizon).
 # Any data race aborts the run (TSAN_OPTIONS halt_on_error), failing
 # the gate.  (The jobs=1-vs-jobs=8 and world-threads=1-vs-8 bench
 # determinism ctests stay in the regular build: two full bench runs
@@ -27,7 +32,7 @@ build="${1:-build-tsan}"
 cmake -B "$build" -S . -DXTSIM_SAN=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$build" -j"$(nproc)" \
   --target test_runner_sweep test_parallel test_network_parallel \
-  test_obsv_telemetry test_lustre
+  test_obsv_telemetry test_lustre test_lane_engine test_vmpi_lanes
 TSAN_OPTIONS="halt_on_error=1" ctest --test-dir "$build" -L tsan_smoke \
   --output-on-failure
 echo "check_threads: OK: tsan_smoke suite clean under ThreadSanitizer"

@@ -212,7 +212,8 @@ def check_profile(path):
 HEARTBEAT_KEYS = {"kind", "seq", "wall_s", "sim_s", "events",
                   "events_per_s", "sim_rate", "queue_depth", "flows",
                   "pool_util", "rss_bytes"}
-SUBSYSTEMS = {"engine", "net.rates", "obsv.export", "telemetry", "other"}
+SUBSYSTEMS = {"engine", "net.rates", "obsv.export", "telemetry",
+              "lanes.drain", "lanes.refill", "other"}
 
 
 def check_telemetry(path):
@@ -287,10 +288,25 @@ def check_telemetry(path):
     host = bd.get("host")
     if not isinstance(host, dict) or host.get("peak_rss_bytes", 0) <= 0:
         fail("breakdown host section malformed: %r" % host)
+    # Event-lane block: present even when lane mode never engaged
+    # (windows=0, lanes=[]); executed counts must add up to no more
+    # than scheduled and every per-lane figure is non-negative.
+    elanes = bd.get("event_lanes")
+    if not isinstance(elanes, dict) or elanes.get("windows", -1) < 0 \
+            or not isinstance(elanes.get("lanes"), list):
+        fail("breakdown event_lanes section malformed: %r" % elanes)
+    for i, lane in enumerate(elanes["lanes"]):
+        for k in ("scheduled", "executed", "deferred", "drain_s",
+                  "refill_s"):
+            if lane.get(k, -1) < 0:
+                fail("event_lanes[%d]: %s is negative: %r" % (i, k, lane))
+        if lane["executed"] > lane["scheduled"]:
+            fail("event_lanes[%d]: executed %d > scheduled %d"
+                 % (i, lane["executed"], lane["scheduled"]))
 
     print("check_trace: OK: telemetry stream with %d heartbeat(s), "
-          "breakdown shares sum %.4g over %.4g s wall"
-          % (len(beats), share_sum, bd["wall_s"]))
+          "breakdown shares sum %.4g over %.4g s wall, %d event lane(s)"
+          % (len(beats), share_sum, bd["wall_s"], len(elanes["lanes"])))
 
 
 def sniff_telemetry(path):

@@ -1,0 +1,237 @@
+#include "core/engine.hpp"
+
+#include <cmath>
+
+#include "core/hostprof.hpp"
+#include "core/parallel.hpp"
+
+namespace xts {
+
+void Engine::enable_lanes(int lanes, SimTime lookahead) {
+  if (lanes_ != nullptr)
+    throw UsageError("Engine::enable_lanes: lane mode already enabled");
+  if (lanes < 1) throw UsageError("Engine::enable_lanes: need >= 1 lane");
+  if (lookahead < 0.0 || !std::isfinite(lookahead))
+    throw UsageError("Engine::enable_lanes: lookahead must be finite, >= 0");
+  if (events_pending() != 0)
+    throw UsageError("Engine::enable_lanes: event queue must be empty");
+  auto state = std::make_unique<LaneState>();
+  state->lookahead = lookahead;
+  state->grain = static_cast<std::size_t>(default_parallel_grain());
+  const auto n = static_cast<std::size_t>(lanes);
+  state->queues.resize(n);
+  state->mailbox.resize(n);
+  state->staged.resize(n);
+  state->cursor.assign(n, 0);
+  state->counters.resize(n);
+  state->reported.resize(n);
+  lanes_ = std::move(state);
+}
+
+void Engine::lane_schedule(SimTime t, InlineFn fn) {
+  LaneState& state = *lanes_;
+  const std::int32_t lane = state.cur_lane;
+  LaneEvent ev{t, next_seq_++, lane, std::move(fn)};
+  ++state.pending;
+  ++state.counters[static_cast<std::size_t>(lane)].scheduled;
+  if (state.in_window) {
+    // Same-instant events must join the running window (serial FIFO
+    // semantics); below-horizon-and-bound events join its heap; the
+    // rest wait in the scheduling lane's mailbox until the refill
+    // phase moves them into that lane's own queue.
+    if (ev.time == now_) {
+      state.wfifo_push(std::move(ev));
+    } else if (ev.time < state.horizon && ev.time <= state.cap) {
+      lane_heap_push(state.wheap, std::move(ev));
+    } else {
+      state.mailbox[static_cast<std::size_t>(lane)].push_back(std::move(ev));
+    }
+  } else {
+    // Outside a window now_ only moves forward between run() calls, so
+    // a same-instant push keeps the lane FIFO (time, seq)-sorted.
+    if (ev.time == now_) {
+      state.queues[static_cast<std::size_t>(lane)].push_now(std::move(ev));
+    } else {
+      state.queues[static_cast<std::size_t>(lane)].push_future(std::move(ev));
+    }
+  }
+}
+
+bool Engine::lane_run(SimTime bound) {
+  LaneState& state = *lanes_;
+  state.cap = bound;
+  for (;;) {
+    SimTime start = std::numeric_limits<double>::infinity();
+    for (const LaneQueue& q : state.queues) {
+      const SimTime t = q.next_time();
+      if (t < start) start = t;
+    }
+    // start = inf means every queue is empty; with bound = inf (run())
+    // that must still terminate, so test finiteness explicitly.
+    if (!std::isfinite(start) || start > bound) break;
+    const SimTime horizon = start + state.lookahead;
+    ++state.windows;
+    lane_drain_phase(start, horizon, bound);
+    state.horizon = horizon;
+    try {
+      lane_execute_window();
+    } catch (...) {
+      lane_restore();
+      lane_fold_telemetry();
+      throw;
+    }
+    lane_refill_phase();
+  }
+  const bool drained = state.pending == 0;
+  if (std::isfinite(bound) && bound > now_) now_ = bound;
+  lane_fold_telemetry();
+  return drained;
+}
+
+void Engine::lane_drain_phase(SimTime start, SimTime horizon, SimTime cap) {
+  LaneState& state = *lanes_;
+  const std::size_t nlanes = state.queues.size();
+  const bool timing = HostProfile::enabled();
+  auto chunk = [&](std::size_t begin, std::size_t end) {
+    const ScopedHostTimer timer(HostSubsys::kLaneDrain);
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::uint64_t t0 = timing ? HostProfile::mono_ns() : 0;
+      state.staged[i].clear();
+      state.cursor[i] = 0;
+      state.queues[i].drain_window(start, horizon, cap, state.staged[i]);
+      if (timing)
+        state.counters[i].drain_s +=
+            static_cast<double>(HostProfile::mono_ns() - t0) * 1e-9;
+    }
+  };
+  if (parallel_ != nullptr && parallel_->threads() > 1 && nlanes > 1 &&
+      state.pending >= state.grain) {
+    parallel_->for_range(nlanes, chunk);
+  } else {
+    chunk(0, nlanes);
+  }
+}
+
+void Engine::lane_execute_window() {
+  LaneState& state = *lanes_;
+  const std::size_t nlanes = state.queues.size();
+  state.in_window = true;
+  for (;;) {
+    // Global (time, seq) minimum across the staged cursors and the
+    // in-window heap/FIFO — exactly the serial engine's next event.
+    const LaneEvent* best = nullptr;
+    std::size_t best_lane = 0;
+    int src = -1;  // 0 = staged, 1 = wheap, 2 = wfifo
+    for (std::size_t i = 0; i < nlanes; ++i) {
+      if (state.cursor[i] >= state.staged[i].size()) continue;
+      const LaneEvent& c = state.staged[i][state.cursor[i]];
+      if (best == nullptr || lane_event_before(c, *best)) {
+        best = &c;
+        best_lane = i;
+        src = 0;
+      }
+    }
+    if (!state.wheap.empty() &&
+        (best == nullptr || lane_event_before(state.wheap[0], *best))) {
+      best = &state.wheap[0];
+      src = 1;
+    }
+    if (state.wfifo_count > 0 &&
+        (best == nullptr || lane_event_before(state.wfifo_front(), *best))) {
+      src = 2;
+    }
+    if (src < 0) break;
+    LaneEvent ev = src == 0
+                       ? std::move(state.staged[best_lane][state.cursor[best_lane]++])
+                       : src == 1 ? lane_heap_pop(state.wheap)
+                                  : state.wfifo_pop();
+    now_ = ev.time;
+    state.cur_lane = ev.lane;
+    --state.pending;
+    ++state.counters[static_cast<std::size_t>(ev.lane)].executed;
+    ++events_processed_;
+    if (progress_ != nullptr &&
+        (events_processed_ & (kProgressStride - 1)) == 0)
+      publish_progress();
+    ev.fn();
+  }
+  state.in_window = false;
+}
+
+void Engine::lane_refill_phase() {
+  LaneState& state = *lanes_;
+  const std::size_t nlanes = state.queues.size();
+  const bool timing = HostProfile::enabled();
+  auto chunk = [&](std::size_t begin, std::size_t end) {
+    const ScopedHostTimer timer(HostSubsys::kLaneRefill);
+    for (std::size_t i = begin; i < end; ++i) {
+      std::vector<LaneEvent>& mb = state.mailbox[i];
+      if (mb.empty()) continue;
+      const std::uint64_t t0 = timing ? HostProfile::mono_ns() : 0;
+      state.counters[i].deferred += mb.size();
+      for (LaneEvent& ev : mb) state.queues[i].push_future(std::move(ev));
+      mb.clear();
+      if (timing)
+        state.counters[i].refill_s +=
+            static_cast<double>(HostProfile::mono_ns() - t0) * 1e-9;
+    }
+  };
+  if (parallel_ != nullptr && parallel_->threads() > 1 && nlanes > 1 &&
+      state.pending >= state.grain) {
+    parallel_->for_range(nlanes, chunk);
+  } else {
+    chunk(0, nlanes);
+  }
+}
+
+void Engine::lane_restore() {
+  // A handler threw mid-window: put every un-executed event back into
+  // its lane's heap (heap order subsumes the FIFO's — all (time, seq))
+  // so the engine stays consistent for the caller.  pending already
+  // counts them.
+  LaneState& state = *lanes_;
+  state.in_window = false;
+  for (std::size_t i = 0; i < state.queues.size(); ++i) {
+    std::vector<LaneEvent>& st = state.staged[i];
+    for (std::size_t j = state.cursor[i]; j < st.size(); ++j)
+      state.queues[i].push_future(std::move(st[j]));
+    st.clear();
+    state.cursor[i] = 0;
+    std::vector<LaneEvent>& mb = state.mailbox[i];
+    for (LaneEvent& ev : mb)
+      state.queues[i].push_future(std::move(ev));
+    mb.clear();
+  }
+  for (LaneEvent& ev : state.wheap)
+    state.queues[static_cast<std::size_t>(ev.lane)].push_future(std::move(ev));
+  state.wheap.clear();
+  while (state.wfifo_count > 0) {
+    LaneEvent ev = state.wfifo_pop();
+    state.queues[static_cast<std::size_t>(ev.lane)].push_future(std::move(ev));
+  }
+}
+
+void Engine::lane_fold_telemetry() {
+  LaneState& state = *lanes_;
+  const std::uint64_t dwindows = state.windows - state.windows_reported;
+  bool any = dwindows != 0;
+  std::vector<LaneCounters> delta(state.counters.size());
+  for (std::size_t i = 0; i < state.counters.size(); ++i) {
+    const LaneCounters& cur = state.counters[i];
+    const LaneCounters& rep = state.reported[i];
+    delta[i].scheduled = cur.scheduled - rep.scheduled;
+    delta[i].executed = cur.executed - rep.executed;
+    delta[i].deferred = cur.deferred - rep.deferred;
+    delta[i].drain_s = cur.drain_s - rep.drain_s;
+    delta[i].refill_s = cur.refill_s - rep.refill_s;
+    any = any || delta[i].scheduled != 0 || delta[i].executed != 0 ||
+          delta[i].deferred != 0 || delta[i].drain_s != 0.0 ||
+          delta[i].refill_s != 0.0;
+  }
+  if (!any) return;
+  lanes_fold_telemetry(dwindows, delta);
+  state.windows_reported = state.windows;
+  state.reported = state.counters;
+}
+
+}  // namespace xts

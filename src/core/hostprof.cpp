@@ -13,6 +13,8 @@ const char* host_subsys_name(HostSubsys s) noexcept {
     case HostSubsys::kPoolIdle: return "pool.idle";
     case HostSubsys::kExport: return "obsv.export";
     case HostSubsys::kTelemetry: return "telemetry";
+    case HostSubsys::kLaneDrain: return "lanes.drain";
+    case HostSubsys::kLaneRefill: return "lanes.refill";
   }
   return "?";
 }

@@ -38,8 +38,10 @@ enum class HostSubsys : std::uint8_t {
   kPoolIdle,    ///< ParallelPool worker lanes waiting for a job
   kExport,      ///< obsv exporters (trace/profile files, tables)
   kTelemetry,   ///< heartbeat sampler + record emission
+  kLaneDrain,   ///< lane-mode parallel window drain (core/lanes.hpp)
+  kLaneRefill,  ///< lane-mode parallel mailbox refill
 };
-inline constexpr std::size_t kHostSubsysCount = 6;
+inline constexpr std::size_t kHostSubsysCount = 8;
 
 [[nodiscard]] const char* host_subsys_name(HostSubsys s) noexcept;
 

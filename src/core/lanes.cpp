@@ -1,0 +1,42 @@
+#include "core/lanes.hpp"
+
+#include <mutex>
+
+namespace xts {
+
+namespace {
+
+// Process-wide fold target.  Lane counts can differ across Worlds in a
+// sweep; sums are index-wise over the widest world seen.
+std::mutex g_lane_mu;           // NOLINT(cert-err58-cpp)
+LaneTelemetry g_lane_telemetry;  // NOLINT(cert-err58-cpp)
+
+}  // namespace
+
+void lanes_fold_telemetry(std::uint64_t windows,
+                          const std::vector<LaneCounters>& delta) {
+  const std::lock_guard<std::mutex> lock(g_lane_mu);
+  g_lane_telemetry.windows += windows;
+  if (g_lane_telemetry.lanes.size() < delta.size())
+    g_lane_telemetry.lanes.resize(delta.size());
+  for (std::size_t i = 0; i < delta.size(); ++i) {
+    LaneCounters& acc = g_lane_telemetry.lanes[i];
+    acc.scheduled += delta[i].scheduled;
+    acc.executed += delta[i].executed;
+    acc.deferred += delta[i].deferred;
+    acc.drain_s += delta[i].drain_s;
+    acc.refill_s += delta[i].refill_s;
+  }
+}
+
+LaneTelemetry lanes_telemetry_snapshot() {
+  const std::lock_guard<std::mutex> lock(g_lane_mu);
+  return g_lane_telemetry;
+}
+
+void lanes_telemetry_reset() {
+  const std::lock_guard<std::mutex> lock(g_lane_mu);
+  g_lane_telemetry = LaneTelemetry{};
+}
+
+}  // namespace xts

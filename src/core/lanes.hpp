@@ -1,0 +1,261 @@
+#pragma once
+
+/// \file lanes.hpp
+/// Per-lane event storage for intra-World parallel discrete-event
+/// execution (conservative torus-partition lanes).
+///
+/// In lane mode the Engine partitions future events into P lanes (the
+/// World maps ranks to lanes by torus region, see
+/// network/lane_partition.hpp).  Each lane owns a (time, seq) min-heap
+/// plus a same-instant FIFO — the serial engine's two structures,
+/// replicated per partition.  Execution proceeds in *windows*:
+///
+///   1. window_start = min over lanes of next event time;
+///      horizon = window_start + lookahead (the minimum cross-partition
+///      latency: NIC injection overhead + one router hop);
+///   2. parallel drain: every lane moves its events below the horizon
+///      into a sorted per-lane staging vector (pool lanes touch only
+///      their own queues — disjoint state, barrier at the end);
+///   3. serial execute: the canonical merge pass picks the global
+///      (time, seq) minimum across all staging vectors and runs it —
+///      the exact order the serial engine would have produced, so every
+///      externally observable side effect (span emission, metrics,
+///      message delivery) is committed serially and byte-identically;
+///      events scheduled below the horizon join the window via a shared
+///      in-window heap/FIFO, events at or beyond it land in the
+///      scheduling lane's mailbox;
+///   4. parallel refill: every lane bulk-pushes its mailbox back into
+///      its own heap.
+///
+/// The lookahead models the conservative-PDES bound — a cross-lane
+/// message cannot produce a receiver-side event below the horizon
+/// (vmpi's timing model pays at least tx_overhead + per_hop_latency
+/// before any remote effect) — but note that correctness never rests
+/// on it: the serial merge executes the global (time, seq) total order
+/// regardless, so a mis-sized lookahead can only change how much work
+/// each parallel drain amortizes, never one output byte.
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "core/inline_fn.hpp"
+#include "core/units.hpp"
+
+namespace xts {
+
+/// One queued event plus the lane it belongs to.  `lane` is inherited
+/// from the scheduling context (Engine::LaneScope) and decides which
+/// per-lane queue holds the event between windows.
+struct LaneEvent {
+  SimTime time = 0.0;
+  std::uint64_t seq = 0;
+  std::int32_t lane = 0;
+  InlineFn fn;
+};
+
+[[nodiscard]] inline bool lane_event_before(const LaneEvent& a,
+                                            const LaneEvent& b) noexcept {
+  if (a.time != b.time) return a.time < b.time;
+  return a.seq < b.seq;
+}
+
+// -- (time, seq) binary min-heap over LaneEvent ---------------------------
+// The serial engine's hole-sift algorithms, shared by every per-lane
+// heap and the in-window heap.
+
+inline void lane_heap_push(std::vector<LaneEvent>& heap, LaneEvent&& ev) {
+  heap.push_back(std::move(ev));
+  std::size_t i = heap.size() - 1;
+  if (i == 0) return;
+  LaneEvent tmp = std::move(heap[i]);
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!lane_event_before(tmp, heap[parent])) break;
+    heap[i] = std::move(heap[parent]);
+    i = parent;
+  }
+  heap[i] = std::move(tmp);
+}
+
+inline LaneEvent lane_heap_pop(std::vector<LaneEvent>& heap) {
+  LaneEvent top = std::move(heap[0]);
+  LaneEvent last = std::move(heap.back());
+  heap.pop_back();
+  const std::size_t n = heap.size();
+  if (n > 0) {
+    std::size_t hole = 0;
+    std::size_t child = 1;
+    while (child < n) {
+      if (child + 1 < n && lane_event_before(heap[child + 1], heap[child]))
+        ++child;
+      heap[hole] = std::move(heap[child]);
+      hole = child;
+      child = 2 * hole + 1;
+    }
+    while (hole > 0) {
+      const std::size_t parent = (hole - 1) / 2;
+      if (!lane_event_before(last, heap[parent])) break;
+      heap[hole] = std::move(heap[parent]);
+      hole = parent;
+    }
+    heap[hole] = std::move(last);
+  }
+  return top;
+}
+
+/// One lane's future-event storage: a (time, seq) heap plus an
+/// append-only FIFO for events scheduled at the current instant while
+/// no window is executing (rank spawns before run()).  FIFO entries are
+/// appended at nondecreasing times with increasing seq, so the vector
+/// is already (time, seq)-sorted and drains as a prefix.
+class LaneQueue {
+ public:
+  void push_future(LaneEvent&& ev) { lane_heap_push(heap_, std::move(ev)); }
+
+  void push_now(LaneEvent&& ev) { fifo_.push_back(std::move(ev)); }
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return heap_.size() + (fifo_.size() - fifo_head_);
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+
+  /// Earliest (time) across both structures; +inf when empty.
+  [[nodiscard]] SimTime next_time() const noexcept {
+    SimTime t = std::numeric_limits<double>::infinity();
+    if (!heap_.empty()) t = heap_[0].time;
+    if (fifo_head_ < fifo_.size() && fifo_[fifo_head_].time < t)
+      t = fifo_[fifo_head_].time;
+    return t;
+  }
+
+  /// Move every event eligible for the window — time <= cap and
+  /// (time <= start or time < horizon) — into `out` in (time, seq)
+  /// order (two-way merge of the heap pops and the FIFO prefix).
+  /// Eligibility is a prefix in time, so a pop loop is exact.
+  std::size_t drain_window(SimTime start, SimTime horizon, SimTime cap,
+                           std::vector<LaneEvent>& out) {
+    std::size_t n = 0;
+    for (;;) {
+      const bool h = !heap_.empty() && eligible(heap_[0].time, start, horizon, cap);
+      const bool f = fifo_head_ < fifo_.size() &&
+                     eligible(fifo_[fifo_head_].time, start, horizon, cap);
+      if (!h && !f) break;
+      if (h && (!f || lane_event_before(heap_[0], fifo_[fifo_head_]))) {
+        out.push_back(lane_heap_pop(heap_));
+      } else {
+        out.push_back(std::move(fifo_[fifo_head_]));
+        ++fifo_head_;
+      }
+      ++n;
+    }
+    if (fifo_head_ == fifo_.size()) {
+      fifo_.clear();
+      fifo_head_ = 0;
+    } else if (fifo_head_ >= 1024) {
+      fifo_.erase(fifo_.begin(),
+                  fifo_.begin() + static_cast<std::ptrdiff_t>(fifo_head_));
+      fifo_head_ = 0;
+    }
+    return n;
+  }
+
+ private:
+  [[nodiscard]] static bool eligible(SimTime t, SimTime start, SimTime horizon,
+                                     SimTime cap) noexcept {
+    return t <= cap && (t <= start || t < horizon);
+  }
+
+  std::vector<LaneEvent> heap_;
+  std::vector<LaneEvent> fifo_;
+  std::size_t fifo_head_ = 0;
+};
+
+/// Per-lane tallies: always-on counters (a few adds per event) plus
+/// drain/refill host seconds measured only while hostprof is armed.
+/// The imbalance story for `xtstrace telemetry`.
+struct LaneCounters {
+  std::uint64_t scheduled = 0;  ///< events tagged into this lane
+  std::uint64_t executed = 0;   ///< events run that belonged to it
+  std::uint64_t deferred = 0;   ///< beyond-horizon events via its mailbox
+  double drain_s = 0.0;         ///< host seconds draining its queue
+  double refill_s = 0.0;        ///< host seconds refilling from mailbox
+};
+
+/// All lane-mode state owned by an Engine.  Parallel phases touch only
+/// the per-lane slots of their indices; everything else is serial.
+struct LaneState {
+  SimTime lookahead = 0.0;
+  SimTime cap = std::numeric_limits<double>::infinity();  ///< run_until bound
+  std::size_t grain = 1;     ///< min pending events to engage the pool
+  bool in_window = false;
+  SimTime horizon = 0.0;
+  std::int32_t cur_lane = 0;  ///< lane tag applied to new events
+  std::size_t pending = 0;    ///< events queued across all structures
+  std::uint64_t windows = 0;
+
+  std::vector<LaneQueue> queues;                 ///< per lane
+  std::vector<std::vector<LaneEvent>> mailbox;   ///< per lane, beyond-horizon
+  std::vector<std::vector<LaneEvent>> staged;    ///< per lane, drained sorted
+  std::vector<std::size_t> cursor;               ///< per lane, staged index
+  std::vector<LaneCounters> counters;            ///< per lane
+
+  // In-window structures (serial executor only): events scheduled below
+  // the horizon while the window runs.
+  std::vector<LaneEvent> wheap;
+  std::vector<LaneEvent> wfifo;
+  std::size_t wfifo_head = 0;
+  std::size_t wfifo_count = 0;
+
+  // Delta bookkeeping for the process-wide telemetry fold.
+  std::vector<LaneCounters> reported;
+  std::uint64_t windows_reported = 0;
+
+  [[nodiscard]] const LaneEvent& wfifo_front() const noexcept {
+    return wfifo[wfifo_head];
+  }
+
+  void wfifo_push(LaneEvent&& ev) {
+    if (wfifo_count == wfifo.size()) wfifo_grow();
+    wfifo[(wfifo_head + wfifo_count) & (wfifo.size() - 1)] = std::move(ev);
+    ++wfifo_count;
+  }
+
+  LaneEvent wfifo_pop() {
+    LaneEvent ev = std::move(wfifo[wfifo_head]);
+    wfifo_head = (wfifo_head + 1) & (wfifo.size() - 1);
+    --wfifo_count;
+    return ev;
+  }
+
+ private:
+  void wfifo_grow() {
+    const std::size_t grown_cap = wfifo.empty() ? 16 : wfifo.size() * 2;
+    std::vector<LaneEvent> grown(grown_cap);
+    for (std::size_t i = 0; i < wfifo_count; ++i)
+      grown[i] = std::move(wfifo[(wfifo_head + i) & (wfifo.size() - 1)]);
+    wfifo = std::move(grown);
+    wfifo_head = 0;
+  }
+};
+
+// -- process-wide lane telemetry ------------------------------------------
+// Engines fold per-lane counter deltas here when a lane run finishes;
+// the telemetry breakdown snapshots it at exit.  Mutex-guarded: worlds
+// fold from sweep worker threads while the sampler reads.  Never feeds
+// back into simulated state.
+
+struct LaneTelemetry {
+  std::uint64_t windows = 0;
+  std::vector<LaneCounters> lanes;  ///< index-wise sums across Worlds
+};
+
+void lanes_fold_telemetry(std::uint64_t windows,
+                          const std::vector<LaneCounters>& delta);
+[[nodiscard]] LaneTelemetry lanes_telemetry_snapshot();
+void lanes_telemetry_reset();
+
+}  // namespace xts

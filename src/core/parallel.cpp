@@ -8,6 +8,7 @@ namespace xts {
 
 namespace {
 std::atomic<int> g_world_threads{1};
+std::atomic<int> g_world_lanes{0};
 std::atomic<int> g_parallel_grain{512};
 }  // namespace
 
@@ -20,6 +21,17 @@ void set_default_world_threads(int threads) {
 
 int default_world_threads() noexcept {
   return g_world_threads.load(std::memory_order_relaxed);
+}
+
+void set_default_world_lanes(int lanes) {
+  if (lanes < 0) {
+    throw UsageError("--world-lanes must be >= 0");
+  }
+  g_world_lanes.store(lanes, std::memory_order_relaxed);
+}
+
+int default_world_lanes() noexcept {
+  return g_world_lanes.load(std::memory_order_relaxed);
 }
 
 void set_default_parallel_grain(int flows) {

@@ -111,6 +111,13 @@ class ParallelPool {
 void set_default_world_threads(int threads);
 [[nodiscard]] int default_world_threads() noexcept;
 
+/// Process-wide default for the number of intra-World event lanes
+/// (WorldConfig::world_lanes == 0 defers to this).  0 (the default)
+/// means "follow the resolved thread count"; 1 disables lane mode
+/// explicitly even when threads > 1.  Set from `--world-lanes=N`.
+void set_default_world_lanes(int lanes);
+[[nodiscard]] int default_world_lanes() noexcept;
+
 /// Process-wide default for the minimum same-instant wave size (flows
 /// in a rate pass) below which the FlowNetwork stays on the serial
 /// path even when a pool is present — small waves cost more to fan out

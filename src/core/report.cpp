@@ -99,6 +99,13 @@ BenchOptions BenchOptions::parse(int argc, char** argv,
         throw UsageError("--world-threads= needs an integer in [1, 256]");
       opt.world_threads = static_cast<int>(t);
       set_default_world_threads(opt.world_threads);
+    } else if (arg.rfind("--world-lanes=", 0) == 0) {
+      const std::string v = arg.substr(14);
+      char* end = nullptr;
+      const long l = std::strtol(v.c_str(), &end, 10);
+      if (v.empty() || end == nullptr || *end != '\0' || l < 1 || l > 256)
+        throw UsageError("--world-lanes= needs an integer in [1, 256]");
+      set_default_world_lanes(static_cast<int>(l));
     } else if (arg.rfind("--par-grain=", 0) == 0) {
       const std::string v = arg.substr(12);
       char* end = nullptr;
@@ -138,6 +145,11 @@ BenchOptions BenchOptions::parse(int argc, char** argv,
                    "inside each World\n"
                    "                  (default 1 = serial; output is "
                    "identical at any N)\n"
+                << "  --world-lanes=N event lanes for parallel event "
+                   "execution inside each\n"
+                   "                  World (default: follow "
+                   "--world-threads; 1 disables;\n"
+                   "                  output is identical at any N)\n"
                 << "  --par-grain=N   min same-instant wave size before the "
                    "intra-World\n"
                    "                  pool engages (default 512; tests use "

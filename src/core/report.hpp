@@ -38,14 +38,14 @@ class Table {
 };
 
 /// Shared CLI handling for bench binaries: recognizes --csv, --quick,
-/// --full, --jobs=N, --world-threads=N, --par-grain=N, --trace=<file>,
-/// --metrics, --profile=<file>, --heartbeat=SECS, --telemetry=<file>
-/// and --help.  Anything unrecognized raises UsageError.  The
-/// observability flags are plain data here — benches hand them to
-/// obsv::arm_cli, and --jobs to runner::sweep (core cannot depend on
-/// obsv/runner).  --world-threads/--par-grain are applied directly to
-/// the core parallel defaults during parse, so every World built
-/// afterwards picks them up without driver changes.
+/// --full, --jobs=N, --world-threads=N, --world-lanes=N, --par-grain=N,
+/// --trace=<file>, --metrics, --profile=<file>, --heartbeat=SECS,
+/// --telemetry=<file> and --help.  Anything unrecognized raises
+/// UsageError.  The observability flags are plain data here — benches
+/// hand them to obsv::arm_cli, and --jobs to runner::sweep (core cannot
+/// depend on obsv/runner).  --world-threads/--world-lanes/--par-grain
+/// are applied directly to the core parallel defaults during parse, so
+/// every World built afterwards picks them up without driver changes.
 struct BenchOptions {
   bool csv = false;        ///< also emit CSV blocks
   bool quick = false;      ///< reduced sweep for CI

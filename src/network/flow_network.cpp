@@ -171,6 +171,7 @@ SimFutureV FlowNetwork::transfer(NodeId src, NodeId dst, double bytes) {
   SimPromiseV promise(engine_);
   auto future = promise.future();
   if (bytes == 0.0) {
+    const Engine::LaneScope scope(engine_, completion_lane(dst));
     promise.set_value(Done{});
     return future;
   }
@@ -210,6 +211,7 @@ std::uint32_t FlowNetwork::add_flow(NodeId src, NodeId dst, double bytes) {
   f.remaining = bytes;
   f.rate = 0.0;
   f.last_settle = engine_.now();
+  f.dst = dst;
   f.in_use = true;
   get_route(src, dst, f.links);
   f.link_pos.clear();
@@ -313,7 +315,7 @@ void FlowNetwork::finish_flow(std::uint32_t idx) {
       }
     }
   }
-  done_.push_back(Completion{std::move(f.promise), f.waiter});
+  done_.push_back(Completion{std::move(f.promise), f.waiter, f.dst});
   ++f.gen;  // strand any heap entries still naming this slot
   f.waiter = {};
   f.rate = 0.0;
@@ -328,6 +330,10 @@ void FlowNetwork::finish_flow(std::uint32_t idx) {
 
 void FlowNetwork::fire_completions() {
   for (Completion& c : done_) {
+    // Queue the receiver-side resumption in the destination node's
+    // event lane, not whichever lane's event triggered this rate pass.
+    // Inert when lane mode is off.
+    const Engine::LaneScope scope(engine_, completion_lane(c.dst));
     if (c.promise.valid()) {
       c.promise.set_value(Done{});
     } else if (c.waiter) {

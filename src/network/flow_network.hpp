@@ -33,6 +33,7 @@
 #include <coroutine>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "core/engine.hpp"
@@ -128,6 +129,15 @@ class FlowNetwork {
   void set_progress(RunProgress* progress) noexcept {
     progress_ = progress;
   }
+
+  /// Lane router for completion delivery (lane-mode engines): maps a
+  /// flow's destination node to its event lane so the receiver-side
+  /// resumption is queued in the receiver's lane rather than whichever
+  /// lane triggered the rate pass.  Unset => completions inherit the
+  /// current lane (and with lane mode off the tag is inert either way).
+  void set_lane_router(std::function<int(NodeId)> router) {
+    lane_router_ = std::move(router);
+  }
   /// High-water mark of concurrent flows (capacity-planning stat).
   [[nodiscard]] std::size_t peak_flows() const noexcept {
     return peak_flows_;
@@ -196,6 +206,7 @@ class FlowNetwork {
     double rate = 0.0;
     SimTime last_settle = 0.0;
     std::uint32_t gen = 0;  ///< invalidates completion-heap entries
+    NodeId dst = 0;         ///< destination node (lane-routed delivery)
     bool in_use = false;
     Route links;
     SmallVec<std::uint32_t, 16> link_pos;  ///< index in link_flows_[links[i]]
@@ -220,10 +231,14 @@ class FlowNetwork {
   struct Completion {
     SimPromiseV promise;
     std::coroutine_handle<> waiter{};
+    NodeId dst = 0;
   };
 
   [[nodiscard]] double link_capacity(LinkId link) const noexcept;
   [[nodiscard]] double compute_rate(const Flow& f) const noexcept;
+  [[nodiscard]] int completion_lane(NodeId dst) const {
+    return lane_router_ ? lane_router_(dst) : engine_.current_lane();
+  }
   void get_route(NodeId src, NodeId dst, Route& out);
   std::uint32_t add_flow(NodeId src, NodeId dst, double bytes);
   void start_flow(NodeId src, NodeId dst, double bytes,
@@ -304,6 +319,7 @@ class FlowNetwork {
   double sample_min_dt_ = 0.0;  ///< doubles when the series overflows
 
   RunProgress* progress_ = nullptr;
+  std::function<int(NodeId)> lane_router_;
   std::size_t active_count_ = 0;
   std::size_t peak_flows_ = 0;
   std::uint64_t epoch_ = 0;        ///< invalidates scheduled timers

@@ -1,0 +1,26 @@
+#include "network/lane_partition.hpp"
+
+#include <algorithm>
+
+namespace xts::net {
+
+LanePartition LanePartition::build(const TorusDims& dims, int lanes) {
+  if (dims.x < 1 || dims.y < 1 || dims.z < 1)
+    throw UsageError("LanePartition: dimensions must be >= 1");
+  if (lanes < 1) throw UsageError("LanePartition: lanes must be >= 1");
+  // Slice the longest dimension (ties x before y before z): the most
+  // slab planes to spread over, and the fewest nodes per boundary face.
+  int axis = 0;
+  int extent = dims.x;
+  if (dims.y > extent) {
+    axis = 1;
+    extent = dims.y;
+  }
+  if (dims.z > extent) {
+    axis = 2;
+    extent = dims.z;
+  }
+  return LanePartition(dims, axis, std::min(lanes, extent));
+}
+
+}  // namespace xts::net

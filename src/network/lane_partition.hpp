@@ -1,0 +1,98 @@
+#pragma once
+
+/// \file lane_partition.hpp
+/// Torus-region partition of nodes into event lanes.
+///
+/// The lane engine (core/lanes.hpp) wants a node -> lane map that is
+///  - total: every node is in exactly one lane;
+///  - balanced: lane populations differ by at most one slab plane;
+///  - compact: each lane is a contiguous slab of coordinate planes
+///    along the torus's longest dimension, so a lane's ranks are
+///    torus-adjacent and most traffic (nearest-neighbor exchanges,
+///    dimension-ordered collective phases) stays lane-local.
+///
+/// The slab rule also makes the conservative-lookahead story concrete:
+/// any two distinct lanes hold distinct nodes, so a cross-lane message
+/// always pays at least the NIC injection overhead plus one router hop
+/// (min_cross_lane_hops() == 1 — adjacent slabs touch, including the
+/// wraparound pair) before any receiver-side event can exist.
+///
+/// Lane assignment is a performance hint, never a correctness input:
+/// the engine's serial merge executes the global (time, seq) order for
+/// any partition (see core/lanes.hpp).
+
+#include <cstdint>
+#include <vector>
+
+#include "network/torus.hpp"
+
+namespace xts::net {
+
+class LanePartition {
+ public:
+  /// Partition \p dims into at most \p lanes slabs along the longest
+  /// dimension (ties broken x before y before z).  The realized lane
+  /// count is min(lanes, longest extent) — a torus cannot host more
+  /// slabs than it has planes.  lanes >= 1.
+  [[nodiscard]] static LanePartition build(const TorusDims& dims, int lanes);
+
+  /// Realized lane count, >= 1.
+  [[nodiscard]] int lanes() const noexcept { return lanes_; }
+  /// The sliced dimension: 0 = x, 1 = y, 2 = z.
+  [[nodiscard]] int axis() const noexcept { return axis_; }
+  [[nodiscard]] const TorusDims& dims() const noexcept { return dims_; }
+
+  /// Lane of a node, O(1).
+  [[nodiscard]] int lane_of(NodeId node) const {
+    return lane_of_coord(axis_coord(node));
+  }
+
+  /// Lane of a coordinate value along the sliced axis: the balanced
+  /// slab floor(c * lanes / extent).
+  [[nodiscard]] int lane_of_coord(int c) const noexcept {
+    return static_cast<int>((static_cast<std::int64_t>(c) * lanes_) /
+                            extent_);
+  }
+
+  /// First (inclusive) and last (exclusive) axis coordinate of a lane's
+  /// slab — exposed so tests can assert contiguity and balance.
+  [[nodiscard]] int slab_begin(int lane) const noexcept {
+    return static_cast<int>((static_cast<std::int64_t>(lane) * extent_ +
+                             lanes_ - 1) / lanes_);
+  }
+  [[nodiscard]] int slab_end(int lane) const noexcept {
+    return slab_begin(lane + 1);
+  }
+
+  /// Minimum torus hops between nodes of two distinct lanes: adjacent
+  /// slabs (including the wraparound pair) share a face, so 1 whenever
+  /// there is more than one lane.
+  [[nodiscard]] int min_cross_lane_hops() const noexcept {
+    return lanes_ > 1 ? 1 : 0;
+  }
+
+ private:
+  LanePartition(const TorusDims& dims, int axis, int lanes)
+      : dims_(dims), axis_(axis), lanes_(lanes) {
+    extent_ = axis == 0 ? dims.x : axis == 1 ? dims.y : dims.z;
+  }
+
+  /// Coordinate of \p node along the sliced axis (the Torus3D id
+  /// layout: id = (x * dims.y + y) * dims.z + z).
+  [[nodiscard]] int axis_coord(NodeId node) const {
+    if (node < 0 || node >= dims_.count())
+      throw UsageError("LanePartition: node id out of range");
+    switch (axis_) {
+      case 0: return node / (dims_.y * dims_.z);
+      case 1: return (node / dims_.z) % dims_.y;
+      default: return node % dims_.z;
+    }
+  }
+
+  TorusDims dims_;
+  int axis_ = 0;
+  int lanes_ = 1;
+  int extent_ = 1;
+};
+
+}  // namespace xts::net

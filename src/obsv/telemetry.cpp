@@ -17,6 +17,7 @@
 
 #include "core/error.hpp"
 #include "core/hostprof.hpp"
+#include "core/lanes.hpp"
 
 namespace xts::obsv {
 
@@ -182,9 +183,15 @@ std::string breakdown_json_locked(State& s) {
   // single-lane run shares sum to ~1 by construction; overlapping
   // lanes (pool workers, the sampler) can push the tracked sum past
   // wall — that is CPU-seconds, not an accounting bug.
+  // Lane drain/refill run on the main thread too (inside run()), so
+  // they belong in the tile — ScopedHostTimer carves them out of
+  // kEngine there; worker-side drain time lands on top of the pool
+  // lanes' kPoolWork and only pushes the tracked sum up.
   const HostSubsys main_lane[] = {HostSubsys::kEngine, HostSubsys::kRates,
                                   HostSubsys::kExport,
-                                  HostSubsys::kTelemetry};
+                                  HostSubsys::kTelemetry,
+                                  HostSubsys::kLaneDrain,
+                                  HostSubsys::kLaneRefill};
   double tracked = 0.0;
   for (const HostSubsys sub : main_lane) tracked += tot[sub];
   const double other = std::max(0.0, wall - tracked);
@@ -213,6 +220,23 @@ std::string breakdown_json_locked(State& s) {
     if (lw + li <= 0.0) continue;  // not a pool lane
     r += (first ? "" : ",");
     r += "{\"work_s\":" + num(lw) + ",\"idle_s\":" + num(li) + "}";
+    first = false;
+  }
+  r += "]}";
+
+  // Event-lane telemetry (conservative intra-World lanes; empty when
+  // lane mode never engaged).  Per-lane executed counts expose lane
+  // imbalance; deferred counts cross-lane (mailbox) traffic.
+  const LaneTelemetry lt = lanes_telemetry_snapshot();
+  r += ",\"event_lanes\":{\"windows\":" + unum(lt.windows) + ",\"lanes\":[";
+  first = true;
+  for (const LaneCounters& lc : lt.lanes) {
+    r += (first ? "" : ",");
+    r += "{\"scheduled\":" + unum(lc.scheduled) +
+         ",\"executed\":" + unum(lc.executed) +
+         ",\"deferred\":" + unum(lc.deferred) +
+         ",\"drain_s\":" + num(lc.drain_s) +
+         ",\"refill_s\":" + num(lc.refill_s) + "}";
     first = false;
   }
   r += "]}";
@@ -260,6 +284,7 @@ void start(const TelemetryOptions& opt) {
   }
   s.t0 = std::chrono::steady_clock::now();
   HostProfile::reset();
+  lanes_telemetry_reset();
   HostProfile::enable(true);
   if (s.stream.is_open()) {
     s.stream << "{\"xtsim_telemetry\":1,\"schema\":1,\"kind\":\"start\""

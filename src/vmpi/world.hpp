@@ -36,6 +36,7 @@
 #include "machine/config.hpp"
 #include "machine/node.hpp"
 #include "network/flow_network.hpp"
+#include "network/lane_partition.hpp"
 #include "obsv/session.hpp"
 #include "vmpi/message.hpp"
 
@@ -60,6 +61,13 @@ struct WorldConfig {
   /// (`--world-threads=N`); 1 is the exact serial engine.  Any value
   /// produces byte-identical output.
   int world_threads = 0;
+  /// Event lanes for intra-World parallel event execution (conservative
+  /// torus-partition windows; see docs/PARALLELISM.md).  0 defers to
+  /// the process default (`--world-lanes=N`), which itself defaults to
+  /// the resolved thread count; 1 disables lane mode.  The realized
+  /// count is capped by the torus's longest dimension.  Any value
+  /// produces byte-identical output.
+  int world_lanes = 0;
 };
 
 /// One delivered message (legacy trace mode).  Kept as a thin
@@ -89,6 +97,24 @@ class World {
   [[nodiscard]] int nranks() const noexcept { return cfg_.nranks; }
   [[nodiscard]] const WorldConfig& config() const noexcept { return cfg_; }
   [[nodiscard]] net::FlowNetwork& network() noexcept { return *network_; }
+
+  /// Realized event-lane count (0 when lane mode is off).
+  [[nodiscard]] int world_lanes() const noexcept {
+    return engine_.lane_count();
+  }
+  /// The engine's conservative window width (0 when lane mode is off).
+  [[nodiscard]] SimTime lane_lookahead() const noexcept {
+    return engine_.lane_lookahead();
+  }
+  /// Event lane of a rank: the torus-region slab of its node (0 when
+  /// lane mode is off).
+  [[nodiscard]] int lane_of_rank(int rank) const {
+    return lane_part_ != nullptr ? lane_part_->lane_of(node_of(rank)) : 0;
+  }
+  /// Null when lane mode is off.
+  [[nodiscard]] const net::LanePartition* lane_partition() const noexcept {
+    return lane_part_.get();
+  }
 
   [[nodiscard]] net::NodeId node_of(int rank) const;
   [[nodiscard]] int core_of(int rank) const;
@@ -160,6 +186,9 @@ class World {
   // installed into engine_ so subsystems can fan out pure per-index
   // work (core/parallel.hpp).
   std::unique_ptr<ParallelPool> pool_;
+  // Torus-region lane partition (null when lane mode is off); the
+  // engine holds the lane queues, this maps nodes/ranks to lanes.
+  std::unique_ptr<net::LanePartition> lane_part_;
   std::vector<std::unique_ptr<machine::Node>> nodes_;
   std::unique_ptr<net::FlowNetwork> network_;
   // -- per-rank state, struct-of-arrays and sized for million-rank

@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/error.hpp"
+
+namespace xts {
+namespace {
+
+// Event log entry: (sim time, event id).  Serial and lane engines must
+// produce bitwise-equal logs for the same scripted workload.
+using Log = std::vector<std::pair<SimTime, int>>;
+
+// Deterministic xorshift so the workload is identical across engines.
+struct Rng {
+  std::uint64_t s = 0x9e3779b97f4a7c15ULL;
+  std::uint64_t next() {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    return s;
+  }
+};
+
+// A self-expanding workload: every event logs itself, then spawns up
+// to two children at pseudo-random delays (including zero) into
+// pseudo-random lanes, until the budget runs out.  Ids are assigned in
+// schedule order, so equal logs mean equal schedule AND execute order.
+Log run_workload(Engine& e, int lanes, int budget) {
+  Log log;
+  Rng rng;
+  int next_id = 0;
+  const double delays[] = {0.0, 0.1, 0.7, 1.3, 2.9};
+  std::function<void(int)> body = [&](int id) {
+    log.emplace_back(e.now(), id);
+    for (int c = 0; c < 2 && next_id < budget; ++c) {
+      const double d = delays[rng.next() % 5];
+      // Draw unconditionally so the delay stream is identical whether
+      // or not the engine is in lane mode.
+      const std::uint64_t lane_draw = rng.next();
+      const int lane =
+          lanes > 0
+              ? static_cast<int>(lane_draw % static_cast<unsigned>(lanes))
+              : 0;
+      const int child = next_id++;
+      const Engine::LaneScope scope(e, lane);
+      e.schedule_after(d, [&body, child] { body(child); });
+    }
+  };
+  for (int i = 0; i < 8 && next_id < budget; ++i) {
+    const int id = next_id++;
+    const Engine::LaneScope scope(e, lanes > 0 ? i % lanes : 0);
+    e.schedule_at(0.0, [&body, id] { body(id); });
+  }
+  e.run();
+  return log;
+}
+
+TEST(LaneEngine, MatchesSerialBitwise) {
+  Engine serial;
+  const Log want = run_workload(serial, 0, 400);
+  for (const int lanes : {1, 2, 4, 7}) {
+    Engine laned;
+    laned.enable_lanes(lanes, 0.5);
+    const Log got = run_workload(laned, lanes, 400);
+    EXPECT_EQ(got, want) << "lanes=" << lanes;
+    EXPECT_EQ(laned.now(), serial.now());
+    EXPECT_EQ(laned.events_processed(), serial.events_processed());
+  }
+}
+
+// Zero-delay storm: same-instant events spawning same-instant events
+// across lanes must keep exact serial FIFO order (the wfifo path).
+TEST(LaneEngine, ZeroDelayStormKeepsScheduleOrder) {
+  auto storm = [](Engine& e, int lanes) {
+    std::vector<int> order;
+    int next_id = 0;
+    std::function<void(int, int)> body = [&](int id, int depth) {
+      order.push_back(id);
+      if (depth >= 3) return;
+      for (int c = 0; c < 2; ++c) {
+        const int child = next_id++;
+        const Engine::LaneScope scope(
+            e, lanes > 0 ? child % lanes : 0);
+        e.schedule_after(0.0,
+                         [&body, child, depth] { body(child, depth + 1); });
+      }
+    };
+    for (int i = 0; i < 4; ++i) {
+      const int id = next_id++;
+      e.schedule_at(1.0, [&body, id] { body(id, 0); });
+    }
+    e.run();
+    return order;
+  };
+  Engine serial;
+  const std::vector<int> want = storm(serial, 0);
+  Engine laned;
+  laned.enable_lanes(4, 0.25);
+  EXPECT_EQ(storm(laned, 4), want);
+}
+
+TEST(LaneEngine, RunUntilStopsAtBoundAndResumes) {
+  Engine e;
+  e.enable_lanes(3, 1.0);
+  std::vector<double> fired;
+  for (const double t : {1.0, 2.0, 5.0, 9.0}) {
+    const Engine::LaneScope scope(e, static_cast<int>(t) % 3);
+    e.schedule_at(t, [&fired, &e] { fired.push_back(e.now()); });
+  }
+  EXPECT_FALSE(e.run_until(4.0));
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(e.now(), 4.0);
+  EXPECT_EQ(e.events_pending(), 2u);
+  EXPECT_TRUE(e.run_until(10.0));
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0, 5.0, 9.0}));
+}
+
+TEST(LaneEngine, StepIsUnavailable) {
+  Engine e;
+  e.enable_lanes(2, 1.0);
+  e.schedule_at(1.0, [] {});
+  EXPECT_THROW(e.step(), UsageError);
+  e.run();
+}
+
+TEST(LaneEngine, EnableValidatesArguments) {
+  Engine e;
+  EXPECT_THROW(e.enable_lanes(0, 1.0), UsageError);
+  EXPECT_THROW(e.enable_lanes(2, -1.0), UsageError);
+  EXPECT_THROW(
+      e.enable_lanes(2, std::numeric_limits<double>::infinity()),
+      UsageError);
+  e.schedule_at(1.0, [] {});
+  EXPECT_THROW(e.enable_lanes(2, 1.0), UsageError);  // non-empty queue
+  e.run();
+  e.enable_lanes(2, 1.0);
+  EXPECT_THROW(e.enable_lanes(2, 1.0), UsageError);  // already enabled
+  EXPECT_TRUE(e.lanes_enabled());
+  EXPECT_EQ(e.lane_count(), 2);
+  EXPECT_DOUBLE_EQ(e.lane_lookahead(), 1.0);
+}
+
+// A handler throwing mid-window must not lose the un-executed tail:
+// the engine requeues it and a later run() executes it in order.
+TEST(LaneEngine, ExceptionMidWindowRestoresQueue) {
+  Engine e;
+  e.enable_lanes(2, 10.0);  // wide horizon: one window holds everything
+  std::vector<int> fired;
+  e.schedule_at(1.0, [&] { fired.push_back(1); });
+  e.schedule_at(2.0, [] { throw SimError("boom"); });
+  {
+    const Engine::LaneScope scope(e, 1);
+    e.schedule_at(3.0, [&] { fired.push_back(3); });
+    e.schedule_at(4.0, [&] { fired.push_back(4); });
+  }
+  EXPECT_THROW(e.run(), SimError);
+  EXPECT_EQ(fired, (std::vector<int>{1}));
+  EXPECT_EQ(e.events_pending(), 2u);
+  e.run();
+  EXPECT_EQ(fired, (std::vector<int>{1, 3, 4}));
+  EXPECT_EQ(e.events_pending(), 0u);
+}
+
+TEST(LaneEngine, LaneTagRoutingAndScope) {
+  Engine e;
+  e.enable_lanes(3, 1.0);
+  EXPECT_EQ(e.current_lane(), 0);
+  {
+    const Engine::LaneScope scope(e, 2);
+    EXPECT_EQ(e.current_lane(), 2);
+    {
+      const Engine::LaneScope inner(e, 1);
+      EXPECT_EQ(e.current_lane(), 1);
+    }
+    EXPECT_EQ(e.current_lane(), 2);
+  }
+  EXPECT_EQ(e.current_lane(), 0);
+  EXPECT_THROW(e.set_current_lane(3), UsageError);
+  EXPECT_THROW(e.set_current_lane(-1), UsageError);
+  Engine off;
+  off.set_current_lane(7);  // no-op when lane mode is off
+  EXPECT_EQ(off.current_lane(), 0);
+}
+
+// Per-lane counters: every scheduled event executes exactly once, in
+// the lane it was tagged with, and deferred counts the cross-window
+// (mailbox) traffic created by scheduling beyond the horizon.
+TEST(LaneEngine, CountersTallyScheduledExecutedDeferred) {
+  Engine e;
+  e.enable_lanes(2, 0.5);
+  std::function<void(int)> chain = [&](int n) {
+    if (n == 0) return;
+    // Beyond the 0.5 horizon and tagged for the other lane: must go
+    // through that lane's mailbox at the window boundary.
+    const Engine::LaneScope scope(e, n % 2);
+    e.schedule_after(1.0, [&chain, n] { chain(n - 1); });
+  };
+  e.schedule_at(0.0, [&chain] { chain(10); });
+  e.run();
+  const auto& counters = e.lane_counters();
+  ASSERT_EQ(counters.size(), 2u);
+  std::uint64_t scheduled = 0;
+  std::uint64_t executed = 0;
+  std::uint64_t deferred = 0;
+  for (const LaneCounters& c : counters) {
+    scheduled += c.scheduled;
+    executed += c.executed;
+    deferred += c.deferred;
+  }
+  EXPECT_EQ(scheduled, 11u);
+  EXPECT_EQ(executed, 11u);
+  EXPECT_GT(deferred, 0u);
+  EXPECT_GT(e.lane_windows(), 1u);
+  Engine off;
+  EXPECT_THROW((void)off.lane_counters(), UsageError);
+}
+
+}  // namespace
+}  // namespace xts

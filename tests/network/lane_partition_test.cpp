@@ -1,0 +1,116 @@
+#include "network/lane_partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/error.hpp"
+#include "network/torus.hpp"
+
+namespace xts::net {
+namespace {
+
+TEST(LanePartition, PicksLongestAxis) {
+  EXPECT_EQ(LanePartition::build({2, 8, 4}, 2).axis(), 1);
+  EXPECT_EQ(LanePartition::build({2, 4, 8}, 2).axis(), 2);
+  EXPECT_EQ(LanePartition::build({8, 4, 2}, 2).axis(), 0);
+}
+
+TEST(LanePartition, TieBreaksXBeforeYBeforeZ) {
+  EXPECT_EQ(LanePartition::build({4, 4, 2}, 2).axis(), 0);
+  EXPECT_EQ(LanePartition::build({2, 4, 4}, 2).axis(), 1);
+  EXPECT_EQ(LanePartition::build({4, 4, 4}, 2).axis(), 0);
+}
+
+TEST(LanePartition, EveryNodeInExactlyOneLane) {
+  const TorusDims dims{5, 7, 3};
+  const LanePartition part = LanePartition::build(dims, 4);
+  ASSERT_EQ(part.lanes(), 4);
+  std::vector<int> per_lane(4, 0);
+  const int n = dims.x * dims.y * dims.z;
+  for (NodeId id = 0; id < n; ++id) {
+    const int lane = part.lane_of(id);
+    ASSERT_GE(lane, 0);
+    ASSERT_LT(lane, part.lanes());
+    ++per_lane[static_cast<std::size_t>(lane)];
+  }
+  int total = 0;
+  for (const int c : per_lane) {
+    EXPECT_GT(c, 0);  // no empty lane when lanes <= extent
+    total += c;
+  }
+  EXPECT_EQ(total, n);
+}
+
+TEST(LanePartition, SlabsAreContiguousAndCoverTheAxis) {
+  const TorusDims dims{3, 3, 11};
+  const LanePartition part = LanePartition::build(dims, 4);
+  ASSERT_EQ(part.axis(), 2);
+  EXPECT_EQ(part.slab_begin(0), 0);
+  EXPECT_EQ(part.slab_end(part.lanes() - 1), 11);
+  for (int l = 0; l + 1 < part.lanes(); ++l)
+    EXPECT_EQ(part.slab_end(l), part.slab_begin(l + 1));
+  for (int l = 0; l < part.lanes(); ++l)
+    for (int c = part.slab_begin(l); c < part.slab_end(l); ++c)
+      EXPECT_EQ(part.lane_of_coord(c), l);
+}
+
+TEST(LanePartition, SlabSizesBalancedWithinOne) {
+  for (const int extent : {7, 8, 13}) {
+    const LanePartition part =
+        LanePartition::build({extent, 2, 2}, 4);
+    int smallest = extent;
+    int largest = 0;
+    for (int l = 0; l < part.lanes(); ++l) {
+      const int size = part.slab_end(l) - part.slab_begin(l);
+      smallest = std::min(smallest, size);
+      largest = std::max(largest, size);
+    }
+    EXPECT_LE(largest - smallest, 1) << "extent " << extent;
+  }
+}
+
+TEST(LanePartition, LaneCountCappedAtLongestExtent) {
+  const LanePartition part = LanePartition::build({4, 2, 2}, 16);
+  EXPECT_EQ(part.lanes(), 4);
+  EXPECT_EQ(part.axis(), 0);
+}
+
+TEST(LanePartition, SingleLaneHasNoCrossHops) {
+  const LanePartition part = LanePartition::build({4, 4, 4}, 1);
+  EXPECT_EQ(part.lanes(), 1);
+  EXPECT_EQ(part.min_cross_lane_hops(), 0);
+  EXPECT_EQ(part.lane_of(0), 0);
+  EXPECT_EQ(part.lane_of(63), 0);
+}
+
+// Adjacent slabs touch: the boundary coords differ by one hop along
+// the partition axis, so one hop is always enough to cross lanes —
+// this is what makes min_cross_lane_hops() == 1 the safe (minimum)
+// cross-partition distance for the lookahead.
+TEST(LanePartition, SlabBoundariesAreTorusAdjacent) {
+  const TorusDims dims{8, 4, 4};
+  const Torus3D torus(dims);
+  const LanePartition part = LanePartition::build(dims, 4);
+  ASSERT_EQ(part.axis(), 0);
+  EXPECT_EQ(part.min_cross_lane_hops(), 1);
+  for (int l = 0; l + 1 < part.lanes(); ++l) {
+    const NodeId last =
+        torus.id_of({part.slab_end(l) - 1, 0, 0});
+    const NodeId first = torus.id_of({part.slab_end(l), 0, 0});
+    EXPECT_EQ(part.lane_of(last), l);
+    EXPECT_EQ(part.lane_of(first), l + 1);
+    EXPECT_EQ(torus.hop_count(last, first), 1);
+  }
+}
+
+TEST(LanePartition, ValidatesInput) {
+  EXPECT_THROW((void)LanePartition::build({0, 4, 4}, 2), UsageError);
+  EXPECT_THROW((void)LanePartition::build({4, 4, 4}, 0), UsageError);
+  const LanePartition part = LanePartition::build({4, 4, 4}, 2);
+  EXPECT_THROW((void)part.lane_of(-1), UsageError);
+  EXPECT_THROW((void)part.lane_of(64), UsageError);
+}
+
+}  // namespace
+}  // namespace xts::net
