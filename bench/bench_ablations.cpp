@@ -18,6 +18,8 @@
 #include <vector>
 
 #include "apps/pop.hpp"
+#include "cache/scenario.hpp"
+#include "cache/store.hpp"
 #include "core/report.hpp"
 #include "obsv/export.hpp"
 #include "core/units.hpp"
@@ -32,6 +34,7 @@ int main(int argc, char** argv) {
   const auto opt =
       BenchOptions::parse(argc, argv, "Design-choice ablation benches");
   obsv::arm_cli(opt);
+  cache::arm_cli(opt);
 
   // --- 1. VN forwarding delay sweep ---
   {
@@ -40,15 +43,26 @@ int main(int argc, char** argv) {
       hpcc::NetResult lat;
       double gups = 0.0;
     };
+    // Mutated machines are built up front so the scenario key sees the
+    // ablated parameter (add_machine covers every field).
+    std::vector<machine::MachineConfig> machines;
+    for (const double fd : delays) {
+      auto m = machine::xt4();
+      m.nic.vn_forward_delay = fd * us;
+      machines.push_back(std::move(m));
+    }
     std::vector<std::function<R()>> points;
-    for (const double fd : delays)
-      points.emplace_back([fd] {
-        auto m = machine::xt4();
-        m.nic.vn_forward_delay = fd * us;
+    std::vector<cache::Key> keys;
+    for (const auto& m : machines) {
+      points.emplace_back([&m] {
         return R{hpcc::net_latency(m, ExecMode::kVN, 32),
                  hpcc::mpira_gups(m, ExecMode::kVN, 32)};
       });
-    const auto results = runner::sweep(std::move(points), opt.jobs);
+      keys.push_back(
+          cache::scenario("ablation.vn_forward", m, ExecMode::kVN, 32)
+              .done());
+    }
+    const auto results = runner::sweep(std::move(points), opt.jobs, {}, keys);
 
     Table t("Ablation: VN NIC forwarding delay -> VN-mode MPI latency",
             {"forward_delay_us", "PPmax_us", "RandRing_us", "MPI-RA GUPS"});
@@ -71,12 +85,18 @@ int main(int argc, char** argv) {
       hpcc::SpEp st, ra, ff;
     };
     std::vector<std::function<R()>> points;
-    for (const auto& m : machines)
+    std::vector<cache::Key> keys;
+    for (const auto& m : machines) {
       points.emplace_back([&m] {
         return R{hpcc::stream_triad_gbs(m), hpcc::random_access_gups(m),
                  hpcc::fft_gflops(m)};
       });
-    const auto results = runner::sweep(std::move(points), opt.jobs);
+      cache::Fingerprint fp;
+      fp.add("workload", "ablation.memory_gen");
+      cache::add_machine(fp, m);
+      keys.push_back(fp.done());
+    }
+    const auto results = runner::sweep(std::move(points), opt.jobs, {}, keys);
 
     Table t("Ablation: memory generation -> locality quadrants (per core)",
             {"memory", "STREAM SP GB/s", "STREAM EP GB/s", "RA SP GUPS",
@@ -97,12 +117,18 @@ int main(int argc, char** argv) {
       hpcc::SpEp dg, st, ra;
     };
     std::vector<std::function<R()>> points;
-    for (const auto& m : machines)
+    std::vector<cache::Key> keys;
+    for (const auto& m : machines) {
       points.emplace_back([&m] {
         return R{hpcc::dgemm_gflops(m), hpcc::stream_triad_gbs(m),
                  hpcc::random_access_gups(m)};
       });
-    const auto results = runner::sweep(std::move(points), opt.jobs);
+      cache::Fingerprint fp;
+      fp.add("workload", "ablation.socket");
+      cache::add_machine(fp, m);
+      keys.push_back(fp.done());
+    }
+    const auto results = runner::sweep(std::move(points), opt.jobs, {}, keys);
 
     Table t("Ablation: dual vs quad core socket (per-core EP values)",
             {"socket", "DGEMM GFLOPS", "STREAM GB/s", "RA GUPS"});
@@ -126,13 +152,20 @@ int main(int argc, char** argv) {
         {"reduce+bcast", vmpi::AllreduceAlgo::kReduceBcast},
     };
     std::vector<std::function<double()>> points;
-    for (const auto& [name, algo] : algos)
-      points.emplace_back([cfg, algo, n]() mutable {
-        cfg.allreduce = algo;
-        return apps::run_pop(machine::xt4(), ExecMode::kVN, n, cfg)
+    std::vector<cache::Key> keys;
+    for (const auto& [name, algo] : algos) {
+      apps::PopConfig pc = cfg;
+      pc.allreduce = algo;
+      points.emplace_back([pc, n] {
+        return apps::run_pop(machine::xt4(), ExecMode::kVN, n, pc)
             .barotropic_seconds_per_day;
       });
-    const auto results = runner::sweep(std::move(points), opt.jobs);
+      auto fp = cache::scenario("ablation.pop_allreduce", machine::xt4(),
+                                ExecMode::kVN, n);
+      cache::add_pop(fp, pc);
+      keys.push_back(fp.done());
+    }
+    const auto results = runner::sweep(std::move(points), opt.jobs, {}, keys);
 
     Table t("Ablation: allreduce algorithm -> POP barotropic (s/day)",
             {"algorithm", "VN barotropic"});
@@ -162,6 +195,7 @@ int main(int argc, char** argv) {
     };
     std::vector<std::function<double()>> points;
     std::vector<double> weights;
+    std::vector<cache::Key> keys;
     for (const int n : ns) {
       points.emplace_back([&timed, n] { return timed(machine::xt4(), n); });
       points.emplace_back([&timed, n] {
@@ -169,8 +203,18 @@ int main(int argc, char** argv) {
       });
       weights.push_back(static_cast<double>(n));
       weights.push_back(static_cast<double>(n));
+      // WorldConfig defaults here: VN mode; noise fields distinguish
+      // the two machines inside add_machine.
+      keys.push_back(cache::scenario("ablation.os_jitter", machine::xt4(),
+                                     ExecMode::kVN, n)
+                         .done());
+      keys.push_back(cache::scenario("ablation.os_jitter",
+                                     machine::with_os_noise(machine::xt4()),
+                                     ExecMode::kVN, n)
+                         .done());
     }
-    const auto results = runner::sweep(std::move(points), opt.jobs, weights);
+    const auto results =
+        runner::sweep(std::move(points), opt.jobs, weights, keys);
 
     Table t("Ablation: OS jitter -> bulk-synchronous slowdown vs ranks",
             {"ranks", "Catamount (s)", "full-OS jitter (s)", "slowdown"});
@@ -204,13 +248,21 @@ int main(int argc, char** argv) {
     };
     std::vector<std::function<double()>> points;
     std::vector<double> weights;
+    std::vector<cache::Key> keys;
     for (const int n : ns) {
       for (const auto f : {net::Fairness::kMinShare, net::Fairness::kMaxMin}) {
         points.emplace_back([&timed, f, n] { return timed(f, n); });
         weights.push_back(static_cast<double>(n));
+        // Fairness is a WorldConfig knob, not a machine field — add it
+        // explicitly.
+        auto fp = cache::scenario("ablation.fairness", machine::xt4(),
+                                  ExecMode::kSN, n);
+        fp.add("fairness", static_cast<int>(f));
+        keys.push_back(fp.done());
       }
     }
-    const auto results = runner::sweep(std::move(points), opt.jobs, weights);
+    const auto results =
+        runner::sweep(std::move(points), opt.jobs, weights, keys);
 
     Table t("Ablation: flow-rate policy -> contended-exchange time",
             {"ranks", "min-share (ms)", "max-min (ms)"});

@@ -12,12 +12,27 @@
 
 #include "apps/cam.hpp"
 #include "apps/s3d.hpp"
+#include "cache/scenario.hpp"
+#include "cache/store.hpp"
 #include "core/report.hpp"
 #include "core/units.hpp"
 #include "lustre/lustre.hpp"
 #include "machine/presets.hpp"
 #include "obsv/export.hpp"
 #include "runner/sweep.hpp"
+
+namespace {
+
+xts::cache::Key checkpoint_key(const xts::lustre::LustreConfig& fs,
+                               const xts::lustre::CheckpointConfig& ck) {
+  xts::cache::Fingerprint fp;
+  fp.add("workload", "lustre.checkpoint");
+  xts::cache::add_lustre(fp, fs, "lustre");
+  xts::cache::add_checkpoint(fp, ck);
+  return fp.done();
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace xts;
@@ -27,6 +42,7 @@ int main(int argc, char** argv) {
       argc, argv,
       "Checkpoint/restart workloads on the Lustre model (defensive I/O)");
   obsv::arm_cli(opt);
+  cache::arm_cli(opt);
 
   lustre::LustreConfig fs;  // 18 OSS x 4 OST, 250 MB/s each
 
@@ -42,6 +58,7 @@ int main(int argc, char** argv) {
 
   std::vector<std::function<lustre::CheckpointResult()>> points;
   std::vector<double> weights;
+  std::vector<cache::Key> keys;
   for (const int clients : client_counts) {
     lustre::CheckpointConfig ck;
     ck.clients = clients;
@@ -51,6 +68,7 @@ int main(int argc, char** argv) {
     ck.rounds = 2;
     points.emplace_back([&fs, ck] { return run_checkpoint(fs, ck); });
     weights.push_back(clients * ck.bytes_per_client);
+    keys.push_back(checkpoint_key(fs, ck));
   }
   const bool shared_flags[] = {false, true};
   for (const bool shared : shared_flags) {
@@ -62,8 +80,10 @@ int main(int argc, char** argv) {
     points.emplace_back(
         [&fs_lock, ck] { return run_checkpoint(fs_lock, ck); });
     weights.push_back(ck.clients * ck.bytes_per_client);
+    keys.push_back(checkpoint_key(fs_lock, ck));
   }
-  const auto results = runner::sweep(std::move(points), opt.jobs, weights);
+  const auto results =
+      runner::sweep(std::move(points), opt.jobs, weights, keys);
 
   {
     Table t("Checkpoint: file-per-process, stripe 1, 2 rounds",

@@ -6,6 +6,8 @@
 #include <iostream>
 #include <vector>
 
+#include "cache/scenario.hpp"
+#include "cache/store.hpp"
 #include "core/report.hpp"
 #include "obsv/export.hpp"
 #include "core/units.hpp"
@@ -19,6 +21,7 @@ int main(int argc, char** argv) {
   const auto opt = BenchOptions::parse(
       argc, argv, "Figure 3: HPCC network bandwidth (GB/s)");
   obsv::arm_cli(opt);
+  cache::arm_cli(opt);
   const int n = opt.quick ? 16 : (opt.full ? 256 : 64);
 
   struct Row {
@@ -35,12 +38,16 @@ int main(int argc, char** argv) {
 
   std::vector<std::function<hpcc::NetResult()>> points;
   std::vector<double> weights;
+  std::vector<cache::Key> keys;
   for (const Row& r : rows) {
     points.emplace_back(
         [&r] { return hpcc::net_bandwidth(r.m, r.mode, r.ranks); });
     weights.push_back(static_cast<double>(r.ranks));
+    keys.push_back(
+        cache::scenario("hpcc.net_bandwidth", r.m, r.mode, r.ranks).done());
   }
-  const auto results = runner::sweep(std::move(points), opt.jobs, weights);
+  const auto results =
+      runner::sweep(std::move(points), opt.jobs, weights, keys);
 
   Table t("Figure 3: Network bandwidth (GB/s)",
           {"system", "PPmin", "PPavg", "PPmax", "Nat.Ring", "Rand.Ring"});

@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "cache/scenario.hpp"
+#include "cache/store.hpp"
 #include "core/report.hpp"
 #include "obsv/export.hpp"
 #include "hpcc/hpcc.hpp"
@@ -25,6 +27,7 @@ using xts::machine::MachineConfig;
 
 struct Figure {
   const char* title;
+  const char* workload;  ///< scenario-cache descriptor
   SpEp (*bench)(const MachineConfig&);
   int digits;
 };
@@ -53,24 +56,36 @@ int main(int argc, char** argv) {
       "Figures 4-7: SP/EP FFT (GFLOPS), DGEMM (GFLOPS), RandomAccess "
       "(GUPS), STREAM Triad (GB/s)");
   obsv::arm_cli(opt);
+  cache::arm_cli(opt);
 
   const std::vector<Figure> figures = {
-      {"Figure 4: SP/EP FFT (GFLOPS)", hpcc::fft_gflops, 3},
-      {"Figure 5: SP/EP DGEMM (GFLOPS)", hpcc::dgemm_gflops, 3},
-      {"Figure 6: SP/EP RandomAccess (GUPS)", hpcc::random_access_gups, 4},
-      {"Figure 7: SP/EP STREAM Triad (GB/s)", hpcc::stream_triad_gbs, 3},
+      {"Figure 4: SP/EP FFT (GFLOPS)", "hpcc.spep.fft", hpcc::fft_gflops, 3},
+      {"Figure 5: SP/EP DGEMM (GFLOPS)", "hpcc.spep.dgemm",
+       hpcc::dgemm_gflops, 3},
+      {"Figure 6: SP/EP RandomAccess (GUPS)", "hpcc.spep.ra",
+       hpcc::random_access_gups, 4},
+      {"Figure 7: SP/EP STREAM Triad (GB/s)", "hpcc.spep.stream",
+       hpcc::stream_triad_gbs, 3},
   };
   const auto xt3 = machine::xt3_single_core();
   const auto xt4 = machine::xt4();
 
   // Two points per figure (XT3 and XT4); XT4-SN/VN are derived from the
-  // same SpEp result, matching the paper's presentation.
+  // same SpEp result, matching the paper's presentation.  The node-local
+  // quadrant has no mode/rank axes, so the key is workload x machine.
   std::vector<std::function<SpEp()>> points;
+  std::vector<cache::Key> keys;
   for (const Figure& fig : figures) {
     points.emplace_back([&fig, &xt3] { return fig.bench(xt3); });
     points.emplace_back([&fig, &xt4] { return fig.bench(xt4); });
+    for (const auto* m : {&xt3, &xt4}) {
+      cache::Fingerprint fp;
+      fp.add("workload", fig.workload);
+      cache::add_machine(fp, *m);
+      keys.push_back(fp.done());
+    }
   }
-  const auto results = runner::sweep(std::move(points), opt.jobs);
+  const auto results = runner::sweep(std::move(points), opt.jobs, {}, keys);
 
   for (std::size_t i = 0; i < figures.size(); ++i)
     render(figures[i], results[2 * i], results[2 * i + 1], opt);

@@ -13,6 +13,8 @@
 #include <iostream>
 #include <vector>
 
+#include "cache/scenario.hpp"
+#include "cache/store.hpp"
 #include "core/report.hpp"
 #include "obsv/export.hpp"
 #include "hpcc/hpcc.hpp"
@@ -30,6 +32,7 @@ using GlobalBench =
 
 struct Figure {
   const char* title;
+  const char* workload;  ///< scenario-cache descriptor
   GlobalBench bench;
   int digits;
 };
@@ -48,6 +51,7 @@ int main(int argc, char** argv) {
       "Figures 8-11: global HPL (TFLOPS), MPI-FFT (GFLOPS), PTRANS (GB/s), "
       "MPI RandomAccess (GUPS)");
   obsv::arm_cli(opt);
+  cache::arm_cli(opt);
 
   const std::vector<int> counts =
       opt.quick ? std::vector<int>{16, 32}
@@ -55,10 +59,13 @@ int main(int argc, char** argv) {
                             : std::vector<int>{32, 64, 128, 256});
 
   const std::vector<Figure> figures = {
-      {"Figure 8: Global HPL (TFLOPS)", hpcc::hpl_tflops, 3},
-      {"Figure 9: Global MPI-FFT (GFLOPS)", hpcc::mpifft_gflops, 1},
-      {"Figure 10: Global PTRANS (GB/s)", hpcc::ptrans_gbs, 1},
-      {"Figure 11: Global MPI RandomAccess (GUPS)", hpcc::mpira_gups, 4},
+      {"Figure 8: Global HPL (TFLOPS)", "hpcc.hpl", hpcc::hpl_tflops, 3},
+      {"Figure 9: Global MPI-FFT (GFLOPS)", "hpcc.mpifft",
+       hpcc::mpifft_gflops, 1},
+      {"Figure 10: Global PTRANS (GB/s)", "hpcc.ptrans", hpcc::ptrans_gbs,
+       1},
+      {"Figure 11: Global MPI RandomAccess (GUPS)", "hpcc.mpira",
+       hpcc::mpira_gups, 4},
   };
 
   const auto xt3 = machine::xt3_single_core();
@@ -68,6 +75,7 @@ int main(int argc, char** argv) {
   // the result layout below is a simple stride walk.
   std::vector<std::function<double()>> points;
   std::vector<double> weights;  // rank count ~ simulation cost
+  std::vector<cache::Key> keys;
   points.reserve(figures.size() * counts.size() * kVariants);
   for (const Figure& fig : figures) {
     for (const int n : counts) {
@@ -84,6 +92,14 @@ int main(int argc, char** argv) {
       points.emplace_back([&bench, &xt4, n] {
         return bench(xt4, ExecMode::kVN, 2 * n);
       });
+      keys.push_back(
+          cache::scenario(fig.workload, xt3, ExecMode::kSN, n).done());
+      keys.push_back(
+          cache::scenario(fig.workload, xt4, ExecMode::kSN, n).done());
+      keys.push_back(
+          cache::scenario(fig.workload, xt4, ExecMode::kVN, n).done());
+      keys.push_back(
+          cache::scenario(fig.workload, xt4, ExecMode::kVN, 2 * n).done());
       for (int v = 0; v < kVariants - 1; ++v)
         weights.push_back(static_cast<double>(n));
       weights.push_back(static_cast<double>(2 * n));
@@ -91,7 +107,7 @@ int main(int argc, char** argv) {
   }
 
   const std::vector<double> values =
-      runner::sweep(std::move(points), opt.jobs, weights);
+      runner::sweep(std::move(points), opt.jobs, weights, keys);
 
   std::size_t at = 0;
   for (const Figure& fig : figures) {

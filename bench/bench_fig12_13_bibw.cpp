@@ -8,12 +8,31 @@
 #include <iostream>
 #include <vector>
 
+#include "cache/scenario.hpp"
+#include "cache/store.hpp"
 #include "core/report.hpp"
 #include "obsv/export.hpp"
 #include "core/units.hpp"
 #include "hpcc/hpcc.hpp"
 #include "machine/presets.hpp"
 #include "runner/sweep.hpp"
+
+namespace {
+
+/// Scenario key for one bidirectional-bandwidth point: pairs and the
+/// message size replace the usual rank-count axis.
+xts::cache::Key bibw_key(const xts::machine::MachineConfig& m,
+                         xts::machine::ExecMode mode, int pairs, double b) {
+  xts::cache::Fingerprint fp;
+  fp.add("workload", "hpcc.bibw")
+      .add("mode", xts::machine::to_string(mode))
+      .add("pairs", pairs)
+      .add("bytes", b);
+  xts::cache::add_machine(fp, m);
+  return fp.done();
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace xts;
@@ -23,6 +42,7 @@ int main(int argc, char** argv) {
       argc, argv,
       "Figures 12-13: bidirectional MPI bandwidth vs message size");
   obsv::arm_cli(opt);
+  cache::arm_cli(opt);
 
   std::vector<double> sizes;
   for (double b = 8.0; b <= (opt.quick ? 1.0 * MB : 16.0 * MB); b *= 4.0)
@@ -46,12 +66,14 @@ int main(int argc, char** argv) {
   };
   std::vector<std::function<hpcc::BiBw()>> points;
   std::vector<double> weights;
+  std::vector<cache::Key> keys;
   for (const double b : sizes) {
     for (const Variant& v : variants) {
       points.emplace_back([v, b] {
         return hpcc::bidirectional_bandwidth(*v.m, v.mode, v.pairs, b);
       });
       weights.push_back(b * v.pairs);
+      keys.push_back(bibw_key(*v.m, v.mode, v.pairs, b));
     }
   }
   for (const int pairs : {1, 2}) {
@@ -59,8 +81,10 @@ int main(int argc, char** argv) {
       return hpcc::bidirectional_bandwidth(xt4, ExecMode::kVN, pairs, 8.0);
     });
     weights.push_back(8.0 * pairs);
+    keys.push_back(bibw_key(xt4, ExecMode::kVN, pairs, 8.0));
   }
-  const auto results = runner::sweep(std::move(points), opt.jobs, weights);
+  const auto results =
+      runner::sweep(std::move(points), opt.jobs, weights, keys);
 
   Table t("Figures 12-13: Bidirectional MPI bandwidth (GB/s per pair)",
           {"bytes", "XT3-SC 1pair", "XT3-DC 1pair", "XT4 1pair",

@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "apps/cam.hpp"
+#include "cache/scenario.hpp"
+#include "cache/store.hpp"
 #include "core/report.hpp"
 #include "obsv/export.hpp"
 #include "machine/platforms.hpp"
@@ -24,6 +26,7 @@ int main(int argc, char** argv) {
       "Figures 14-16: CAM D-grid throughput (simulated years/day) and "
       "phase costs (s/day)");
   obsv::arm_cli(opt);
+  cache::arm_cli(opt);
 
   CamConfig cfg;
   cfg.sample_steps = opt.quick ? 1 : 2;
@@ -69,14 +72,19 @@ int main(int argc, char** argv) {
   };
   std::vector<std::function<CamResult()>> points;
   std::vector<double> weights;
+  std::vector<cache::Key> keys;
   for (const int n : counts) {
     for (const P& p : per_count) {
       points.emplace_back(
           [p, n, &cfg] { return run_cam(*p.m, p.mode, n, cfg); });
       weights.push_back(static_cast<double>(n));
+      auto fp = cache::scenario("apps.cam", *p.m, p.mode, n);
+      cache::add_cam(fp, cfg);
+      keys.push_back(fp.done());
     }
   }
-  const auto results = runner::sweep(std::move(points), opt.jobs, weights);
+  const auto results =
+      runner::sweep(std::move(points), opt.jobs, weights, keys);
   const std::size_t stride = per_count.size();
   const auto row = [&](std::size_t ci, std::size_t pi) -> const CamResult& {
     return results[ci * stride + pi];

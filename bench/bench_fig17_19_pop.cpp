@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "apps/pop.hpp"
+#include "cache/scenario.hpp"
+#include "cache/store.hpp"
 #include "core/report.hpp"
 #include "obsv/export.hpp"
 #include "machine/platforms.hpp"
@@ -25,6 +27,7 @@ int main(int argc, char** argv) {
       "Figures 17-19: POP 0.1-degree throughput (simulated years/day) and "
       "phase costs (s/day)");
   obsv::arm_cli(opt);
+  cache::arm_cli(opt);
 
   PopConfig cfg;
   cfg.sample_steps = 1;
@@ -72,14 +75,19 @@ int main(int argc, char** argv) {
   };
   std::vector<std::function<PopResult()>> points;
   std::vector<double> weights;
+  std::vector<cache::Key> keys;
   for (const int n : counts) {
     for (const P& p : per_count) {
       points.emplace_back(
           [p, n] { return run_pop(*p.m, p.mode, n, *p.cfg); });
       weights.push_back(static_cast<double>(n));
+      auto fp = cache::scenario("apps.pop", *p.m, p.mode, n);
+      cache::add_pop(fp, *p.cfg);
+      keys.push_back(fp.done());
     }
   }
-  const auto results = runner::sweep(std::move(points), opt.jobs, weights);
+  const auto results =
+      runner::sweep(std::move(points), opt.jobs, weights, keys);
   const std::size_t stride = per_count.size();
   const auto row = [&](std::size_t ci, std::size_t pi) -> const PopResult& {
     return results[ci * stride + pi];

@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "apps/namd.hpp"
+#include "cache/scenario.hpp"
+#include "cache/store.hpp"
 #include "core/report.hpp"
 #include "obsv/export.hpp"
 #include "machine/presets.hpp"
@@ -21,6 +23,7 @@ int main(int argc, char** argv) {
   const auto opt = BenchOptions::parse(
       argc, argv, "Figures 20-21: NAMD seconds per simulation timestep");
   obsv::arm_cli(opt);
+  cache::arm_cli(opt);
 
   const std::vector<int> counts =
       opt.quick ? std::vector<int>{64, 256}
@@ -54,15 +57,20 @@ int main(int argc, char** argv) {
   };
   std::vector<std::function<double()>> points;
   std::vector<double> weights;
+  std::vector<cache::Key> keys;
   for (const int n : counts) {
     for (const P& p : per_count) {
       points.emplace_back([p, n] {
         return run_namd(*p.m, p.mode, n, *p.sys).seconds_per_step;
       });
       weights.push_back(static_cast<double>(n));
+      auto fp = cache::scenario("apps.namd", *p.m, p.mode, n);
+      cache::add_namd(fp, *p.sys);
+      keys.push_back(fp.done());
     }
   }
-  const auto results = runner::sweep(std::move(points), opt.jobs, weights);
+  const auto results =
+      runner::sweep(std::move(points), opt.jobs, weights, keys);
   const std::size_t stride = per_count.size();
   const auto cell = [&](std::size_t ci, std::size_t pi) {
     return Table::num(results[ci * stride + pi], 4);

@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "apps/s3d.hpp"
+#include "cache/scenario.hpp"
+#include "cache/store.hpp"
 #include "core/report.hpp"
 #include "obsv/export.hpp"
 #include "machine/presets.hpp"
@@ -21,6 +23,7 @@ int main(int argc, char** argv) {
       argc, argv,
       "Figure 22: S3D weak scaling, microseconds per grid point per step");
   obsv::arm_cli(opt);
+  cache::arm_cli(opt);
 
   const std::vector<int> counts =
       opt.quick ? std::vector<int>{8, 64}
@@ -38,14 +41,20 @@ int main(int argc, char** argv) {
       {&xt3dc, ExecMode::kVN}, {&xt4, ExecMode::kVN}, {&xt4, ExecMode::kSN}};
   std::vector<std::function<double()>> points;
   std::vector<double> weights;
+  std::vector<cache::Key> keys;
+  const apps::S3dConfig s3d_defaults;  // every point runs the defaults
   for (const int n : counts) {
     for (const P& p : per_count) {
       points.emplace_back(
           [p, n] { return run_s3d(*p.m, p.mode, n).us_per_point_per_step; });
       weights.push_back(static_cast<double>(n));
+      auto fp = cache::scenario("apps.s3d", *p.m, p.mode, n);
+      cache::add_s3d(fp, s3d_defaults);
+      keys.push_back(fp.done());
     }
   }
-  const auto results = runner::sweep(std::move(points), opt.jobs, weights);
+  const auto results =
+      runner::sweep(std::move(points), opt.jobs, weights, keys);
 
   Table t("Figure 22: S3D cost per grid point per step (us), 50^3/task",
           {"cores", "XT3(VN)", "XT4(VN)", "XT4(SN)"});

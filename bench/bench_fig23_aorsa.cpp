@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "apps/aorsa.hpp"
+#include "cache/scenario.hpp"
+#include "cache/store.hpp"
 #include "core/report.hpp"
 #include "obsv/export.hpp"
 #include "machine/presets.hpp"
@@ -20,6 +22,7 @@ int main(int argc, char** argv) {
   const auto opt = BenchOptions::parse(
       argc, argv, "Figure 23: AORSA grind time (minutes) by phase");
   obsv::arm_cli(opt);
+  cache::arm_cli(opt);
 
   AorsaConfig cfg;
   struct Point {
@@ -46,12 +49,17 @@ int main(int argc, char** argv) {
 
   std::vector<std::function<apps::AorsaResult()>> work;
   std::vector<double> weights;
+  std::vector<cache::Key> keys;
   for (const Point& p : points) {
     work.emplace_back(
         [&p, &cfg] { return run_aorsa(p.m, ExecMode::kVN, p.cores, cfg); });
     weights.push_back(static_cast<double>(p.cores));
+    auto fp = cache::scenario("apps.aorsa", p.m, ExecMode::kVN, p.cores);
+    cache::add_aorsa(fp, cfg);
+    keys.push_back(fp.done());
   }
-  const auto results = runner::sweep(std::move(work), opt.jobs, weights);
+  const auto results =
+      runner::sweep(std::move(work), opt.jobs, weights, keys);
 
   Table t("Figure 23: AORSA grind time (minutes)",
           {"config", "Ax=b", "Calc QL operator", "Total", "solver TFLOPS"});

@@ -8,11 +8,26 @@
 #include <iostream>
 #include <vector>
 
+#include "cache/scenario.hpp"
+#include "cache/store.hpp"
 #include "core/report.hpp"
 #include "obsv/export.hpp"
 #include "core/units.hpp"
 #include "lustre/lustre.hpp"
 #include "runner/sweep.hpp"
+
+namespace {
+
+xts::cache::Key ior_key(const xts::lustre::LustreConfig& fs,
+                        const xts::lustre::IorConfig& io) {
+  xts::cache::Fingerprint fp;
+  fp.add("workload", "lustre.ior");
+  xts::cache::add_lustre(fp, fs, "lustre");
+  xts::cache::add_ior(fp, io);
+  return fp.done();
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace xts;
@@ -20,6 +35,7 @@ int main(int argc, char** argv) {
   const auto opt = BenchOptions::parse(
       argc, argv, "IOR-style sweep over the Lustre model (Fig 1, §2)");
   obsv::arm_cli(opt);
+  cache::arm_cli(opt);
 
   lustre::LustreConfig fs;  // 18 OSS x 4 OST, 250 MB/s each
 
@@ -30,6 +46,7 @@ int main(int argc, char** argv) {
   // weight by clients x bytes moved.
   std::vector<std::function<lustre::IorResult()>> points;
   std::vector<double> weights;
+  std::vector<cache::Key> keys;
   for (const int sc : stripe_counts) {
     lustre::IorConfig io;
     io.clients = opt.quick ? 16 : 64;
@@ -37,6 +54,7 @@ int main(int argc, char** argv) {
     io.stripe_count = sc;
     points.emplace_back([&fs, io] { return run_ior(fs, io); });
     weights.push_back(io.clients * io.block_bytes);
+    keys.push_back(ior_key(fs, io));
   }
   for (const int clients : client_counts) {
     lustre::IorConfig io;
@@ -45,8 +63,10 @@ int main(int argc, char** argv) {
     io.stripe_count = 4;
     points.emplace_back([&fs, io] { return run_ior(fs, io); });
     weights.push_back(io.clients * io.block_bytes);
+    keys.push_back(ior_key(fs, io));
   }
-  const auto results = runner::sweep(std::move(points), opt.jobs, weights);
+  const auto results =
+      runner::sweep(std::move(points), opt.jobs, weights, keys);
 
   {
     Table t("IOR: aggregate write bandwidth vs stripe count (64 clients)",

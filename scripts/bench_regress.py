@@ -51,6 +51,14 @@ the observability-overhead gate: the armed run may cost at most
 IO_OBSV_MAX_RATIO x the plain run plus an IO_OBSV_FIXED_S allowance
 for the session's run-size-independent setup (trace ring allocation).
 
+--cache records the scenario-result cache payoff under "cache": the
+figs 8-11 sweep bench runs twice against one fresh --cache-dir — cold
+(every point executes and is stored) then warm (every point replays) —
+and the warm/cold wall-clock ratio is tracked.  With --check it
+enforces the acceptance gate: the warm run must cost at most
+CACHE_MAX_WARM_RATIO x the cold run, and the cache directory must
+actually hold entries after the cold leg.
+
 --host-profile records where host time goes: it runs the figs 8-11
 sweep bench once with --telemetry= to a scratch file, reads the
 breakdown record the telemetry layer appends at exit (per-subsystem
@@ -86,6 +94,9 @@ Modes:
                    with --check, enforce the drop/regression gates
   --io             record bench_ior/bench_checkpoint wall-clock plain
                    vs obsv-armed; with --check, gate the overhead ratio
+  --cache          record cold-vs-warm wall-clock of the sweep bench
+                   against one --cache-dir under "cache"; with --check,
+                   gate warm <= CACHE_MAX_WARM_RATIO x cold
   --host-profile   record the per-subsystem host-time breakdown of the
                    sweep bench under "host-profile"; with --check,
                    require the shares to sum to ~1 of wall
@@ -402,6 +413,67 @@ def run_io_wallclock(repo_root, build_dir, args):
               f"+ {IO_OBSV_FIXED_S}s on {len(entries)} bench(es)")
 
 
+CACHE_BENCH = "bench_fig08_11_global"
+CACHE_ARGS = ["--quick", "--jobs=1"]  # jobs=1: measure replay, not the pool
+# Acceptance gate (ISSUE 10): a warm sweep — every point replayed from
+# the store — must cost at most this fraction of the cold run.
+CACHE_MAX_WARM_RATIO = 0.20
+
+
+def run_cache_wallclock(repo_root, build_dir, args):
+    """Record cold-vs-warm sweep wall-clock against one cache dir."""
+    import tempfile
+
+    binary = os.path.join(build_dir, "bench", CACHE_BENCH)
+    if not os.path.exists(binary):
+        sys.exit(f"bench not found: {binary} (build {CACHE_BENCH})")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        cache_dir = os.path.join(tmp, "cache")
+        cmd = [binary] + CACHE_ARGS + [f"--cache-dir={cache_dir}"]
+        cold = time_bench(cmd)
+        n_entries = len([f for f in os.listdir(cache_dir)
+                         if f.endswith(".xtsc")])
+        warm = time_bench(cmd)
+
+    label = args.label or git_label(repo_root)
+    entry = {
+        "label": label,
+        "bench": CACHE_BENCH,
+        "args": CACHE_ARGS,
+        "entries": n_entries,
+        "cold_s": round(cold, 4),
+        "warm_s": round(warm, 4),
+        "warm_ratio": round(warm / cold, 3) if cold > 0 else None,
+    }
+
+    tracked = os.path.join(repo_root, "results", "BENCH_simcore.json")
+    doc = {"schema": 1}
+    if os.path.exists(tracked):
+        with open(tracked) as f:
+            doc = json.load(f)
+    doc["cache"] = entry
+    write_json_atomic(tracked, doc)
+
+    print(f"cache: {CACHE_BENCH} {' '.join(CACHE_ARGS)}: "
+          f"cold {entry['cold_s']:.2f}s ({n_entries} entries stored), "
+          f"warm {entry['warm_s']:.2f}s ({entry['warm_ratio']}x)")
+    print(f"wrote {os.path.relpath(tracked, repo_root)}")
+
+    if args.check:
+        if n_entries == 0:
+            sys.exit("REGRESSION: cold run stored no cache entries — "
+                     "the sweep is not keying its points")
+        if entry["warm_ratio"] is None \
+                or entry["warm_ratio"] > CACHE_MAX_WARM_RATIO:
+            sys.exit(f"REGRESSION: warm run {entry['warm_s']:.2f}s is "
+                     f"{entry['warm_ratio']}x cold {entry['cold_s']:.2f}s "
+                     f"> {CACHE_MAX_WARM_RATIO}x — cache replay is not "
+                     f"paying off")
+        print(f"check ok: warm sweep at {entry['warm_ratio']}x cold "
+              f"(<= {CACHE_MAX_WARM_RATIO}x, {n_entries} entries)")
+
+
 HOSTPROF_BENCH = "bench_fig08_11_global"
 HOSTPROF_ARGS = ["--quick", "--jobs=1"]
 HOSTPROF_SHARE_TOL = 0.02  # --check: tracked+other must reach 1 - tol
@@ -497,6 +569,9 @@ def main():
     ap.add_argument("--io", action="store_true", dest="io",
                     help="record I/O bench wall-clock plain vs obsv-armed; "
                          "with --check, gate the overhead ratio")
+    ap.add_argument("--cache", action="store_true", dest="cache",
+                    help="record cold-vs-warm sweep wall-clock against "
+                         "one --cache-dir; with --check, gate the ratio")
     ap.add_argument("--host-profile", action="store_true", dest="hostprof",
                     help="record the telemetry host-time breakdown of the "
                          "sweep bench; with --check, require shares ~1")
@@ -517,6 +592,10 @@ def main():
 
     if args.io:
         run_io_wallclock(repo_root, build_dir, args)
+        return
+
+    if args.cache:
+        run_cache_wallclock(repo_root, build_dir, args)
         return
 
     if args.hostprof:

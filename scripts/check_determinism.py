@@ -30,10 +30,18 @@ Three axes, selected with --vary:
                         PR 7 runtime telemetry layer, which promises to
                         stay strictly out-of-band — arming it must not
                         change a single simulated byte.
+  --vary cache          three runs — cache off, cold (fresh
+                        --cache-dir), warm (same dir again) — must all
+                        produce identical simulated bytes: a replayed
+                        sweep point is indistinguishable from a live
+                        one.  This axis omits --trace (tracing runs
+                        bypass the scenario cache by design) and fails
+                        if the cold run stored no entries.
 
 The "== host resources ==" block (getrusage gauges appended by
---metrics) is scrubbed from stdout before comparison in every mode:
-RSS and fault counts are host facts, not simulation outputs.
+--metrics) and the "== scenario cache ==" block (hit/miss counters of
+the host's cache directory) are scrubbed from stdout before comparison
+in every mode: both report host facts, not simulation outputs.
 
 Usage:
   check_determinism.py --run <bench> [bench args...]
@@ -67,12 +75,18 @@ def scrub(obj):
     return obj
 
 
+# Stdout blocks reporting host facts rather than simulation outputs;
+# each runs from its header line to the next blank line.
+HOST_BLOCKS = ("== host resources ==", "== scenario cache ==")
+
+
 def scrub_stdout(text):
-    """Drop the host-resources block: getrusage values vary run-to-run."""
+    """Drop host-fact blocks: getrusage values and cache-directory
+    hit/miss counts vary run-to-run (and cold-vs-warm) by nature."""
     lines = text.splitlines(keepends=True)
     out, skipping = [], False
     for line in lines:
-        if line.rstrip("\n") == "== host resources ==":
+        if line.rstrip("\n") in HOST_BLOCKS:
             skipping = True
             # The header is preceded by a blank separator; drop it too
             # so the scrub leaves no trailing gap.
@@ -88,8 +102,10 @@ def scrub_stdout(text):
 
 
 def run_once(bench, args, axis_flags, trace_path, profile_path):
-    cmd = [bench] + axis_flags + ["--metrics", f"--trace={trace_path}",
-                                  f"--profile={profile_path}"] + args
+    cmd = [bench] + axis_flags + ["--metrics", f"--profile={profile_path}"]
+    if trace_path is not None:
+        cmd.append(f"--trace={trace_path}")
+    cmd += args
     proc = subprocess.run(cmd, capture_output=True, text=True)
     if proc.returncode != 0:
         fail(f"{' '.join(cmd)} exited {proc.returncode}:\n{proc.stderr}")
@@ -102,6 +118,52 @@ def load_scrubbed(path, what):
             return scrub(json.load(f))
     except (OSError, json.JSONDecodeError) as e:
         fail(f"could not load {what} artifact {path}: {e}")
+
+
+def check_cache(bench, rest):
+    """Cache axis: cache-off vs cold vs warm must be byte-identical.
+
+    Three runs instead of two, sharing one cache directory between the
+    cold and warm legs.  No --trace: tracing sweeps bypass the scenario
+    cache by design, so a traced warm run would never replay.
+    """
+    with tempfile.TemporaryDirectory() as tmp:
+        cache_dir = os.path.join(tmp, "cache")
+        legs = [
+            ("cache off", []),
+            ("cold cache", [f"--cache-dir={cache_dir}"]),
+            ("warm cache", [f"--cache-dir={cache_dir}"]),
+        ]
+        outs = []
+        profiles = []
+        for i, (label, flags) in enumerate(legs):
+            profile = os.path.join(tmp, f"profile_{i}.json")
+            outs.append(run_once(bench, rest, flags, None, profile))
+            profiles.append(load_scrubbed(profile, label))
+            if label == "cold cache":
+                entries = [f for f in os.listdir(cache_dir)
+                           if f.endswith(".xtsc")]
+                if not entries:
+                    fail("cold run stored no cache entries — the bench "
+                         "is not keying its sweep points")
+
+        for i in (1, 2):
+            if outs[i] != outs[0]:
+                import difflib
+                diff = "\n".join(difflib.unified_diff(
+                    outs[0].splitlines(), outs[i].splitlines(),
+                    legs[0][0], legs[i][0], lineterm=""))
+                fail(f"stdout differs between {legs[0][0]} and "
+                     f"{legs[i][0]}:\n{diff[:4000]}")
+            if profiles[i] != profiles[0]:
+                fail(f"--profile= artifacts differ between {legs[0][0]} "
+                     f"and {legs[i][0]}")
+
+    name = os.path.basename(bench)
+    print(f"check_determinism: OK: {name} {' '.join(rest)} is "
+          f"byte-identical with cache off, cold and warm "
+          f"(stdout + metrics + profile, {len(entries)} entries stored)")
+    return 0
 
 
 def main(argv):
@@ -118,12 +180,15 @@ def main(argv):
         else:
             vary = rest[1]
             if vary not in ("jobs", "world-threads", "world-lanes",
-                            "heartbeat"):
+                            "heartbeat", "cache"):
                 fail(f"--vary must be 'jobs', 'world-threads', "
-                     f"'world-lanes' or 'heartbeat', got {vary}")
+                     f"'world-lanes', 'heartbeat' or 'cache', got {vary}")
         rest = rest[2:]
     if rest and rest[0] == "--":
         rest = rest[1:]
+
+    if vary == "cache":
+        return check_cache(bench, rest)
 
     with tempfile.TemporaryDirectory() as tmp:
         if vary == "jobs":

@@ -19,7 +19,10 @@
 #     drain/refill on the pool, serial merge), asserting bitwise
 #     serial-vs-lane equality;
 #   - test_vmpi_lanes: event lanes + pool inside a real World (flow
-#     completion routing, cross-lane mailboxes, lookahead horizon).
+#     completion routing, cross-lane mailboxes, lookahead horizon);
+#   - test_cache: the scenario-result store (memo map + on-disk
+#     entries) and the warm-start placement-shape cache, both hit
+#     concurrently by sweep worker threads.
 # Any data race aborts the run (TSAN_OPTIONS halt_on_error), failing
 # the gate.  (The jobs=1-vs-jobs=8 and world-threads=1-vs-8 bench
 # determinism ctests stay in the regular build: two full bench runs
@@ -32,7 +35,8 @@ build="${1:-build-tsan}"
 cmake -B "$build" -S . -DXTSIM_SAN=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$build" -j"$(nproc)" \
   --target test_runner_sweep test_parallel test_network_parallel \
-  test_obsv_telemetry test_lustre test_lane_engine test_vmpi_lanes
+  test_obsv_telemetry test_lustre test_lane_engine test_vmpi_lanes \
+  test_cache
 TSAN_OPTIONS="halt_on_error=1" ctest --test-dir "$build" -L tsan_smoke \
   --output-on-failure
 echo "check_threads: OK: tsan_smoke suite clean under ThreadSanitizer"

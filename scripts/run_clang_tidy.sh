@@ -4,7 +4,8 @@
 # and attrib.cpp, the telemetry layer hostprof.cpp and telemetry.cpp,
 # and the event-lane scheduler engine.cpp/lanes.cpp plus the torus
 # slab map lane_partition.cpp — and src/lustre, whose chunk coroutines
-# ride the same engine hot path, all picked up by the glob below) with
+# ride the same engine hot path, and src/cache, whose fingerprint/store
+# sit on the sweep probe path, all picked up by the glob below) with
 # the repo's .clang-tidy profile (performance-*, bugprone-*).
 #
 # Usage: scripts/run_clang_tidy.sh [build-dir]
@@ -32,7 +33,7 @@ fi
 
 cd "$repo_root"
 # Sources only; headers are pulled in via HeaderFilterRegex.
-files=$(find src/core src/network src/vmpi src/obsv src/lustre -name '*.cpp' | sort)
+files=$(find src/core src/network src/vmpi src/obsv src/lustre src/cache -name '*.cpp' | sort)
 echo "run_clang_tidy: checking:"
 echo "$files" | sed 's/^/  /'
 # shellcheck disable=SC2086

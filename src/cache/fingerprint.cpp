@@ -1,0 +1,123 @@
+#include "cache/fingerprint.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace xts::cache {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x00000100000001b3ULL;
+
+std::uint64_t fnv1a(std::uint64_t h, std::string_view s) noexcept {
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a_u64(std::uint64_t h, std::uint64_t v) noexcept {
+  for (int i = 0; i < 8; ++i) {
+    h ^= v & 0xffu;
+    h *= kFnvPrime;
+    v >>= 8;
+  }
+  return h;
+}
+
+std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::string Key::hex() const {
+  char buf[33];
+  std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                static_cast<unsigned long long>(hi),
+                static_cast<unsigned long long>(lo));
+  return buf;
+}
+
+void Fingerprint::field(std::string_view name, std::uint8_t tag,
+                        std::uint64_t bits) {
+  // Two independently seeded streams give the digest its 128 bits; the
+  // type tag keeps add("x", 1) and add("x", 1.0) distinct even where
+  // their bit patterns could collide.
+  std::uint64_t a = fnv1a(kFnvOffset, name);
+  a ^= tag;
+  a *= kFnvPrime;
+  a = fnv1a_u64(a, bits);
+  std::uint64_t b = fnv1a(kFnvOffset ^ 0x5bd1e995u, name);
+  b ^= tag;
+  b *= kFnvPrime;
+  b = fnv1a_u64(b, ~bits);
+  digests_.emplace_back(splitmix64(a), splitmix64(b ^ a));
+}
+
+Fingerprint& Fingerprint::add(std::string_view f, double v) {
+  // Normalize the one double with two bit patterns so -0.0 and 0.0
+  // (numerically indistinguishable inputs) share a key.
+  if (v == 0.0) v = 0.0;
+  field(f, 1, std::bit_cast<std::uint64_t>(v));
+  return *this;
+}
+
+Fingerprint& Fingerprint::add(std::string_view f, std::int64_t v) {
+  field(f, 2, static_cast<std::uint64_t>(v));
+  return *this;
+}
+
+Fingerprint& Fingerprint::add(std::string_view f, std::uint64_t v) {
+  field(f, 3, v);
+  return *this;
+}
+
+Fingerprint& Fingerprint::add(std::string_view f, bool v) {
+  field(f, 4, v ? 1 : 0);
+  return *this;
+}
+
+Fingerprint& Fingerprint::add(std::string_view f, std::string_view v) {
+  // Hash the value through both streams (not just its 64-bit digest)
+  // so long strings keep full-width entropy.
+  const std::uint64_t va = fnv1a(kFnvOffset, v);
+  const std::uint64_t vb = fnv1a(kFnvOffset ^ 0x27d4eb2fu, v);
+  field(f, 5, va ^ (vb << 1 | vb >> 63));
+  return *this;
+}
+
+Key Fingerprint::done() const {
+  // Sorting the per-field digests is what buys field-order
+  // independence; the fold itself can then be order-sensitive (and
+  // stronger than a commutative XOR).
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> sorted = digests_;
+  std::sort(sorted.begin(), sorted.end());
+
+  Key k;
+  k.hi = splitmix64(0x7873696d2d736366ULL ^ schema_);  // "xsim-scf" ^ salt
+  k.lo = splitmix64(k.hi ^ sorted.size());
+  for (const auto& [a, b] : sorted) {
+    k.hi = splitmix64(k.hi ^ a);
+    k.lo = splitmix64(k.lo ^ b ^ k.hi);
+  }
+  k.valid = true;
+  return k;
+}
+
+Key storage_key(const Key& scenario, std::uint32_t variant) noexcept {
+  Key k;
+  if (!scenario.valid) return k;
+  k.hi = splitmix64(scenario.hi ^ (0x76617269616e7400ULL + variant));
+  k.lo = splitmix64(scenario.lo ^ k.hi);
+  k.valid = true;
+  return k;
+}
+
+}  // namespace xts::cache

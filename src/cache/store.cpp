@@ -1,0 +1,247 @@
+#include "cache/store.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include <unistd.h>
+
+#include "core/cache_stats.hpp"
+#include "core/error.hpp"
+#include "core/report.hpp"
+
+namespace xts::cache {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x43535458u;  // "XTSC" little-endian
+constexpr std::uint32_t kFormatVersion = 1;
+constexpr std::size_t kHeaderBytes = 4 * 4 + 4 * 8;
+
+std::uint64_t fnv1a64(const std::string& s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x00000100000001b3ULL;
+  }
+  return h;
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void put_u64(std::string& out, std::uint64_t v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+std::uint32_t get_u32(const char* p) noexcept {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+std::uint64_t get_u64(const char* p) noexcept {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+std::string header_for(const Key& key, const std::string& payload) {
+  std::string h;
+  h.reserve(kHeaderBytes);
+  put_u32(h, kMagic);
+  put_u32(h, kFormatVersion);
+  put_u32(h, kSchemaVersion);
+  put_u32(h, 0);  // reserved
+  put_u64(h, key.hi);
+  put_u64(h, key.lo);
+  put_u64(h, payload.size());
+  put_u64(h, fnv1a64(payload));
+  return h;
+}
+
+/// Validate a whole entry file; on success `payload` receives the body.
+/// `expect` (optional) must match the header's key.  Returns an empty
+/// string on success, else a short reason.
+std::string parse_entry(const std::string& raw, const Key* expect,
+                        std::string& payload, Key* key_out,
+                        std::uint32_t* schema_out) {
+  if (raw.size() < kHeaderBytes) return "truncated header";
+  const char* p = raw.data();
+  if (get_u32(p) != kMagic) return "bad magic";
+  if (get_u32(p + 4) != kFormatVersion) return "format version mismatch";
+  const std::uint32_t schema = get_u32(p + 8);
+  if (schema_out != nullptr) *schema_out = schema;
+  Key key;
+  key.hi = get_u64(p + 16);
+  key.lo = get_u64(p + 24);
+  key.valid = true;
+  if (key_out != nullptr) *key_out = key;
+  if (schema != kSchemaVersion) return "schema version mismatch";
+  if (expect != nullptr && (key.hi != expect->hi || key.lo != expect->lo))
+    return "key mismatch";
+  const std::uint64_t size = get_u64(p + 32);
+  const std::uint64_t sum = get_u64(p + 40);
+  if (raw.size() != kHeaderBytes + size) return "truncated payload";
+  payload.assign(raw, kHeaderBytes, static_cast<std::size_t>(size));
+  if (fnv1a64(payload) != sum) {
+    payload.clear();
+    return "checksum mismatch";
+  }
+  return {};
+}
+
+bool read_whole_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  out.assign(std::istreambuf_iterator<char>(in),
+             std::istreambuf_iterator<char>());
+  return in.good() || in.eof();
+}
+
+std::unique_ptr<Store>& process_slot() {
+  static std::unique_ptr<Store> s;
+  return s;
+}
+
+}  // namespace
+
+Store::Store(std::string dir) : dir_(std::move(dir)) {
+  if (dir_.empty()) return;
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec)
+    throw UsageError("cache: cannot create --cache-dir " + dir_ + ": " +
+                     ec.message());
+}
+
+std::string Store::path_of(const Key& key) const {
+  return dir_ + "/" + key.hex() + ".xtsc";
+}
+
+bool Store::read_file(const Key& key, std::string& payload) const {
+  std::string raw;
+  if (!read_whole_file(path_of(key), raw)) return false;
+  const std::string err = parse_entry(raw, &key, payload, nullptr, nullptr);
+  if (!err.empty()) {
+    // An existing-but-invalid entry is bit rot or a stale schema: count
+    // it, treat it as a miss, and let the rerun overwrite it.
+    auto& stats = scenario_cache_stats();
+    stats.bump(stats.corrupt);
+    return false;
+  }
+  return true;
+}
+
+void Store::write_file(const Key& key, const std::string& payload) const {
+  // Atomic publish: unique same-directory temp, then rename.  rename(2)
+  // within one directory is atomic, so readers only ever see absent or
+  // complete files under the final name.
+  static std::atomic<std::uint64_t> seq{0};
+  const std::string tmp =
+      dir_ + "/.tmp." + key.hex() + "." + std::to_string(getpid()) + "." +
+      std::to_string(seq.fetch_add(1, std::memory_order_relaxed));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return;  // unwritable cache dir: degrade to the memo map
+    const std::string header = header_for(key, payload);
+    out.write(header.data(),
+              static_cast<std::streamsize>(header.size()));
+    out.write(payload.data(),
+              static_cast<std::streamsize>(payload.size()));
+    if (!out.good()) {
+      out.close();
+      std::remove(tmp.c_str());
+      return;
+    }
+  }
+  if (std::rename(tmp.c_str(), path_of(key).c_str()) != 0)
+    std::remove(tmp.c_str());
+}
+
+bool Store::get(const Key& key, std::string& payload) {
+  if (!key.valid) return false;
+  const std::string hex = key.hex();
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = memo_.find(hex);
+    if (it != memo_.end()) {
+      payload = *it->second;
+      return true;
+    }
+  }
+  if (dir_.empty() || !read_file(key, payload)) return false;
+  const std::lock_guard<std::mutex> lock(mu_);
+  memo_.emplace(hex, std::make_shared<const std::string>(payload));
+  return true;
+}
+
+void Store::put(const Key& key, std::string payload) {
+  if (!key.valid) return;
+  auto blob = std::make_shared<const std::string>(std::move(payload));
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    memo_[key.hex()] = blob;
+  }
+  if (!dir_.empty()) write_file(key, *blob);
+}
+
+std::size_t Store::memo_entries() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return memo_.size();
+}
+
+Store* Store::process() noexcept { return process_slot().get(); }
+
+Store& Store::configure(std::string dir) {
+  process_slot() = std::make_unique<Store>(std::move(dir));
+  scenario_cache_stats().enabled.store(true, std::memory_order_relaxed);
+  return *process_slot();
+}
+
+void Store::reset() noexcept {
+  process_slot().reset();
+  scenario_cache_stats().enabled.store(false, std::memory_order_relaxed);
+}
+
+void arm_cli(const BenchOptions& opt) {
+  if (!opt.cache_dir.empty()) Store::configure(opt.cache_dir);
+}
+
+std::vector<EntryInfo> inspect_dir(const std::string& dir) {
+  std::vector<EntryInfo> out;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec)
+    throw UsageError("cache: cannot read dir " + dir + ": " + ec.message());
+  for (const auto& entry : it) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.size() < 5 || name.substr(name.size() - 5) != ".xtsc")
+      continue;
+    EntryInfo info;
+    info.file = name;
+    std::string raw;
+    std::string payload;
+    if (!read_whole_file(entry.path().string(), raw)) {
+      info.note = "unreadable";
+    } else {
+      info.note =
+          parse_entry(raw, nullptr, payload, &info.key, &info.schema);
+      info.ok = info.note.empty();
+      info.payload_bytes =
+          raw.size() >= kHeaderBytes ? raw.size() - kHeaderBytes : 0;
+    }
+    out.push_back(std::move(info));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const EntryInfo& a, const EntryInfo& b) {
+              return a.file < b.file;
+            });
+  return out;
+}
+
+}  // namespace xts::cache

@@ -1,0 +1,77 @@
+#include "cache/warm.hpp"
+
+#include <list>
+#include <mutex>
+#include <utility>
+
+#include "core/cache_stats.hpp"
+
+namespace xts::cache {
+
+namespace {
+
+// Distinct shapes per process stay small (grids sweep rank counts), but
+// bound the cache anyway: an unbounded map would pin every shape's
+// table for the process lifetime.
+constexpr std::size_t kMaxShapes = 64;
+
+struct ShapeCache {
+  std::mutex mu;
+  // Front = most recently used.  Linear scan is fine at <= 64 entries.
+  std::list<std::pair<PlacementShape, std::shared_ptr<const PlacementTable>>>
+      entries;
+};
+
+ShapeCache& shape_cache() noexcept {
+  static ShapeCache c;
+  return c;
+}
+
+}  // namespace
+
+std::shared_ptr<const PlacementTable> shared_placement(
+    const PlacementShape& shape,
+    const std::function<PlacementTable()>& builder) {
+  auto& c = shape_cache();
+  auto& stats = scenario_cache_stats();
+  {
+    const std::lock_guard<std::mutex> lock(c.mu);
+    for (auto it = c.entries.begin(); it != c.entries.end(); ++it) {
+      if (it->first == shape) {
+        c.entries.splice(c.entries.begin(), c.entries, it);
+        stats.bump(stats.warm_shares);
+        return c.entries.front().second;
+      }
+    }
+  }
+  // Build outside the lock — placement for million-rank worlds is not
+  // cheap, and two threads racing the same shape just means one extra
+  // build (both results are content-identical).
+  auto table = std::make_shared<const PlacementTable>(builder());
+  stats.bump(stats.warm_builds);
+  const std::lock_guard<std::mutex> lock(c.mu);
+  for (auto it = c.entries.begin(); it != c.entries.end(); ++it) {
+    if (it->first == shape) {
+      // Lost the race; adopt the winner's table.
+      c.entries.splice(c.entries.begin(), c.entries, it);
+      return c.entries.front().second;
+    }
+  }
+  c.entries.emplace_front(shape, table);
+  if (c.entries.size() > kMaxShapes) c.entries.pop_back();
+  return table;
+}
+
+void clear_placement_cache() noexcept {
+  auto& c = shape_cache();
+  const std::lock_guard<std::mutex> lock(c.mu);
+  c.entries.clear();
+}
+
+std::size_t placement_cache_size() noexcept {
+  auto& c = shape_cache();
+  const std::lock_guard<std::mutex> lock(c.mu);
+  return c.entries.size();
+}
+
+}  // namespace xts::cache

@@ -1,0 +1,142 @@
+#pragma once
+
+/// \file bytes.hpp
+/// Minimal binary serialization helpers shared by the scenario-result
+/// cache (src/cache) and the obsv shard snapshot codec (src/obsv).
+///
+/// The format is deliberately dumb: little-endian fixed-width integers
+/// and raw IEEE-754 bit patterns, length-prefixed strings.  Doubles are
+/// written as their exact bit pattern so a decoded value compares
+/// bit-equal to the live one — the whole point of the result cache is
+/// that a replayed run is byte-identical to a cold one.
+///
+/// ByteReader never throws on malformed input: any overrun latches
+/// `ok() == false` and every subsequent read returns a zero value.
+/// Callers validate once at the end, which turns a truncated or
+/// corrupted cache entry into a miss instead of a crash.
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace xts {
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void u32(std::uint32_t v) { raw(&v, sizeof(v)); }
+  void u64(std::uint64_t v) { raw(&v, sizeof(v)); }
+  void i32(std::int32_t v) { raw(&v, sizeof(v)); }
+  void i64(std::int64_t v) { raw(&v, sizeof(v)); }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  void str(std::string_view s) {
+    u64(s.size());
+    buf_.append(s.data(), s.size());
+  }
+  void bytes(std::string_view s) { buf_.append(s.data(), s.size()); }
+
+  [[nodiscard]] const std::string& data() const noexcept { return buf_; }
+  [[nodiscard]] std::string take() noexcept { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+
+ private:
+  void raw(const void* p, std::size_t n) {
+    buf_.append(static_cast<const char*>(p), n);
+  }
+  std::string buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) noexcept : data_(data) {}
+
+  [[nodiscard]] std::uint8_t u8() noexcept {
+    std::uint8_t v = 0;
+    raw(&v, sizeof(v));
+    return v;
+  }
+  [[nodiscard]] std::uint32_t u32() noexcept {
+    std::uint32_t v = 0;
+    raw(&v, sizeof(v));
+    return v;
+  }
+  [[nodiscard]] std::uint64_t u64() noexcept {
+    std::uint64_t v = 0;
+    raw(&v, sizeof(v));
+    return v;
+  }
+  [[nodiscard]] std::int32_t i32() noexcept {
+    std::int32_t v = 0;
+    raw(&v, sizeof(v));
+    return v;
+  }
+  [[nodiscard]] std::int64_t i64() noexcept {
+    std::int64_t v = 0;
+    raw(&v, sizeof(v));
+    return v;
+  }
+  [[nodiscard]] double f64() noexcept {
+    return std::bit_cast<double>(u64());
+  }
+  [[nodiscard]] std::string str() {
+    const std::uint64_t n = u64();
+    if (n > remaining()) {
+      ok_ = false;
+      pos_ = data_.size();
+      return {};
+    }
+    std::string s(data_.substr(pos_, static_cast<std::size_t>(n)));
+    pos_ += static_cast<std::size_t>(n);
+    return s;
+  }
+  /// Borrow `n` raw bytes (empty view + !ok() on overrun).
+  [[nodiscard]] std::string_view view(std::size_t n) noexcept {
+    if (n > remaining()) {
+      ok_ = false;
+      pos_ = data_.size();
+      return {};
+    }
+    const std::string_view v = data_.substr(pos_, n);
+    pos_ += n;
+    return v;
+  }
+
+  /// Sanity bound for length prefixes of containers about to be
+  /// resized: a corrupt count larger than the bytes left cannot be
+  /// honest (every element costs >= min_elem_bytes), so latch !ok()
+  /// instead of letting resize() allocate gigabytes.
+  [[nodiscard]] bool fits(std::uint64_t count,
+                          std::size_t min_elem_bytes) noexcept {
+    if (min_elem_bytes != 0 &&
+        count > remaining() / min_elem_bytes) {
+      ok_ = false;
+      pos_ = data_.size();
+      return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  [[nodiscard]] bool done() const noexcept { return pos_ == data_.size(); }
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return data_.size() - pos_;
+  }
+
+ private:
+  void raw(void* p, std::size_t n) noexcept {
+    if (n > remaining()) {
+      ok_ = false;
+      pos_ = data_.size();
+      return;
+    }
+    std::memcpy(p, data_.data() + pos_, n);
+    pos_ += n;
+  }
+  std::string_view data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace xts

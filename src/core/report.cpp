@@ -133,6 +133,10 @@ BenchOptions BenchOptions::parse(int argc, char** argv,
       opt.telemetry_file = arg.substr(12);
       if (opt.telemetry_file.empty())
         throw UsageError("--telemetry= needs a file path");
+    } else if (arg.rfind("--cache-dir=", 0) == 0) {
+      opt.cache_dir = arg.substr(12);
+      if (opt.cache_dir.empty())
+        throw UsageError("--cache-dir= needs a directory path");
     } else if (arg == "--help" || arg == "-h") {
       std::cout << blurb << "\n\nOptions:\n"
                 << "  --csv           also emit CSV blocks for replotting\n"
@@ -166,7 +170,11 @@ BenchOptions BenchOptions::parse(int argc, char** argv,
                 << "  --telemetry=FILE  stream heartbeat records + the "
                    "exit-time host-time\n"
                    "                  breakdown as JSON lines (see "
-                   "xtstrace telemetry)\n";
+                   "xtstrace telemetry)\n"
+                << "  --cache-dir=DIR cache sweep-point results on disk; "
+                   "repeat runs replay\n"
+                   "                  hits byte-identically (see "
+                   "docs/CACHING.md)\n";
       std::exit(0);
     } else {
       throw UsageError("unknown option: " + arg);

@@ -57,6 +57,7 @@ struct BenchOptions {
   std::string profile_file;  ///< attribution profile JSON path ("" = off)
   double heartbeat_s = 0.0;  ///< live heartbeat period to stderr (0 = off)
   std::string telemetry_file;  ///< streaming telemetry JSONL ("" = off)
+  std::string cache_dir;  ///< scenario-result cache directory ("" = off)
 
   static BenchOptions parse(int argc, char** argv, const std::string& blurb);
 };

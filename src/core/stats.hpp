@@ -26,6 +26,25 @@ class RunningStats {
   [[nodiscard]] double stddev() const noexcept;
   [[nodiscard]] double sum() const noexcept { return sum_; }
 
+  /// Exact internal state, for binary round-tripping (the scenario
+  /// cache replays shard metrics bit-identically; going through the
+  /// public mean()/variance() would re-derive and drift).
+  struct Raw {
+    std::size_t n = 0;
+    double mean = 0.0, m2 = 0.0, min = 0.0, max = 0.0, sum = 0.0;
+  };
+  [[nodiscard]] Raw raw() const noexcept {
+    return {n_, mean_, m2_, min_, max_, sum_};
+  }
+  void restore(const Raw& r) noexcept {
+    n_ = r.n;
+    mean_ = r.mean;
+    m2_ = r.m2;
+    min_ = r.min;
+    max_ = r.max;
+    sum_ = r.sum;
+  }
+
  private:
   std::size_t n_ = 0;
   double mean_ = 0.0;
@@ -56,6 +75,18 @@ class SampleSet {
   /// Linear-interpolated percentile, q in [0, 1].
   [[nodiscard]] double percentile(double q) const;
   [[nodiscard]] double median() const { return percentile(0.5); }
+
+  /// Raw samples in insertion order (binary round-tripping; see
+  /// RunningStats::raw).  May be sorted if a percentile was taken —
+  /// restore() preserves whatever order was captured, which is all the
+  /// exporters ever observe.
+  [[nodiscard]] const std::vector<double>& samples() const noexcept {
+    return samples_;
+  }
+  void restore(std::vector<double> samples) {
+    samples_ = std::move(samples);
+    sorted_ = false;
+  }
 
  private:
   mutable std::vector<double> samples_;

@@ -171,6 +171,9 @@ class FlowNetwork {
   [[nodiscard]] std::uint64_t route_cache_misses() const noexcept {
     return route_cache_.misses();
   }
+  [[nodiscard]] std::uint64_t route_cache_evictions() const noexcept {
+    return route_cache_.evictions();
+  }
 
   // -- per-link usage statistics (NetConfig::link_stats) -----------------
 

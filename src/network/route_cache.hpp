@@ -56,6 +56,7 @@ class RouteCache {
       return;
     }
     const std::uint32_t slot = tail_;  // recycle the coldest entry
+    ++evictions_;
     index_.erase(nodes_[slot].key);
     nodes_[slot].key = k;
     nodes_[slot].route = route;
@@ -65,6 +66,9 @@ class RouteCache {
 
   [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
   [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+  [[nodiscard]] std::uint64_t evictions() const noexcept {
+    return evictions_;
+  }
 
  private:
   static constexpr std::uint32_t kNull = 0xffffffffu;
@@ -102,6 +106,7 @@ class RouteCache {
   std::uint32_t tail_ = kNull;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
 };
 
 }  // namespace xts::net

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -11,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/cache_stats.hpp"
 #include "core/error.hpp"
 #include "core/hostprof.hpp"
 #include "obsv/attrib.hpp"
@@ -236,6 +238,29 @@ Table host_table() {
   return metrics_table(reg, "host resources");
 }
 
+Table scenario_cache_table() {
+  const ScenarioCacheStats& s = scenario_cache_stats();
+  Registry reg;
+  const auto put = [&reg](const char* label,
+                          const std::atomic<std::uint64_t>& c) {
+    reg.counter("cache.scenario", label)
+        .add(static_cast<double>(c.load(std::memory_order_relaxed)));
+  };
+  put("hits", s.hits);
+  put("misses", s.misses);
+  put("dedups", s.dedups);
+  put("writes", s.writes);
+  put("corrupt", s.corrupt);
+  put("bypassed", s.bypassed);
+  reg.counter("cache.warm", "builds")
+      .add(static_cast<double>(
+          s.warm_builds.load(std::memory_order_relaxed)));
+  reg.counter("cache.warm", "shares")
+      .add(static_cast<double>(
+          s.warm_shares.load(std::memory_order_relaxed)));
+  return metrics_table(reg, "scenario cache");
+}
+
 Table link_table(const Session& session, std::size_t max_rows) {
   Table t("link usage",
           {"world", "link", "class", "bytes", "busy_s", "contended_s",
@@ -342,6 +367,11 @@ void flush_cli() {
         link_table(*s, 10).print(std::cout);
         if (!s->profiles().empty()) std::cout << profile_table(*s);
         host_table().print(std::cout);
+        // Host-state block like "host resources": scrubbed by
+        // check_determinism.py, so a warm run's extra hits never break
+        // byte-identity with a cold one.
+        if (scenario_cache_stats().enabled.load(std::memory_order_relaxed))
+          scenario_cache_table().print(std::cout);
       }
     }
     cli_trace_path().clear();

@@ -38,6 +38,14 @@ void write_chrome_trace_file(const Session& session,
 /// scripts/check_determinism.py scrubs exactly this block from stdout.
 [[nodiscard]] Table host_table();
 
+/// Scenario-result cache counters (core/cache_stats.hpp) as a
+/// `cache.scenario.*` / `cache.warm.*` block.  Like host_table(), the
+/// values describe host state (what was already cached on disk), not
+/// the simulation, so check_determinism.py scrubs this block from
+/// stdout — the deterministic registry metrics stay byte-identical
+/// between cold, warm and cache-off runs.
+[[nodiscard]] Table scenario_cache_table();
+
 /// Per-link usage across all recorded worlds, busiest first.
 /// `max_rows` 0 = all links that carried traffic.
 [[nodiscard]] Table link_table(const Session& session,

@@ -50,6 +50,13 @@ class Gauge {
     max_ = seen_ ? (o.max_ > max_ ? o.max_ : max_) : o.max_;
     seen_ = true;
   }
+  /// Exact-state access for the shard snapshot codec (cache replay).
+  [[nodiscard]] bool seen() const noexcept { return seen_; }
+  void restore(double value, double max, bool seen) noexcept {
+    value_ = value;
+    max_ = max;
+    seen_ = seen;
+  }
 
  private:
   double value_ = 0.0;
@@ -78,6 +85,12 @@ class Histogram {
   void merge(const Histogram& o) {
     stats_.merge(o.stats_);
     samples_.merge(o.samples_);
+  }
+  /// Exact-state access for the shard snapshot codec (cache replay).
+  [[nodiscard]] const SampleSet& samples() const noexcept { return samples_; }
+  void restore(const RunningStats::Raw& stats, std::vector<double> samples) {
+    stats_.restore(stats);
+    samples_.restore(std::move(samples));
   }
 
  private:

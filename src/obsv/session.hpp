@@ -205,6 +205,7 @@ class Shard {
   friend class Session;
   friend class WorldObs;
   friend class ShardScope;
+  friend class ShardSnapshot;  ///< exact-state codec (cache replay)
 
   WorldObs* register_world();
 

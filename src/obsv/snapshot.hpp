@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file snapshot.hpp
+/// Exact binary codec for a completed obsv::Shard — the piece that lets
+/// the scenario-result cache (src/cache) replay a sweep point's
+/// observability byte-identically.
+///
+/// A sweep point records everything through its thread-confined Shard:
+/// registry metrics, world summaries, I/O summaries, profiles.  encode()
+/// captures that state after the point ran; decode() rebuilds an
+/// equivalent Shard in a later process, which the sweep runner absorbs
+/// in the same submission slot — so `--metrics` / `--profile` output
+/// from a cache hit is bit-for-bit what the live run printed.
+///
+/// What is deliberately NOT encoded:
+///  - spans (the TraceSink): `--trace` runs bypass the cache entirely —
+///    span volume dwarfs everything else and nobody replays traces;
+///  - WorldObs handles (worlds_): live-World plumbing, dead by the time
+///    a shard is absorbed.
+///
+/// Doubles are stored as exact bit patterns (core/bytes.hpp), and every
+/// decode failure — truncation, bad magic, version skew — returns false
+/// so the caller degrades to a cache miss.
+
+#include <string>
+#include <string_view>
+
+namespace xts::obsv {
+
+class Shard;
+
+class ShardSnapshot {
+ public:
+  /// Serialize a completed shard's registry, summaries and profiles.
+  [[nodiscard]] static std::string encode(const Shard& shard);
+
+  /// Rebuild `shard` (must be freshly constructed) from encode()'s
+  /// output.  Returns false on any malformed input; the shard may be
+  /// partially filled and must be discarded.
+  [[nodiscard]] static bool decode(Shard& shard, std::string_view data);
+};
+
+}  // namespace xts::obsv

@@ -15,6 +15,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/cache_stats.hpp"
 #include "core/error.hpp"
 #include "core/hostprof.hpp"
 #include "core/lanes.hpp"
@@ -245,7 +246,25 @@ std::string breakdown_json_locked(State& s) {
   r += ",\"host\":{\"peak_rss_bytes\":" +
        std::to_string(host_peak_rss_bytes()) +
        ",\"major_faults\":" + std::to_string(faults.major) +
-       ",\"minor_faults\":" + std::to_string(faults.minor) + "}}";
+       ",\"minor_faults\":" + std::to_string(faults.minor) + "}";
+
+  // Scenario-result cache behaviour (src/cache): present only when a
+  // store was armed this run (--cache-dir), counters are process-wide.
+  const ScenarioCacheStats& cs = scenario_cache_stats();
+  if (cs.enabled.load(std::memory_order_relaxed)) {
+    const auto load = [](const std::atomic<std::uint64_t>& c) {
+      return std::to_string(c.load(std::memory_order_relaxed));
+    };
+    r += ",\"scenario_cache\":{\"hits\":" + load(cs.hits) +
+         ",\"misses\":" + load(cs.misses) +
+         ",\"dedups\":" + load(cs.dedups) +
+         ",\"writes\":" + load(cs.writes) +
+         ",\"corrupt\":" + load(cs.corrupt) +
+         ",\"bypassed\":" + load(cs.bypassed) +
+         ",\"warm_builds\":" + load(cs.warm_builds) +
+         ",\"warm_shares\":" + load(cs.warm_shares) + "}";
+  }
+  r += "}";
   return r;
 }
 

@@ -36,9 +36,15 @@
 /// stay on one thread).
 
 #include <cstddef>
+#include <cstring>
 #include <functional>
+#include <string>
+#include <string_view>
+#include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "cache/fingerprint.hpp"
 
 namespace xts::runner {
 
@@ -49,40 +55,82 @@ namespace xts::runner {
 [[nodiscard]] bool in_sweep() noexcept;
 
 namespace detail {
+
+/// Bridges the type-erased core to the typed result slots: encode a
+/// finished point's result as bytes for the scenario store, or decode
+/// stored bytes back into a slot (false = size mismatch, treat the
+/// entry as corrupt).
+struct PointCodec {
+  std::function<std::string(std::size_t)> encode;
+  std::function<bool(std::size_t, std::string_view)> decode;
+};
+
 /// Type-erased core: run every task, `jobs` at a time, with per-task
 /// obsv shards; rethrows the first (submission-order) exception.
 /// `weights[i]` orders execution longest-first when non-empty.
+/// When `keys` (one scenario key per point; invalid keys opt a point
+/// out) and `codec` are given AND a cache::Store is armed, points are
+/// probed against the store before scheduling, identical in-flight
+/// points are deduplicated to one execution, and fresh results are
+/// stored — all without perturbing submission-order results or shard
+/// absorption.
 void run_points(std::vector<std::function<void()>>& points, int jobs,
-                const std::vector<double>& weights);
+                const std::vector<double>& weights,
+                const std::vector<cache::Key>& keys = {},
+                const PointCodec* codec = nullptr);
+
 }  // namespace detail
 
 /// Run every point and return their results in submission order.
 /// `weights` (optional, same length) are relative cost hints — e.g.
 /// the point's rank count — used only to schedule long points first.
+/// `keys` (optional, same length) are scenario fingerprints enabling
+/// the result cache for trivially-copyable result types; points with
+/// invalid (default) keys always run.  With no store armed
+/// (no --cache-dir) the keys are ignored and this is exactly the
+/// legacy path.
 template <typename T>
 std::vector<T> sweep(std::vector<std::function<T()>> points, int jobs = 0,
-                     const std::vector<double>& weights = {}) {
+                     const std::vector<double>& weights = {},
+                     const std::vector<cache::Key>& keys = {}) {
   std::vector<T> results(points.size());
   std::vector<std::function<void()>> tasks;
   tasks.reserve(points.size());
   for (std::size_t i = 0; i < points.size(); ++i)
     tasks.emplace_back(
         [&results, &points, i] { results[i] = points[i](); });
-  detail::run_points(tasks, jobs, weights);
+  if constexpr (std::is_trivially_copyable_v<T> &&
+                !std::is_same_v<T, bool>) {
+    detail::PointCodec codec;
+    codec.encode = [&results](std::size_t i) {
+      std::string b(sizeof(T), '\0');
+      std::memcpy(b.data(), &results[i], sizeof(T));
+      return b;
+    };
+    codec.decode = [&results](std::size_t i, std::string_view b) {
+      if (b.size() != sizeof(T)) return false;
+      std::memcpy(&results[i], b.data(), sizeof(T));
+      return true;
+    };
+    detail::run_points(tasks, jobs, weights, keys, &codec);
+  } else {
+    detail::run_points(tasks, jobs, weights);
+  }
   return results;
 }
 
 /// Index form: run `fn(i)` for i in [0, n) and collect the results.
 template <typename Fn>
 auto sweep_index(std::size_t n, int jobs, Fn fn,
-                 const std::vector<double>& weights = {})
+                 const std::vector<double>& weights = {},
+                 const std::vector<cache::Key>& keys = {})
     -> std::vector<decltype(fn(std::size_t{0}))> {
   using T = decltype(fn(std::size_t{0}));
   std::vector<std::function<T()>> points;
   points.reserve(n);
   for (std::size_t i = 0; i < n; ++i)
     points.emplace_back([fn, i] { return fn(i); });
-  return sweep<T>(std::move(points), jobs, weights);
+  return sweep<T>(std::move(points), jobs, weights, keys);
 }
 
 }  // namespace xts::runner

@@ -15,8 +15,8 @@ using machine::ExecMode;
 World::World(WorldConfig cfg) : cfg_(std::move(cfg)) {
   if (cfg_.nranks < 1) throw UsageError("World: need at least one rank");
   if (cfg_.machine.cores_per_node > 255)
-    throw UsageError("World: cores_per_node > 255 unsupported (rank_core_ "
-                     "is stored as uint8)");
+    throw UsageError("World: cores_per_node > 255 unsupported (the "
+                     "placement table stores cores as uint8)");
   const int threads = cfg_.world_threads > 0 ? cfg_.world_threads
                                              : default_world_threads();
   if (threads > 1) {
@@ -182,53 +182,86 @@ void World::collect_summary() {
         for (const net::LinkId l : route)
           visit(l, network_->link_class(l));
       });
+
+  // Flow-route LRU effectiveness (PR 1's cache) in the deterministic
+  // registry: event execution is one serial pass in exact global
+  // (time, seq) order at any thread/lane count (docs/PARALLELISM.md),
+  // so these totals are byte-stable across --jobs/--world-threads.
+  if (obs_->metrics()) {
+    auto& reg = obs_->registry();
+    reg.counter("cache.route.hits")
+        .add(static_cast<double>(network_->route_cache_hits()));
+    reg.counter("cache.route.misses")
+        .add(static_cast<double>(network_->route_cache_misses()));
+    reg.counter("cache.route.evictions")
+        .add(static_cast<double>(network_->route_cache_evictions()));
+  }
 }
 
 void World::build_placement() {
   const int cores_active =
       cfg_.mode == ExecMode::kSN ? 1 : cfg_.machine.cores_per_node;
   const int nnodes = node_count();
-  rank_node_.resize(static_cast<std::size_t>(cfg_.nranks));
-  rank_core_.resize(static_cast<std::size_t>(cfg_.nranks));
 
-  std::vector<int> node_order(static_cast<std::size_t>(nnodes));
-  std::iota(node_order.begin(), node_order.end(), 0);
-  if (cfg_.placement == Placement::kRandom) {
-    Rng rng(cfg_.seed);
-    for (std::size_t i = node_order.size(); i > 1; --i)
-      std::swap(node_order[i - 1], node_order[rng.below(i)]);
-  }
+  // Warm start: the table is a pure function of the shape below, so
+  // Worlds of the same shape — across sweep points, and across threads
+  // within one sweep — share one immutable copy (cache/warm.hpp).
+  // Seed only keys random placement; deterministic policies share
+  // across seeds.
+  cache::PlacementShape shape;
+  shape.nranks = cfg_.nranks;
+  shape.nnodes = nnodes;
+  shape.cores_active = cores_active;
+  shape.placement = static_cast<int>(cfg_.placement);
+  shape.seed = cfg_.placement == Placement::kRandom ? cfg_.seed : 0;
 
-  for (int r = 0; r < cfg_.nranks; ++r) {
-    int slot;
-    if (cfg_.placement == Placement::kRoundRobin) {
-      // Spread consecutive ranks across nodes first.
-      slot = r;
-      rank_node_[static_cast<std::size_t>(r)] =
-          static_cast<net::NodeId>(slot % nnodes);
-      rank_core_[static_cast<std::size_t>(r)] =
-          static_cast<std::uint8_t>(slot / nnodes);
-    } else {
-      slot = r / cores_active;
-      rank_node_[static_cast<std::size_t>(r)] =
-          static_cast<net::NodeId>(node_order[static_cast<std::size_t>(
-              slot % nnodes)]);
-      rank_core_[static_cast<std::size_t>(r)] =
-          static_cast<std::uint8_t>(r % cores_active);
+  placement_ = cache::shared_placement(shape, [&] {
+    cache::PlacementTable t;
+    t.rank_node.resize(static_cast<std::size_t>(cfg_.nranks));
+    t.rank_core.resize(static_cast<std::size_t>(cfg_.nranks));
+
+    std::vector<int> node_order(static_cast<std::size_t>(nnodes));
+    std::iota(node_order.begin(), node_order.end(), 0);
+    if (cfg_.placement == Placement::kRandom) {
+      Rng rng(cfg_.seed);
+      for (std::size_t i = node_order.size(); i > 1; --i)
+        std::swap(node_order[i - 1], node_order[rng.below(i)]);
     }
-  }
+
+    for (int r = 0; r < cfg_.nranks; ++r) {
+      int slot;
+      if (cfg_.placement == Placement::kRoundRobin) {
+        // Spread consecutive ranks across nodes first.
+        slot = r;
+        t.rank_node[static_cast<std::size_t>(r)] =
+            static_cast<std::int32_t>(slot % nnodes);
+        t.rank_core[static_cast<std::size_t>(r)] =
+            static_cast<std::uint8_t>(slot / nnodes);
+      } else {
+        slot = r / cores_active;
+        t.rank_node[static_cast<std::size_t>(r)] =
+            static_cast<std::int32_t>(node_order[static_cast<std::size_t>(
+                slot % nnodes)]);
+        t.rank_core[static_cast<std::size_t>(r)] =
+            static_cast<std::uint8_t>(r % cores_active);
+      }
+    }
+    return t;
+  });
 }
 
 net::NodeId World::node_of(int rank) const {
   if (rank < 0 || rank >= cfg_.nranks)
     throw UsageError("World::node_of: bad rank " + std::to_string(rank));
-  return rank_node_[static_cast<std::size_t>(rank)];
+  return static_cast<net::NodeId>(
+      placement_->rank_node[static_cast<std::size_t>(rank)]);
 }
 
 int World::core_of(int rank) const {
   if (rank < 0 || rank >= cfg_.nranks)
     throw UsageError("World::core_of: bad rank " + std::to_string(rank));
-  return static_cast<int>(rank_core_[static_cast<std::size_t>(rank)]);
+  return static_cast<int>(
+      placement_->rank_core[static_cast<std::size_t>(rank)]);
 }
 
 machine::Node& World::node(int rank) {

@@ -28,6 +28,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cache/warm.hpp"
 #include "core/engine.hpp"
 #include "core/parallel.hpp"
 #include "core/rng.hpp"
@@ -195,8 +196,13 @@ class World {
   // worlds: narrow element types, chain handles instead of per-rank
   // containers, shared slabs for anything whose population tracks
   // in-flight traffic rather than rank count.
-  std::vector<net::NodeId> rank_node_;
-  std::vector<std::uint8_t> rank_core_;  ///< cores_per_node <= 255
+  //
+  // The rank->(node, core) placement is immutable after construction
+  // and a pure function of the platform shape, so it is shared across
+  // all concurrently-live Worlds of that shape (cache/warm.hpp) — the
+  // warm-start half of the scenario cache, and the largest per-World
+  // allocation that does not track traffic.
+  std::shared_ptr<const cache::PlacementTable> placement_;
   SlotPool<Message> msg_pool_;        ///< unexpected-queue slab
   SlotPool<PostedRecv> recv_pool_;    ///< posted-recv slab
   std::vector<SlotChain> unexpected_;  ///< per dst rank, into msg_pool_

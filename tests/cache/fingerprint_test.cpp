@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cache/fingerprint.hpp"
+#include "cache/scenario.hpp"
+#include "machine/presets.hpp"
+
+namespace xts::cache {
+namespace {
+
+using machine::ExecMode;
+
+TEST(Fingerprint, FieldOrderIndependent) {
+  Fingerprint a;
+  a.add("alpha", 1).add("beta", 2.5).add("gamma", "xt4");
+  Fingerprint b;
+  b.add("gamma", "xt4").add("alpha", 1).add("beta", 2.5);
+  EXPECT_EQ(a.done(), b.done());
+}
+
+TEST(Fingerprint, ValueChangesKey) {
+  const Key base = Fingerprint().add("x", 1).done();
+  EXPECT_NE(base, Fingerprint().add("x", 2).done());
+  EXPECT_NE(base, Fingerprint().add("y", 1).done());
+}
+
+TEST(Fingerprint, TypeTagKeepsBitPatternsApart) {
+  // int 1, uint 1, bool true and 1.0 all reduce to small bit patterns;
+  // the per-type tag must keep them distinct fields.
+  std::set<std::string> keys;
+  keys.insert(Fingerprint().add("x", 1).done().hex());
+  keys.insert(Fingerprint().add("x", std::uint64_t{1}).done().hex());
+  keys.insert(Fingerprint().add("x", true).done().hex());
+  keys.insert(Fingerprint().add("x", 1.0).done().hex());
+  keys.insert(Fingerprint().add("x", "1").done().hex());
+  EXPECT_EQ(keys.size(), 5u);
+}
+
+TEST(Fingerprint, NegativeZeroNormalized) {
+  EXPECT_EQ(Fingerprint().add("x", 0.0).done(),
+            Fingerprint().add("x", -0.0).done());
+}
+
+TEST(Fingerprint, SchemaBumpInvalidates) {
+  Fingerprint v1(1);
+  v1.add("x", 1);
+  Fingerprint v2(2);
+  v2.add("x", 1);
+  EXPECT_NE(v1.done(), v2.done());
+}
+
+TEST(Fingerprint, FieldCountMatters) {
+  // An empty fingerprint and a one-field fingerprint must differ even
+  // if the field's digest were somehow zero.
+  EXPECT_NE(Fingerprint().done(), Fingerprint().add("x", 0).done());
+}
+
+TEST(Fingerprint, DefaultKeyIsInvalidAndNeverMatches) {
+  const Key none;
+  EXPECT_FALSE(none.valid);
+  EXPECT_NE(none, Fingerprint().done());
+}
+
+TEST(Fingerprint, DeterministicAcrossCalls) {
+  const auto build = [] {
+    return scenario("hpcc.hpl", machine::xt4(), ExecMode::kVN, 64).done();
+  };
+  EXPECT_EQ(build(), build());
+  EXPECT_EQ(build().hex(), build().hex());
+}
+
+TEST(StorageKey, VariantsAddressSeparateEntries) {
+  const Key s = Fingerprint().add("x", 1).done();
+  std::set<std::string> keys;
+  for (const std::uint32_t variant : {0u, 1u, 2u, 3u})
+    keys.insert(storage_key(s, variant).hex());
+  EXPECT_EQ(keys.size(), 4u);
+}
+
+TEST(StorageKey, InvalidScenarioStaysInvalid) {
+  EXPECT_FALSE(storage_key(Key{}, 0).valid);
+  EXPECT_TRUE(storage_key(Fingerprint().done(), 0).valid);
+}
+
+TEST(Scenario, MachineFieldsEnterTheKey) {
+  // Ablations mutate arbitrary machine parameters; every field of
+  // MachineConfig must land in the key.
+  auto m = machine::xt4();
+  const Key base = scenario("w", m, ExecMode::kVN, 32).done();
+  auto fd = m;
+  fd.nic.vn_forward_delay *= 2.0;
+  EXPECT_NE(base, scenario("w", fd, ExecMode::kVN, 32).done());
+  auto mem = m;
+  mem.memory.peak_bw += 1.0;
+  EXPECT_NE(base, scenario("w", mem, ExecMode::kVN, 32).done());
+  EXPECT_NE(base, scenario("w", m, ExecMode::kSN, 32).done());
+  EXPECT_NE(base, scenario("w", m, ExecMode::kVN, 64).done());
+  EXPECT_NE(base, scenario("other", m, ExecMode::kVN, 32).done());
+}
+
+/// The collision gate: every scenario the bench drivers emit must map
+/// to a distinct key.  This replicates the full driver grids (--full
+/// counts included) — a few hundred scenarios through one 128-bit
+/// space.
+TEST(Scenario, NoCollisionsAcrossTheBenchGrids) {
+  std::set<std::string> keys;
+  std::size_t scenarios = 0;
+  const auto put = [&](const Key& k) {
+    ++scenarios;
+    EXPECT_TRUE(keys.insert(k.hex()).second) << "collision at " << k.hex();
+  };
+
+  const auto xt3sc = machine::xt3_single_core();
+  const auto xt3dc = machine::xt3_dual_core();
+  const auto xt4 = machine::xt4();
+
+  // Figs 2-3 rows and Figs 8-11 grid.
+  for (const char* w : {"hpcc.net_latency", "hpcc.net_bandwidth"})
+    for (const int n : {16, 64, 256}) {
+      put(scenario(w, xt3sc, ExecMode::kSN, n).done());
+      put(scenario(w, xt4, ExecMode::kSN, n).done());
+      put(scenario(w, xt4, ExecMode::kVN, 2 * n).done());
+    }
+  for (const char* w :
+       {"hpcc.hpl", "hpcc.mpifft", "hpcc.ptrans", "hpcc.mpira"})
+    for (const int n : {16, 32, 64, 128, 256, 512, 1024}) {
+      put(scenario(w, xt3sc, ExecMode::kSN, n).done());
+      put(scenario(w, xt4, ExecMode::kSN, n).done());
+      put(scenario(w, xt4, ExecMode::kVN, n).done());
+      // The 2n VN column collides with the next count's n VN point by
+      // construction of the grid, so it is not re-inserted here.
+    }
+
+  // Figs 4-7: workload x machine only.
+  for (const char* w : {"hpcc.spep.fft", "hpcc.spep.dgemm", "hpcc.spep.ra",
+                        "hpcc.spep.stream"})
+    for (const auto* m : {&xt3sc, &xt4}) {
+      Fingerprint fp;
+      fp.add("workload", w);
+      add_machine(fp, *m);
+      put(fp.done());
+    }
+
+  // Apps grids (CAM / POP / NAMD / S3D / AORSA).
+  apps::CamConfig cam;
+  for (const int n : {32, 64, 96, 120, 240, 480, 672, 960})
+    for (const auto& [m, mode] :
+         std::vector<std::pair<const machine::MachineConfig*, ExecMode>>{
+             {&xt3sc, ExecMode::kSN},
+             {&xt3dc, ExecMode::kVN},
+             {&xt4, ExecMode::kSN},
+             {&xt4, ExecMode::kVN}}) {
+      auto fp = scenario("apps.cam", *m, mode, n);
+      add_cam(fp, cam);
+      put(fp.done());
+    }
+  apps::PopConfig pop;
+  apps::PopConfig pop_cg = pop;
+  pop_cg.chronopoulos_gear = true;
+  for (const int n : {256, 512, 1024, 2048, 4096, 8192})
+    for (const auto* cfg : {&pop, &pop_cg}) {
+      auto fp = scenario("apps.pop", xt4, ExecMode::kVN, n);
+      add_pop(fp, *cfg);
+      put(fp.done());
+    }
+  const auto namd_1m = apps::namd_1m_atoms();
+  const auto namd_3m = apps::namd_3m_atoms();
+  for (const int n : {64, 128, 256, 512, 1024, 2048, 4096, 8192})
+    for (const auto* sys : {&namd_1m, &namd_3m}) {
+      auto fp = scenario("apps.namd", xt4, ExecMode::kVN, n);
+      add_namd(fp, *sys);
+      put(fp.done());
+    }
+  apps::S3dConfig s3d;
+  for (const int n : {1, 8, 27, 64, 216, 512, 1000, 4096, 8000}) {
+    auto fp = scenario("apps.s3d", xt4, ExecMode::kVN, n);
+    add_s3d(fp, s3d);
+    put(fp.done());
+  }
+  apps::AorsaConfig aorsa;
+  for (const int n : {256, 512, 1024, 1406, 4096, 8192, 16384, 22500}) {
+    auto fp = scenario("apps.aorsa", xt4, ExecMode::kVN, n);
+    add_aorsa(fp, aorsa);
+    put(fp.done());
+  }
+
+  // Lustre grids (IOR stripes/clients, checkpoint scenarios).
+  lustre::LustreConfig fs;
+  for (const int sc : {1, 2, 4, 8, 16, 32, 64}) {
+    lustre::IorConfig io;
+    io.stripe_count = sc;
+    Fingerprint fp;
+    fp.add("workload", "lustre.ior");
+    add_lustre(fp, fs, "lustre");
+    add_ior(fp, io);
+    put(fp.done());
+  }
+  for (const int clients : {8, 32, 128, 256, 1024}) {
+    lustre::CheckpointConfig ck;
+    ck.clients = clients;
+    Fingerprint fp;
+    fp.add("workload", "lustre.checkpoint");
+    add_lustre(fp, fs, "lustre");
+    add_checkpoint(fp, ck);
+    put(fp.done());
+  }
+
+  EXPECT_EQ(keys.size(), scenarios);
+  EXPECT_GT(scenarios, 150u);
+}
+
+}  // namespace
+}  // namespace xts::cache

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+
+#include "cache/warm.hpp"
+#include "core/cache_stats.hpp"
+
+namespace xts::cache {
+namespace {
+
+PlacementShape shape_of(std::int64_t nranks, std::uint64_t seed = 0) {
+  PlacementShape s;
+  s.nranks = nranks;
+  s.nnodes = (nranks + 1) / 2;
+  s.cores_active = 2;
+  s.placement = 0;
+  s.seed = seed;
+  return s;
+}
+
+/// A recognisable table: rank i on node i, core i & 1.
+PlacementTable table_of(std::int64_t nranks) {
+  PlacementTable t;
+  for (std::int64_t i = 0; i < nranks; ++i) {
+    t.rank_node.push_back(static_cast<std::int32_t>(i));
+    t.rank_core.push_back(static_cast<std::uint8_t>(i & 1));
+  }
+  return t;
+}
+
+std::uint64_t builds() {
+  return scenario_cache_stats().warm_builds.load(std::memory_order_relaxed);
+}
+std::uint64_t shares() {
+  return scenario_cache_stats().warm_shares.load(std::memory_order_relaxed);
+}
+
+class WarmTest : public ::testing::Test {
+ protected:
+  void SetUp() override { clear_placement_cache(); }
+  void TearDown() override { clear_placement_cache(); }
+};
+
+TEST_F(WarmTest, SameShapeSharesOneTable) {
+  const std::uint64_t b0 = builds();
+  const std::uint64_t s0 = shares();
+  int built = 0;
+  const auto builder = [&] {
+    ++built;
+    return table_of(8);
+  };
+  const auto a = shared_placement(shape_of(8), builder);
+  const auto b = shared_placement(shape_of(8), builder);
+  EXPECT_EQ(a.get(), b.get());  // literally the same object
+  EXPECT_EQ(built, 1);
+  EXPECT_EQ(builds(), b0 + 1);
+  EXPECT_EQ(shares(), s0 + 1);
+  ASSERT_EQ(a->rank_node.size(), 8u);
+  EXPECT_EQ(a->rank_node[5], 5);
+  EXPECT_EQ(a->rank_core[5], 1);
+  EXPECT_EQ(placement_cache_size(), 1u);
+}
+
+TEST_F(WarmTest, DifferentShapeBuildsANewTable) {
+  const auto a = shared_placement(shape_of(8), [] { return table_of(8); });
+  const auto b = shared_placement(shape_of(16), [] { return table_of(16); });
+  EXPECT_NE(a.get(), b.get());
+  // Random-placement shapes with different seeds must not share either.
+  auto r1 = shape_of(8, /*seed=*/1);
+  r1.placement = 2;
+  auto r2 = shape_of(8, /*seed=*/2);
+  r2.placement = 2;
+  const auto c = shared_placement(r1, [] { return table_of(8); });
+  const auto d = shared_placement(r2, [] { return table_of(8); });
+  EXPECT_NE(c.get(), d.get());
+  EXPECT_EQ(placement_cache_size(), 4u);
+}
+
+TEST_F(WarmTest, SharedTableOutlivesTheCache) {
+  // A World holding the shared_ptr keeps its table alive even after the
+  // cache drops (clear or LRU eviction).
+  const auto a = shared_placement(shape_of(4), [] { return table_of(4); });
+  clear_placement_cache();
+  EXPECT_EQ(placement_cache_size(), 0u);
+  EXPECT_EQ(a->rank_node.size(), 4u);
+  // Re-requesting the shape after a clear rebuilds.
+  const std::uint64_t b0 = builds();
+  const auto b = shared_placement(shape_of(4), [] { return table_of(4); });
+  EXPECT_EQ(builds(), b0 + 1);
+  EXPECT_NE(a.get(), b.get());
+}
+
+TEST_F(WarmTest, BoundedLruEvictsTheColdestShape) {
+  // Fill past the 64-shape bound; the first-inserted shape is coldest.
+  for (std::int64_t n = 1; n <= 65; ++n)
+    (void)shared_placement(shape_of(n), [n] { return table_of(n); });
+  EXPECT_EQ(placement_cache_size(), 64u);
+  // Shape 1 was evicted: asking again rebuilds instead of sharing.
+  const std::uint64_t b0 = builds();
+  const std::uint64_t s0 = shares();
+  (void)shared_placement(shape_of(1), [] { return table_of(1); });
+  EXPECT_EQ(builds(), b0 + 1);
+  EXPECT_EQ(shares(), s0);
+  // Shape 65 is still warm.
+  (void)shared_placement(shape_of(65), [] { return table_of(65); });
+  EXPECT_EQ(shares(), s0 + 1);
+  EXPECT_EQ(placement_cache_size(), 64u);
+}
+
+TEST_F(WarmTest, TouchRefreshesLruOrder) {
+  for (std::int64_t n = 1; n <= 64; ++n)
+    (void)shared_placement(shape_of(n), [n] { return table_of(n); });
+  // Touch shape 1 so shape 2 becomes the eviction candidate.
+  (void)shared_placement(shape_of(1), [] { return table_of(1); });
+  (void)shared_placement(shape_of(100), [] { return table_of(100); });
+  const std::uint64_t b0 = builds();
+  const std::uint64_t s0 = shares();
+  (void)shared_placement(shape_of(1), [] { return table_of(1); });
+  EXPECT_EQ(shares(), s0 + 1);  // survived
+  (void)shared_placement(shape_of(2), [] { return table_of(2); });
+  EXPECT_EQ(builds(), b0 + 1);  // evicted, rebuilt
+}
+
+}  // namespace
+}  // namespace xts::cache

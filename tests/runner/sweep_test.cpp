@@ -8,6 +8,9 @@
 #include <tuple>
 #include <vector>
 
+#include "cache/fingerprint.hpp"
+#include "cache/store.hpp"
+#include "core/cache_stats.hpp"
 #include "core/error.hpp"
 #include "machine/presets.hpp"
 #include "obsv/session.hpp"
@@ -189,6 +192,229 @@ TEST(SweepObsv, NoSessionNeedsNoShards) {
       4, 2, [](std::size_t i) { return run_world_point(2, static_cast<int>(i)); });
   ASSERT_EQ(r.size(), 4u);
   for (const double t : r) EXPECT_GT(t, 0.0);
+}
+
+// ---------------------------------------------------------------------
+// Scenario-result cache integration: probe-before-schedule, in-flight
+// dedup, replay fidelity.  All tests use a memory-only store
+// (Store::configure("")), so nothing touches disk.
+
+struct CacheCounters {
+  std::uint64_t hits, misses, dedups, writes, bypassed;
+  static CacheCounters now() {
+    auto& s = scenario_cache_stats();
+    return {s.hits.load(), s.misses.load(), s.dedups.load(),
+            s.writes.load(), s.bypassed.load()};
+  }
+  CacheCounters since(const CacheCounters& base) const {
+    return {hits - base.hits, misses - base.misses, dedups - base.dedups,
+            writes - base.writes, bypassed - base.bypassed};
+  }
+};
+
+class SweepCache : public ::testing::Test {
+ protected:
+  void SetUp() override { cache::Store::reset(); }
+  void TearDown() override {
+    cache::Store::reset();
+    if (obsv::Session::active() != nullptr) obsv::Session::stop();
+  }
+  static cache::Key key_of(int i) {
+    return cache::Fingerprint().add("point", i).done();
+  }
+};
+
+TEST_F(SweepCache, SecondSweepReplaysFromTheStore) {
+  cache::Store::configure("");
+  std::atomic<int> executed{0};
+  const auto run = [&] {
+    std::vector<std::function<double()>> points;
+    std::vector<cache::Key> keys;
+    for (int i = 0; i < 5; ++i) {
+      points.emplace_back([&executed, i] {
+        executed.fetch_add(1);
+        return 1.5 * i;
+      });
+      keys.push_back(key_of(i));
+    }
+    return sweep(std::move(points), 2, {}, keys);
+  };
+  const auto base = CacheCounters::now();
+  const auto cold = run();
+  auto d = CacheCounters::now().since(base);
+  EXPECT_EQ(executed.load(), 5);
+  EXPECT_EQ(d.misses, 5u);
+  EXPECT_EQ(d.writes, 5u);
+  EXPECT_EQ(d.hits, 0u);
+
+  const auto warm = run();
+  d = CacheCounters::now().since(base);
+  EXPECT_EQ(executed.load(), 5) << "warm sweep must not execute points";
+  EXPECT_EQ(d.hits, 5u);
+  EXPECT_EQ(warm, cold);
+}
+
+TEST_F(SweepCache, NoStoreArmedIgnoresKeys) {
+  ASSERT_EQ(cache::Store::process(), nullptr);
+  std::atomic<int> executed{0};
+  for (int round = 0; round < 2; ++round) {
+    std::vector<std::function<double()>> points;
+    std::vector<cache::Key> keys;
+    for (int i = 0; i < 3; ++i) {
+      points.emplace_back([&executed] {
+        executed.fetch_add(1);
+        return 1.0;
+      });
+      keys.push_back(key_of(i));
+    }
+    (void)sweep(std::move(points), 2, {}, keys);
+  }
+  EXPECT_EQ(executed.load(), 6);
+}
+
+TEST_F(SweepCache, InFlightDuplicatesRunOnce) {
+  cache::Store::configure("");
+  std::atomic<int> executed{0};
+  std::vector<std::function<double()>> points;
+  std::vector<cache::Key> keys;
+  for (int i = 0; i < 6; ++i) {
+    points.emplace_back([&executed, i] {
+      executed.fetch_add(1);
+      return 7.0 + i / 3;  // same value for aliased triples
+    });
+    keys.push_back(key_of(i / 3));  // two distinct keys, 3 points each
+  }
+  const auto base = CacheCounters::now();
+  const auto r = sweep(std::move(points), 4, {}, keys);
+  const auto d = CacheCounters::now().since(base);
+  EXPECT_EQ(executed.load(), 2);
+  EXPECT_EQ(d.dedups, 4u);
+  EXPECT_EQ(d.misses, 2u);
+  EXPECT_EQ(r, (std::vector<double>{7.0, 7.0, 7.0, 8.0, 8.0, 8.0}));
+}
+
+TEST_F(SweepCache, InvalidKeysAlwaysRun) {
+  cache::Store::configure("");
+  std::atomic<int> executed{0};
+  for (int round = 0; round < 2; ++round) {
+    std::vector<std::function<double()>> points;
+    std::vector<cache::Key> keys(3);  // all default: valid == false
+    for (int i = 0; i < 3; ++i)
+      points.emplace_back([&executed] {
+        executed.fetch_add(1);
+        return 0.0;
+      });
+    (void)sweep(std::move(points), 2, {}, keys);
+  }
+  EXPECT_EQ(executed.load(), 6);
+}
+
+TEST_F(SweepCache, ErrorsAreNotCachedAndAliasesShareThem) {
+  cache::Store::configure("");
+  std::atomic<int> executed{0};
+  const auto run = [&] {
+    std::vector<std::function<double()>> points;
+    std::vector<cache::Key> keys;
+    for (int i = 0; i < 3; ++i) {
+      points.emplace_back([&executed]() -> double {
+        executed.fetch_add(1);
+        throw std::runtime_error("boom");
+      });
+      keys.push_back(key_of(42));  // all three alias one key
+    }
+    return sweep(std::move(points), 2, {}, keys);
+  };
+  const auto base = CacheCounters::now();
+  EXPECT_THROW((void)run(), std::runtime_error);
+  EXPECT_EQ(executed.load(), 1);  // canonical ran, aliases shared the error
+  EXPECT_EQ(CacheCounters::now().since(base).writes, 0u);
+  // Nothing was stored: the rerun executes (and throws) again.
+  EXPECT_THROW((void)run(), std::runtime_error);
+  EXPECT_EQ(executed.load(), 2);
+  EXPECT_EQ(CacheCounters::now().since(base).writes, 0u);
+}
+
+TEST_F(SweepCache, KeysSizeMismatchIsRejected) {
+  cache::Store::configure("");
+  std::vector<std::function<double()>> points;
+  points.emplace_back([] { return 1.0; });
+  const std::vector<cache::Key> keys(2);
+  EXPECT_THROW((void)sweep(std::move(points), 2, {}, keys), UsageError);
+}
+
+TEST_F(SweepCache, TracingSessionBypassesTheCache) {
+  cache::Store::configure("");
+  obsv::Options opt;
+  opt.tracing = true;
+  (void)obsv::Session::start(opt);
+  std::atomic<int> executed{0};
+  const auto base = CacheCounters::now();
+  for (int round = 0; round < 2; ++round) {
+    std::vector<std::function<double()>> points;
+    std::vector<cache::Key> keys;
+    for (int i = 0; i < 3; ++i) {
+      points.emplace_back([&executed] {
+        executed.fetch_add(1);
+        return 2.0;
+      });
+      keys.push_back(key_of(i));
+    }
+    (void)sweep(std::move(points), 2, {}, keys);
+  }
+  obsv::Session::stop();
+  const auto d = CacheCounters::now().since(base);
+  EXPECT_EQ(executed.load(), 6) << "tracing runs must never be replayed";
+  EXPECT_EQ(d.bypassed, 6u);
+  EXPECT_EQ(d.hits + d.misses + d.writes, 0u);
+}
+
+/// The acceptance property behind `--metrics` byte-identity: a warm
+/// sweep under a metrics session reproduces the exact merged session
+/// state (world summaries, counter families) a cold sweep built, while
+/// executing zero points.
+TEST_F(SweepCache, ReplayReproducesMergedSessionState) {
+  cache::Store::configure("");
+  std::atomic<int> executed{0};
+  struct Observed {
+    std::vector<double> results;
+    std::vector<std::tuple<std::uint32_t, int, double, std::uint64_t>>
+        summaries;
+    std::vector<std::tuple<std::string, double, std::size_t>> counters;
+  };
+  const auto run = [&] {
+    obsv::Options opt;
+    opt.metrics = true;
+    obsv::Session& session = obsv::Session::start(opt);
+    std::vector<std::function<double()>> points;
+    std::vector<cache::Key> keys;
+    for (int i = 0; i < 4; ++i) {
+      const int nranks = 2 + 2 * (i % 2);
+      points.emplace_back([&executed, nranks, i] {
+        executed.fetch_add(1);
+        return run_world_point(nranks, i);
+      });
+      keys.push_back(key_of(i));
+    }
+    Observed o;
+    o.results = sweep(std::move(points), 2, {}, keys);
+    for (const auto& s : session.summaries())
+      o.summaries.emplace_back(s.world, s.nranks, s.end_time, s.messages);
+    for (const auto& [family, fam] : session.registry().counters())
+      o.counters.emplace_back(family,
+                              session.registry().counter_total(family),
+                              session.registry().counter_labels(family));
+    obsv::Session::stop();
+    return o;
+  };
+  const auto cold = run();
+  ASSERT_EQ(executed.load(), 4);
+  ASSERT_FALSE(cold.summaries.empty());
+  ASSERT_FALSE(cold.counters.empty());
+  const auto warm = run();
+  EXPECT_EQ(executed.load(), 4) << "warm sweep must replay, not rerun";
+  EXPECT_EQ(warm.results, cold.results);
+  EXPECT_EQ(warm.summaries, cold.summaries);
+  EXPECT_EQ(warm.counters, cold.counters);
 }
 
 }  // namespace
